@@ -1,0 +1,103 @@
+// Command xsearch-broker runs the client-side query broker: it attests the
+// remote X-Search proxy enclave, keeps an encrypted channel to it, and
+// serves a plain local HTTP endpoint (GET /search?q=...) to the user's web
+// client — the paper's "local daemon process executing alongside the
+// client's Web browser".
+package main
+
+import (
+	"context"
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xsearch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xsearch-broker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:8092", "local listen address")
+		proxyURL    = flag.String("proxy", "http://127.0.0.1:8091", "x-search proxy base URL")
+		measurement = flag.String("measurement", "", "trusted enclave measurement (hex, from xsearch-proxy)")
+		attKey      = flag.String("attkey", "", "attestation service key (hex, from xsearch-proxy)")
+		count       = flag.Int("count", 20, "results per query")
+	)
+	flag.Parse()
+	if *measurement == "" || *attKey == "" {
+		return fmt.Errorf("-measurement and -attkey are required (printed by xsearch-proxy)")
+	}
+	var m xsearch.Measurement
+	raw, err := hex.DecodeString(*measurement)
+	if err != nil || len(raw) != len(m) {
+		return fmt.Errorf("bad -measurement: want %d hex bytes", len(m))
+	}
+	copy(m[:], raw)
+	keyRaw, err := hex.DecodeString(*attKey)
+	if err != nil || len(keyRaw) != ed25519.PublicKeySize {
+		return fmt.Errorf("bad -attkey: want %d hex bytes", ed25519.PublicKeySize)
+	}
+
+	client, err := xsearch.NewClient(*proxyURL,
+		xsearch.WithTrustedMeasurement(m),
+		xsearch.WithAttestationKey(ed25519.PublicKey(keyRaw)),
+		xsearch.WithResultCount(*count),
+	)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = client.Connect(ctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("attestation/handshake failed: %w", err)
+	}
+	fmt.Println("proxy enclave attested, channel established")
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if strings.TrimSpace(q) == "" {
+			http.Error(w, "missing q parameter", http.StatusBadRequest)
+			return
+		}
+		results, err := client.Search(r.Context(), q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(results)
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("broker listening on %s\n", ln.Addr())
+	fmt.Printf("try: curl 'http://%s/search?q=chicken+recipe'\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	sctx, scancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer scancel()
+	return srv.Shutdown(sctx)
+}

@@ -1,0 +1,68 @@
+// Command xsearch-proxy runs an X-Search node: the enclave-hosted privacy
+// proxy that obfuscates queries with k real past queries and filters the
+// engine's results. On startup it prints the enclave measurement and the
+// attestation key a broker needs to pin.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"xsearch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xsearch-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8091", "listen address")
+		engine  = flag.String("engine", "127.0.0.1:8090", "search engine host:port")
+		k       = flag.Int("k", 3, "number of fake queries per request")
+		history = flag.Int("history", 1_000_000, "past-query window capacity")
+		perList = flag.Int("results", 20, "results per sub-query list")
+		echo    = flag.Bool("echo", false, "echo mode: skip the engine (capacity tests)")
+	)
+	flag.Parse()
+
+	opts := []xsearch.ProxyOption{
+		xsearch.WithFakeQueries(*k),
+		xsearch.WithHistoryCapacity(*history),
+		xsearch.WithResultsPerList(*perList),
+	}
+	if *echo {
+		opts = append(opts, xsearch.WithEchoMode())
+	} else {
+		opts = append(opts, xsearch.WithEngineHost(*engine))
+	}
+	proxy, err := xsearch.NewProxy(opts...)
+	if err != nil {
+		return err
+	}
+	if err := proxy.Start(*addr); err != nil {
+		return err
+	}
+	m := proxy.Measurement()
+	fmt.Printf("x-search proxy listening on %s (k=%d, history=%d, echo=%t)\n",
+		proxy.Addr(), *k, *history, *echo)
+	fmt.Printf("enclave measurement : %s\n", hex.EncodeToString(m[:]))
+	fmt.Printf("attestation key     : %s\n", hex.EncodeToString(proxy.AttestationKey()))
+	fmt.Printf("plain front         : curl '%s/search?q=chicken+recipe'\n", proxy.URL())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	st := proxy.Stats()
+	fmt.Printf("served %d requests, %d handshakes, %d errors; history %d queries / %d bytes\n",
+		st.Requests, st.Handshakes, st.Errors, st.HistoryLen, st.HistoryB)
+	return nil
+}

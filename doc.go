@@ -1,0 +1,48 @@
+// Package xsearch is a Go implementation of X-Search ("X-Search:
+// Revisiting Private Web Search using Intel SGX", Middleware '17): a
+// privacy proxy that lets users query a web search engine without the
+// engine being able to link queries to their identity or distinguish their
+// real interests from fake ones.
+//
+// # Architecture
+//
+// Three parties cooperate (paper §4, Figure 2):
+//
+//   - The Client (NewClient) runs in the user's trust domain. It verifies
+//     the proxy enclave's remote attestation, establishes an encrypted
+//     channel terminating inside the enclave, and sends queries through it.
+//   - The Proxy (NewProxy) runs on an untrusted host. Inside a (simulated)
+//     SGX enclave it decrypts each query, OR-aggregates it with k real past
+//     queries drawn from an in-enclave sliding-window history (Algorithm 1),
+//     forwards the obfuscated query to the engine, filters the merged
+//     results back down to those matching the original query (Algorithm 2),
+//     and returns them over the channel. A plain HTTP front
+//     (GET /search?q=...) serves third-party clients such as curl.
+//   - The Engine (NewEngine) is the search engine substrate: a ranked
+//     inverted-index engine with Bing-compatible OR semantics and the
+//     honest-but-curious behaviour the adversary model assumes.
+//
+// # Quick start
+//
+//	engine := xsearch.NewEngine()
+//	_ = engine.Start("127.0.0.1:0")
+//	defer engine.Shutdown(context.Background())
+//
+//	proxy, _ := xsearch.NewProxy(
+//		xsearch.WithEngineHost(engine.Addr()),
+//		xsearch.WithFakeQueries(3),
+//	)
+//	_ = proxy.Start("127.0.0.1:0")
+//	defer proxy.Shutdown(context.Background())
+//
+//	client, _ := xsearch.NewClient(proxy.URL(),
+//		xsearch.WithTrustedMeasurement(proxy.Measurement()),
+//		xsearch.WithAttestationKey(proxy.AttestationKey()))
+//	_ = client.Connect(context.Background())
+//	results, _ := client.Search(context.Background(), "private web search")
+//
+// The enclave, attestation service, sealing, onion-routing and PEAS
+// baselines, the SimAttack re-identification attack, and the full
+// experiment harness reproducing the paper's Figures 1 and 3-7 live under
+// internal/; cmd/xsearch-bench regenerates every figure.
+package xsearch

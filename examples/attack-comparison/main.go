@@ -1,0 +1,95 @@
+// Attack-comparison pits the SimAttack re-identification attack against
+// three protection strategies on the same synthetic AOL-like log: no
+// obfuscation (unlinkability only, i.e. Tor), PEAS co-occurrence fakes,
+// and X-Search real-past-query fakes — the live version of Figure 3.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"xsearch/internal/dataset"
+	"xsearch/internal/experiments"
+	"xsearch/internal/simattack"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attack-comparison:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("building synthetic AOL-like log (100 active users, 2/3-1/3 split)...")
+	fixture, err := experiments.NewFixture(experiments.FixtureConfig{
+		Users: 150, MeanQueries: 250, ActiveUsers: 100, Seed: 42,
+	})
+	if err != nil {
+		return err
+	}
+	stats := fixture.Log.Stats()
+	fmt.Printf("log: %d records, %d users, %d unique queries\n\n",
+		stats.Records, stats.Users, stats.UniqueQueries)
+
+	sample := fixture.SampleTest(400)
+	testLog := &dataset.Log{Records: sample}
+	rng := fixture.Rand()
+
+	// Baseline: the adversary sees bare queries from an anonymous source.
+	baseline := fixture.Attack.EvaluateUnlinkability(testLog)
+	fmt.Printf("%-34s re-identification rate = %.3f\n",
+		"unlinkability only (Tor, k=0):", baseline)
+
+	const k = 3
+	// PEAS: synthetic fakes from the co-occurrence matrix.
+	peasRate := fixture.Attack.EvaluateObfuscated(testLog, func(rec dataset.Record) simattack.Obfuscation {
+		fakes := make([]string, 0, k)
+		n := len(strings.Fields(rec.Query))
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < k; i++ {
+			fq, err := fixture.CoMatrix.FakeQuery(rng, n)
+			if err != nil {
+				fq = ""
+			}
+			fakes = append(fakes, fq)
+		}
+		return obfuscate(rng.IntN, rec.Query, fakes)
+	})
+	fmt.Printf("%-34s re-identification rate = %.3f\n",
+		fmt.Sprintf("PEAS (k=%d, co-occurrence):", k), peasRate)
+
+	// X-Search: fakes are real past queries of other users.
+	xsRate := fixture.Attack.EvaluateObfuscated(testLog, func(rec dataset.Record) simattack.Obfuscation {
+		return obfuscate(rng.IntN, rec.Query, fixture.RandomTrainQueries(k))
+	})
+	fmt.Printf("%-34s re-identification rate = %.3f\n",
+		fmt.Sprintf("X-Search (k=%d, real queries):", k), xsRate)
+
+	fmt.Println()
+	if peasRate > 0 {
+		fmt.Printf("X-Search improves over PEAS by %.0f%% (paper: 23-35%% across k)\n",
+			(peasRate-xsRate)/peasRate*100)
+	}
+	fmt.Printf("obfuscation cuts the k=0 rate by %.0f%%\n",
+		(baseline-xsRate)/baseline*100)
+	fmt.Println("\nwhy: every X-Search sub-query maps onto some real user's profile,")
+	fmt.Println("so the attacker's argmax is pulled toward other users; PEAS fakes")
+	fmt.Println("are word combinations no user ever issued and rarely win the argmax.")
+	return nil
+}
+
+func obfuscate(intn func(int) int, original string, fakes []string) simattack.Obfuscation {
+	pos := 0
+	if len(fakes) > 0 {
+		pos = intn(len(fakes) + 1)
+	}
+	subs := make([]string, 0, len(fakes)+1)
+	subs = append(subs, fakes[:pos]...)
+	subs = append(subs, original)
+	subs = append(subs, fakes[pos:]...)
+	return simattack.Obfuscation{Subqueries: subs, OriginalIndex: pos}
+}

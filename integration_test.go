@@ -1,0 +1,168 @@
+package xsearch_test
+
+// Full-stack integration scenarios through the public API only: the
+// journeys a deployment actually goes through, combining attestation,
+// sealed persistence, restarts and client recovery.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xsearch"
+)
+
+// A proxy restart with sealed persistence must preserve the obfuscation
+// history, and a reconnecting client must keep getting obfuscated answers
+// immediately (no cold start).
+func TestProxyRestartPreservesHistory(t *testing.T) {
+	engine := xsearch.NewEngine(xsearch.WithCorpusSize(20), xsearch.WithEngineSeed(1))
+	if err := engine.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = engine.Shutdown(ctx)
+	}()
+	statePath := filepath.Join(t.TempDir(), "history.sealed")
+	machine := []byte("integration-machine")
+
+	mkProxy := func() *xsearch.Proxy {
+		t.Helper()
+		p, err := xsearch.NewProxy(
+			xsearch.WithEngineHost(engine.Addr()),
+			xsearch.WithFakeQueries(2),
+			xsearch.WithProxySeed(1),
+			xsearch.WithStatePersistence(statePath, machine),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	connect := func(p *xsearch.Proxy) *xsearch.Client {
+		t.Helper()
+		c, err := xsearch.NewClient(p.URL(),
+			xsearch.WithTrustedMeasurement(p.Measurement()),
+			xsearch.WithAttestationKey(p.AttestationKey()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Connect(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	// Lifetime 1: populate history.
+	p1 := mkProxy()
+	c1 := connect(p1)
+	for _, q := range []string{"mortgage rates", "garden roses", "playoff scores"} {
+		if _, err := c1.Search(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p1.Stats().HistoryLen; got != 3 {
+		t.Fatalf("history before restart = %d", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	if err := p1.Shutdown(ctx); err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	cancel()
+
+	// The sealed blob must not leak plaintext to the host.
+	blob, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), "mortgage") {
+		t.Fatal("sealed state leaks plaintext")
+	}
+
+	// Lifetime 2: restore; the very first query must already be fully
+	// obfuscated with k=2 fakes drawn from the restored history.
+	p2 := mkProxy()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = p2.Shutdown(ctx)
+	}()
+	if got := p2.Stats().HistoryLen; got != 3 {
+		t.Fatalf("history after restart = %d, want 3", got)
+	}
+	c2 := connect(p2)
+	before := len(engine.QueryLog())
+	if _, err := c2.Search(context.Background(), "divorce attorney"); err != nil {
+		t.Fatal(err)
+	}
+	logs := engine.QueryLog()
+	if len(logs) != before+1 {
+		t.Fatalf("engine saw %d new queries", len(logs)-before)
+	}
+	seen := logs[len(logs)-1].Query
+	if !strings.Contains(seen, " OR ") || seen == "divorce attorney" {
+		t.Errorf("first post-restart query not obfuscated: %q", seen)
+	}
+}
+
+// Two independent clients of one proxy must each get correct, isolated
+// channels: records of one session never decrypt on the other.
+func TestTwoClientsIsolatedChannels(t *testing.T) {
+	engine := xsearch.NewEngine(xsearch.WithCorpusSize(10), xsearch.WithEngineSeed(1))
+	if err := engine.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = engine.Shutdown(ctx)
+	}()
+	p, err := xsearch.NewProxy(
+		xsearch.WithEngineHost(engine.Addr()),
+		xsearch.WithFakeQueries(1),
+		xsearch.WithProxySeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = p.Shutdown(ctx)
+	}()
+	mk := func() *xsearch.Client {
+		c, err := xsearch.NewClient(p.URL(),
+			xsearch.WithTrustedMeasurement(p.Measurement()),
+			xsearch.WithAttestationKey(p.AttestationKey()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Connect(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 3; i++ {
+		if _, err := a.Search(context.Background(), "chicken recipe"); err != nil {
+			t.Fatalf("client a: %v", err)
+		}
+		if _, err := b.Search(context.Background(), "mortgage rates"); err != nil {
+			t.Fatalf("client b: %v", err)
+		}
+	}
+	if got := p.Stats().Handshakes; got != 2 {
+		t.Errorf("handshakes = %d, want 2", got)
+	}
+}

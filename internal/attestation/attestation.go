@@ -1,0 +1,249 @@
+// Package attestation implements the remote-attestation flow X-Search
+// relies on (§2.3, §4.2): a quoting enclave signs enclave reports into
+// quotes; an attestation service (playing Intel IAS's role) verifies quotes
+// and issues signed verification reports; a client-side Verifier enforces
+// policy (expected measurement, no debug enclaves, fresh nonce) before any
+// secret is provisioned to the proxy. The EPID group signature scheme is
+// replaced by ed25519 — the trust topology, not the signature math, is
+// what the system exercises.
+package attestation
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"xsearch/internal/enclave"
+)
+
+// Errors returned by verification.
+var (
+	ErrBadQuoteSignature      = errors.New("attestation: quote signature invalid")
+	ErrUnknownQE              = errors.New("attestation: quoting enclave not registered")
+	ErrBadServiceSig          = errors.New("attestation: service report signature invalid")
+	ErrMeasurementNotInPolicy = errors.New("attestation: measurement not accepted by policy")
+	ErrDebugEnclave           = errors.New("attestation: debug enclave rejected")
+	ErrNonceMismatch          = errors.New("attestation: nonce mismatch")
+	ErrReportDataMismatch     = errors.New("attestation: report data does not bind expected value")
+)
+
+// Quote is an enclave report signed by a quoting enclave.
+type Quote struct {
+	Report    enclave.Report
+	QEID      [32]byte // identity (public key hash) of the quoting enclave
+	Signature []byte
+}
+
+// Marshal serializes the quote for transmission.
+func (q *Quote) Marshal() ([]byte, error) {
+	return json.Marshal(quoteWire{
+		Report:    q.Report.Marshal(),
+		QEID:      q.QEID[:],
+		Signature: q.Signature,
+	})
+}
+
+type quoteWire struct {
+	Report    []byte `json:"report"`
+	QEID      []byte `json:"qeid"`
+	Signature []byte `json:"signature"`
+}
+
+// UnmarshalQuote parses a serialized quote.
+func UnmarshalQuote(data []byte) (*Quote, error) {
+	var w quoteWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("attestation: parse quote: %w", err)
+	}
+	rep, err := enclave.UnmarshalReport(w.Report)
+	if err != nil {
+		return nil, fmt.Errorf("attestation: parse report: %w", err)
+	}
+	q := &Quote{Report: rep, Signature: w.Signature}
+	if len(w.QEID) != 32 {
+		return nil, fmt.Errorf("attestation: QEID length %d", len(w.QEID))
+	}
+	copy(q.QEID[:], w.QEID)
+	return q, nil
+}
+
+// QuotingEnclave converts local reports into remotely verifiable quotes.
+// On real hardware it is Intel's architectural enclave holding the EPID
+// key; here it holds an ed25519 key registered with the Service.
+type QuotingEnclave struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+	id   [32]byte
+}
+
+// NewQuotingEnclave generates a quoting enclave with a fresh key.
+func NewQuotingEnclave() (*QuotingEnclave, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attestation: generate QE key: %w", err)
+	}
+	return &QuotingEnclave{priv: priv, pub: pub, id: sha256.Sum256(pub)}, nil
+}
+
+// ID returns the QE identity (hash of its public key).
+func (qe *QuotingEnclave) ID() [32]byte { return qe.id }
+
+// PublicKey returns the QE verification key for service registration.
+func (qe *QuotingEnclave) PublicKey() ed25519.PublicKey { return qe.pub }
+
+// Quote signs a report.
+func (qe *QuotingEnclave) Quote(r enclave.Report) *Quote {
+	return &Quote{
+		Report:    r,
+		QEID:      qe.id,
+		Signature: ed25519.Sign(qe.priv, r.Marshal()),
+	}
+}
+
+// VerificationReport is the Service's signed statement that a quote was
+// valid — the analogue of an IAS attestation verification report.
+type VerificationReport struct {
+	Quote     []byte    `json:"quote"`
+	Nonce     []byte    `json:"nonce"`
+	Timestamp time.Time `json:"timestamp"`
+	Signature []byte    `json:"signature"`
+}
+
+// Service verifies quotes, modelling the Intel Attestation Service: it
+// knows the legitimate quoting enclaves and signs verification reports
+// with its own well-known key.
+type Service struct {
+	mu   sync.RWMutex
+	qes  map[[32]byte]ed25519.PublicKey
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewService creates an attestation service with a fresh report-signing key.
+func NewService() (*Service, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attestation: generate service key: %w", err)
+	}
+	return &Service{qes: make(map[[32]byte]ed25519.PublicKey), priv: priv, pub: pub}, nil
+}
+
+// PublicKey returns the service's report-signing key; clients pin it the
+// way browsers pin the IAS certificate.
+func (s *Service) PublicKey() ed25519.PublicKey { return s.pub }
+
+// RegisterQE enrolls a quoting enclave as legitimate.
+func (s *Service) RegisterQE(qe *QuotingEnclave) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.qes[qe.ID()] = qe.PublicKey()
+}
+
+// Verify checks the quote's QE signature and issues a signed verification
+// report echoing the caller's nonce (freshness).
+func (s *Service) Verify(q *Quote, nonce []byte) (*VerificationReport, error) {
+	s.mu.RLock()
+	pub, ok := s.qes[q.QEID]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrUnknownQE
+	}
+	if !ed25519.Verify(pub, q.Report.Marshal(), q.Signature) {
+		return nil, ErrBadQuoteSignature
+	}
+	raw, err := q.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	vr := &VerificationReport{
+		Quote:     raw,
+		Nonce:     append([]byte(nil), nonce...),
+		Timestamp: time.Now().UTC(),
+	}
+	vr.Signature = ed25519.Sign(s.priv, vr.signedBytes())
+	return vr, nil
+}
+
+func (vr *VerificationReport) signedBytes() []byte {
+	h := sha256.New()
+	h.Write(vr.Quote)
+	h.Write(vr.Nonce)
+	ts, _ := vr.Timestamp.MarshalBinary()
+	h.Write(ts)
+	return h.Sum(nil)
+}
+
+// Policy is the client-side acceptance policy for attested enclaves.
+type Policy struct {
+	// AcceptedMeasurements lists the MRENCLAVE values the client trusts
+	// (the published X-Search proxy builds).
+	AcceptedMeasurements []enclave.Measurement
+	// AcceptedSigners optionally accepts any enclave from these vendors.
+	AcceptedSigners []enclave.Measurement
+	// AllowDebug permits debug-mode enclaves (never in production).
+	AllowDebug bool
+}
+
+// Verifier validates verification reports against a pinned service key and
+// a policy.
+type Verifier struct {
+	ServiceKey ed25519.PublicKey
+	Policy     Policy
+}
+
+// Verify checks the service signature, nonce freshness and policy, and
+// returns the embedded report on success. expectData, when non-nil, must
+// match the report's ReportData — the channel-binding check.
+func (v *Verifier) Verify(vr *VerificationReport, nonce []byte, expectData *[64]byte) (enclave.Report, error) {
+	var zero enclave.Report
+	if !ed25519.Verify(v.ServiceKey, vr.signedBytes(), vr.Signature) {
+		return zero, ErrBadServiceSig
+	}
+	if !bytes.Equal(vr.Nonce, nonce) {
+		return zero, ErrNonceMismatch
+	}
+	q, err := UnmarshalQuote(vr.Quote)
+	if err != nil {
+		return zero, err
+	}
+	r := q.Report
+	if r.Attributes&enclave.AttrDebug != 0 && !v.Policy.AllowDebug {
+		return zero, ErrDebugEnclave
+	}
+	if !v.policyAccepts(r) {
+		return zero, ErrMeasurementNotInPolicy
+	}
+	if expectData != nil && r.ReportData != *expectData {
+		return zero, ErrReportDataMismatch
+	}
+	return r, nil
+}
+
+func (v *Verifier) policyAccepts(r enclave.Report) bool {
+	for _, m := range v.Policy.AcceptedMeasurements {
+		if m == r.MREnclave {
+			return true
+		}
+	}
+	for _, s := range v.Policy.AcceptedSigners {
+		if s == r.MRSigner {
+			return true
+		}
+	}
+	return false
+}
+
+// BindKey hashes a public key into ReportData form, the standard way to
+// bind a channel key to an attestation.
+func BindKey(pub []byte) [64]byte {
+	var out [64]byte
+	sum := sha256.Sum256(pub)
+	copy(out[:], sum[:])
+	return out
+}

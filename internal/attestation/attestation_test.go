@@ -1,0 +1,234 @@
+package attestation
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"xsearch/internal/enclave"
+)
+
+// harness builds a platform, enclave, QE and service wired together.
+type harness struct {
+	platform *enclave.Platform
+	encl     *enclave.Enclave
+	qe       *QuotingEnclave
+	service  *Service
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	p := enclave.NewPlatform()
+	b := p.NewBuilder(enclave.Config{})
+	if err := b.AddData([]byte("xsearch proxy v1")); err != nil {
+		t.Fatal(err)
+	}
+	b.SetSigner(enclave.Measurement{0x01})
+	if err := b.RegisterECall("request", func(enclave.Env, []byte) ([]byte, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	e, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Destroy)
+	qe, err := NewQuotingEnclave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.RegisterQE(qe)
+	return &harness{platform: p, encl: e, qe: qe, service: svc}
+}
+
+func nonce(t *testing.T) []byte {
+	t.Helper()
+	n := make([]byte, 16)
+	if _, err := rand.Read(n); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFullAttestationFlow(t *testing.T) {
+	h := newHarness(t)
+	var reportData [64]byte
+	copy(reportData[:], "ecdh public key hash")
+	quote := h.qe.Quote(h.encl.Report(reportData))
+
+	n := nonce(t)
+	vr, err := h.service.Verify(quote, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := &Verifier{
+		ServiceKey: h.service.PublicKey(),
+		Policy:     Policy{AcceptedMeasurements: []enclave.Measurement{h.encl.Measurement()}},
+	}
+	rep, err := v.Verify(vr, n, &reportData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MREnclave != h.encl.Measurement() {
+		t.Error("verified measurement mismatch")
+	}
+}
+
+func TestUnknownQERejected(t *testing.T) {
+	h := newHarness(t)
+	rogue, err := NewQuotingEnclave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quote := rogue.Quote(h.encl.Report([64]byte{}))
+	if _, err := h.service.Verify(quote, nonce(t)); !errors.Is(err, ErrUnknownQE) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTamperedQuoteRejected(t *testing.T) {
+	h := newHarness(t)
+	quote := h.qe.Quote(h.encl.Report([64]byte{}))
+	quote.Report.MREnclave[0] ^= 0xFF // forge a different enclave
+	if _, err := h.service.Verify(quote, nonce(t)); !errors.Is(err, ErrBadQuoteSignature) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPolicyRejectsUnknownMeasurement(t *testing.T) {
+	h := newHarness(t)
+	quote := h.qe.Quote(h.encl.Report([64]byte{}))
+	n := nonce(t)
+	vr, err := h.service.Verify(quote, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Verifier{
+		ServiceKey: h.service.PublicKey(),
+		Policy:     Policy{AcceptedMeasurements: []enclave.Measurement{{0xDE, 0xAD}}},
+	}
+	if _, err := v.Verify(vr, n, nil); !errors.Is(err, ErrMeasurementNotInPolicy) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPolicyAcceptsBySigner(t *testing.T) {
+	h := newHarness(t)
+	quote := h.qe.Quote(h.encl.Report([64]byte{}))
+	n := nonce(t)
+	vr, err := h.service.Verify(quote, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Verifier{
+		ServiceKey: h.service.PublicKey(),
+		Policy:     Policy{AcceptedSigners: []enclave.Measurement{h.encl.MRSigner()}},
+	}
+	if _, err := v.Verify(vr, n, nil); err != nil {
+		t.Errorf("signer policy should accept: %v", err)
+	}
+}
+
+func TestDebugEnclaveRejected(t *testing.T) {
+	h := newHarness(t)
+	rep := h.encl.Report([64]byte{})
+	rep.Attributes |= enclave.AttrDebug
+	quote := h.qe.Quote(rep)
+	n := nonce(t)
+	vr, err := h.service.Verify(quote, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Verifier{
+		ServiceKey: h.service.PublicKey(),
+		Policy:     Policy{AcceptedMeasurements: []enclave.Measurement{h.encl.Measurement()}},
+	}
+	if _, err := v.Verify(vr, n, nil); !errors.Is(err, ErrDebugEnclave) {
+		t.Errorf("err = %v", err)
+	}
+	v.Policy.AllowDebug = true
+	if _, err := v.Verify(vr, n, nil); err != nil {
+		t.Errorf("AllowDebug should accept: %v", err)
+	}
+}
+
+func TestNonceMismatchRejected(t *testing.T) {
+	h := newHarness(t)
+	quote := h.qe.Quote(h.encl.Report([64]byte{}))
+	vr, err := h.service.Verify(quote, []byte("nonce-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Verifier{
+		ServiceKey: h.service.PublicKey(),
+		Policy:     Policy{AcceptedMeasurements: []enclave.Measurement{h.encl.Measurement()}},
+	}
+	if _, err := v.Verify(vr, []byte("nonce-b"), nil); !errors.Is(err, ErrNonceMismatch) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReportDataBinding(t *testing.T) {
+	h := newHarness(t)
+	bound := BindKey([]byte("the proxy's ecdh public key"))
+	quote := h.qe.Quote(h.encl.Report(bound))
+	n := nonce(t)
+	vr, err := h.service.Verify(quote, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &Verifier{
+		ServiceKey: h.service.PublicKey(),
+		Policy:     Policy{AcceptedMeasurements: []enclave.Measurement{h.encl.Measurement()}},
+	}
+	if _, err := v.Verify(vr, n, &bound); err != nil {
+		t.Fatalf("binding should verify: %v", err)
+	}
+	other := BindKey([]byte("a different key"))
+	if _, err := v.Verify(vr, n, &other); !errors.Is(err, ErrReportDataMismatch) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestForgedServiceReportRejected(t *testing.T) {
+	h := newHarness(t)
+	quote := h.qe.Quote(h.encl.Report([64]byte{}))
+	n := nonce(t)
+	vr, err := h.service.Verify(quote, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr.Signature[0] ^= 0xFF
+	v := &Verifier{
+		ServiceKey: h.service.PublicKey(),
+		Policy:     Policy{AcceptedMeasurements: []enclave.Measurement{h.encl.Measurement()}},
+	}
+	if _, err := v.Verify(vr, n, nil); !errors.Is(err, ErrBadServiceSig) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestQuoteMarshalRoundTrip(t *testing.T) {
+	h := newHarness(t)
+	var data [64]byte
+	copy(data[:], "payload")
+	quote := h.qe.Quote(h.encl.Report(data))
+	raw, err := quote.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalQuote(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Report != quote.Report || back.QEID != quote.QEID {
+		t.Error("round trip mismatch")
+	}
+	if _, err := UnmarshalQuote([]byte("{bad")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}

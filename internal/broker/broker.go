@@ -1,0 +1,273 @@
+// Package broker implements the client-side query broker (§4.2): a local
+// daemon running in the user's trust domain that attests the remote
+// X-Search enclave, establishes the encrypted tunnel terminating inside it,
+// and exposes a plain local HTTP endpoint to the user's web client. The
+// broker is the only component besides the enclave that ever sees the
+// user's cleartext query.
+package broker
+
+import (
+	"bytes"
+	"context"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"xsearch/internal/attestation"
+	"xsearch/internal/core"
+	"xsearch/internal/proxy"
+	"xsearch/internal/securechannel"
+)
+
+// Errors returned by the broker.
+var (
+	ErrNotConnected = errors.New("broker: not connected; call Connect first")
+	ErrProxyStatus  = errors.New("broker: proxy returned non-OK status")
+)
+
+// Config parameterizes a broker.
+type Config struct {
+	// ProxyURL is the X-Search node's base URL.
+	ProxyURL string
+	// ServiceKey is the pinned attestation-service signing key.
+	ServiceKey ed25519.PublicKey
+	// Policy is the enclave acceptance policy (measurements/signers).
+	Policy attestation.Policy
+	// HTTPClient allows injecting transports (e.g. netsim delays); nil
+	// uses a default with sane timeouts.
+	HTTPClient *http.Client
+	// Count is the default result count per query (default 20).
+	Count int
+}
+
+// Broker is an attested client of one X-Search node.
+type Broker struct {
+	cfg    Config
+	client *http.Client
+
+	mu      sync.Mutex
+	channel *securechannel.Channel
+	session string
+}
+
+// New validates cfg and returns an unconnected broker.
+func New(cfg Config) (*Broker, error) {
+	if cfg.ProxyURL == "" {
+		return nil, fmt.Errorf("broker: ProxyURL required")
+	}
+	if len(cfg.ServiceKey) == 0 {
+		return nil, fmt.Errorf("broker: ServiceKey required")
+	}
+	if len(cfg.Policy.AcceptedMeasurements) == 0 && len(cfg.Policy.AcceptedSigners) == 0 {
+		return nil, fmt.Errorf("broker: empty attestation policy")
+	}
+	if cfg.Count <= 0 {
+		cfg.Count = 20
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Broker{cfg: cfg, client: client}, nil
+}
+
+// Connect performs the attested handshake: it verifies the proxy enclave's
+// quote (measurement policy, debug bit, nonce freshness) and checks that
+// the channel key is the one bound inside the attestation report before
+// keying the channel. On success subsequent Search calls use the tunnel.
+func (b *Broker) Connect(ctx context.Context) error {
+	hs, err := securechannel.NewHandshake(securechannel.RoleClient)
+	if err != nil {
+		return err
+	}
+	offerJSON, err := hs.Offer().Marshal()
+	if err != nil {
+		return err
+	}
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return fmt.Errorf("broker: nonce: %w", err)
+	}
+	reqBody, err := json.Marshal(map[string]any{
+		"offer": json.RawMessage(offerJSON),
+		"nonce": nonce,
+	})
+	if err != nil {
+		return err
+	}
+	var resp proxy.HandshakeResponse
+	if err := b.post(ctx, "/handshake", reqBody, &resp); err != nil {
+		return err
+	}
+
+	serverOffer, err := securechannel.UnmarshalOffer(resp.Offer)
+	if err != nil {
+		return err
+	}
+	// Verify attestation BEFORE completing the channel: the report must
+	// bind exactly the server public key we are about to use.
+	var vr attestation.VerificationReport
+	if err := json.Unmarshal(resp.VerificationReport, &vr); err != nil {
+		return fmt.Errorf("broker: verification report: %w", err)
+	}
+	verifier := &attestation.Verifier{ServiceKey: b.cfg.ServiceKey, Policy: b.cfg.Policy}
+	expect := attestation.BindKey(serverOffer.PubKey)
+	if _, err := verifier.Verify(&vr, nonce, &expect); err != nil {
+		return fmt.Errorf("broker: attestation failed: %w", err)
+	}
+
+	channel, err := hs.Complete(serverOffer)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.channel = channel
+	b.session = resp.Session
+	b.mu.Unlock()
+	return nil
+}
+
+// Connected reports whether an attested channel is established.
+func (b *Broker) Connected() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.channel != nil
+}
+
+// Search sends one query through the attested tunnel and returns the
+// filtered results. If the proxy no longer knows the session (restart or
+// session-table eviction), the broker transparently re-attests once and
+// retries — the paper's broker is a long-lived daemon and proxies are
+// Byzantine, so session loss is an expected event, not an error.
+func (b *Broker) Search(ctx context.Context, query string) ([]core.Result, error) {
+	results, err := b.searchOnce(ctx, query)
+	if err == nil || !errors.Is(err, ErrProxyStatus) {
+		return results, err
+	}
+	// Session likely lost. Re-attest (full verification again) and retry.
+	if rerr := b.Connect(ctx); rerr != nil {
+		return nil, fmt.Errorf("broker: reconnect after %v: %w", err, rerr)
+	}
+	return b.searchOnce(ctx, query)
+}
+
+func (b *Broker) searchOnce(ctx context.Context, query string) ([]core.Result, error) {
+	b.mu.Lock()
+	channel, session := b.channel, b.session
+	b.mu.Unlock()
+	if channel == nil {
+		return nil, ErrNotConnected
+	}
+	plaintext, err := json.Marshal(map[string]any{"query": query, "count": b.cfg.Count})
+	if err != nil {
+		return nil, err
+	}
+	record, err := channel.Seal(plaintext)
+	if err != nil {
+		return nil, err
+	}
+	reqBody, err := json.Marshal(proxy.SecureEnvelope{Session: session, Record: record})
+	if err != nil {
+		return nil, err
+	}
+	var resp proxy.SecureEnvelope
+	if err := b.post(ctx, "/secure", reqBody, &resp); err != nil {
+		return nil, err
+	}
+	respPT, err := channel.Open(resp.Record)
+	if err != nil {
+		return nil, fmt.Errorf("broker: open response: %w", err)
+	}
+	var sresp struct {
+		Results []core.Result `json:"results"`
+		Err     string        `json:"err,omitempty"`
+	}
+	if err := json.Unmarshal(respPT, &sresp); err != nil {
+		return nil, fmt.Errorf("broker: response payload: %w", err)
+	}
+	if sresp.Err != "" {
+		return nil, fmt.Errorf("broker: proxy error: %s", sresp.Err)
+	}
+	return sresp.Results, nil
+}
+
+// post sends a JSON POST and decodes the JSON response.
+func (b *Broker) post(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		b.cfg.ProxyURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("broker: %s: %w", path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: %s %d", ErrProxyStatus, path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Server exposes the broker to the local web client over loopback HTTP:
+// GET /search?q=... returns the filtered results as JSON. This is the
+// "local daemon process executing alongside the client's Web browser".
+type Server struct {
+	broker *Broker
+	http   *http.Server
+	ln     net.Listener
+}
+
+// NewServer wraps a (connected) broker.
+func NewServer(b *Broker) *Server {
+	s := &Server{broker: b}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Start listens on addr.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("broker: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	go func() { _ = s.http.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound address after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops the local endpoint.
+func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	results, err := s.broker.Search(r.Context(), q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(results)
+}

@@ -1,0 +1,201 @@
+// Package dcnet implements the core of Dissent's anonymity substrate
+// (Corrigan-Gibbs & Ford, CCS'10): a dining-cryptographers network. Every
+// pair of group members shares a secret; in each communication round every
+// member broadcasts the XOR of its pairwise pads, the slot owner
+// additionally XORs in the message, and the combination of all broadcasts
+// reveals the message without revealing the sender. The paper (§2.1.1)
+// cites Dissent as the strongest-anonymity baseline whose performance is
+// "even worse than RAC" — this package exists to measure exactly that
+// cost structure: O(N²) pad computation and a globally serialized round
+// per message.
+package dcnet
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"xsearch/internal/netsim"
+	"xsearch/internal/securechannel"
+)
+
+// Errors returned by the group.
+var (
+	ErrMessageTooLarge = errors.New("dcnet: message exceeds slot size")
+	ErrBadOwner        = errors.New("dcnet: owner out of range")
+)
+
+// GroupConfig parameterizes a DC-net group.
+type GroupConfig struct {
+	// Members is the group size N (>= 3 for meaningful anonymity).
+	Members int
+	// SlotSize is the fixed per-round message capacity in bytes.
+	SlotSize int
+	// Link models the WAN cost of one round's scatter/gather; nil means
+	// no network delay (CPU-bound measurement).
+	Link *netsim.Link
+}
+
+// Group is an established DC-net: pairwise keys exchanged, round counter
+// at zero. Rounds are serialized, as the protocol requires.
+type Group struct {
+	n        int
+	slotSize int
+	link     *netsim.Link
+	// pairKey[i][j] is the AES key shared by members i and j (i != j).
+	pairKey [][][32]byte
+
+	mu    sync.Mutex
+	round uint64
+}
+
+// NewGroup runs the pairwise key agreement (real ECDH per pair, as
+// Dissent's setup does) and returns a ready group.
+func NewGroup(cfg GroupConfig) (*Group, error) {
+	if cfg.Members < 3 {
+		return nil, fmt.Errorf("dcnet: need >= 3 members, got %d", cfg.Members)
+	}
+	if cfg.SlotSize <= 0 {
+		cfg.SlotSize = 512
+	}
+	// Long-term ECDH identities.
+	privs := make([]*ecdh.PrivateKey, cfg.Members)
+	for i := range privs {
+		p, err := ecdh.P256().GenerateKey(rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("dcnet: keygen member %d: %w", i, err)
+		}
+		privs[i] = p
+	}
+	g := &Group{n: cfg.Members, slotSize: cfg.SlotSize, link: cfg.Link}
+	g.pairKey = make([][][32]byte, cfg.Members)
+	for i := range g.pairKey {
+		g.pairKey[i] = make([][32]byte, cfg.Members)
+	}
+	for i := 0; i < cfg.Members; i++ {
+		for j := i + 1; j < cfg.Members; j++ {
+			secret, err := privs[i].ECDH(privs[j].PublicKey())
+			if err != nil {
+				return nil, fmt.Errorf("dcnet: pair (%d,%d): %w", i, j, err)
+			}
+			raw, err := securechannel.DeriveKey(secret, nil,
+				[]byte(fmt.Sprintf("dcnet pad %d-%d", i, j)), 32)
+			if err != nil {
+				return nil, err
+			}
+			var key [32]byte
+			copy(key[:], raw)
+			g.pairKey[i][j] = key
+			g.pairKey[j][i] = key
+		}
+	}
+	return g, nil
+}
+
+// Members returns the group size.
+func (g *Group) Members() int { return g.n }
+
+// SlotSize returns the per-round capacity.
+func (g *Group) SlotSize() int { return g.slotSize }
+
+// pad computes the deterministic pad between members i and j for a round.
+// Both sides compute the identical keystream, so XORing all broadcasts
+// cancels every pad.
+func (g *Group) pad(i, j int, round uint64, out []byte) error {
+	block, err := aes.NewCipher(g.pairKey[i][j][:])
+	if err != nil {
+		return err
+	}
+	var iv [16]byte
+	binary.BigEndian.PutUint64(iv[:8], round)
+	stream := cipher.NewCTR(block, iv[:])
+	for k := range out {
+		out[k] = 0
+	}
+	stream.XORKeyStream(out, out)
+	return nil
+}
+
+// Round executes one DC-net round with the given slot owner transmitting
+// msg. It computes every member's broadcast (paying the full O(N²) pad
+// cost) and returns the combined plaintext — which must equal msg, the
+// dining-cryptographers correctness property. The round is serialized
+// group-wide and pays one scatter + one gather link traversal.
+func (g *Group) Round(owner int, msg []byte) ([]byte, error) {
+	if owner < 0 || owner >= g.n {
+		return nil, ErrBadOwner
+	}
+	if len(msg) > g.slotSize {
+		return nil, ErrMessageTooLarge
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.round++
+	round := g.round
+
+	if g.link != nil {
+		g.link.Wait() // scatter: every member must receive the schedule
+	}
+	combined := make([]byte, g.slotSize)
+	padBuf := make([]byte, g.slotSize)
+	for i := 0; i < g.n; i++ {
+		// Member i's broadcast: XOR of its pads with every other member.
+		broadcast := make([]byte, g.slotSize)
+		for j := 0; j < g.n; j++ {
+			if i == j {
+				continue
+			}
+			if err := g.pad(i, j, round, padBuf); err != nil {
+				return nil, err
+			}
+			for k := range broadcast {
+				broadcast[k] ^= padBuf[k]
+			}
+		}
+		if i == owner {
+			for k := range msg {
+				broadcast[k] ^= msg[k]
+			}
+		}
+		for k := range combined {
+			combined[k] ^= broadcast[k]
+		}
+	}
+	if g.link != nil {
+		g.link.Wait() // gather: broadcasts reach every member
+	}
+	return combined[:len(msg)], nil
+}
+
+// Exchange performs one anonymous request/response: the owner transmits
+// the request in one round; the designated exit (member 0 by convention)
+// executes it and broadcasts the response in a second round. Responses
+// larger than a slot take multiple rounds.
+func (g *Group) Exchange(owner int, request []byte, exit func([]byte) ([]byte, error)) ([]byte, error) {
+	got, err := g.Round(owner, request)
+	if err != nil {
+		return nil, err
+	}
+	response, err := exit(got)
+	if err != nil {
+		response = []byte("ERR " + err.Error())
+	}
+	var out []byte
+	for off := 0; off == 0 || off < len(response); off += g.slotSize {
+		end := off + g.slotSize
+		if end > len(response) {
+			end = len(response)
+		}
+		chunk, err := g.Round(0, response[off:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}

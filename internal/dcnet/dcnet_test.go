@@ -1,0 +1,153 @@
+package dcnet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xsearch/internal/netsim"
+)
+
+func testGroup(t *testing.T, members int) *Group {
+	t.Helper()
+	g, err := NewGroup(GroupConfig{Members: members, SlotSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(GroupConfig{Members: 2}); err == nil {
+		t.Error("2 members accepted")
+	}
+}
+
+// The dining-cryptographers property: for ANY owner, the combined
+// broadcasts recover exactly the owner's message.
+func TestRoundRecoversMessage(t *testing.T) {
+	g := testGroup(t, 5)
+	for owner := 0; owner < g.Members(); owner++ {
+		msg := []byte("anonymous message from somebody")
+		got, err := g.Round(owner, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("owner %d: round corrupted message: %q", owner, got)
+		}
+	}
+}
+
+func TestRoundProperty(t *testing.T) {
+	g := testGroup(t, 4)
+	f := func(msg []byte, ownerSeed uint8) bool {
+		if len(msg) > g.SlotSize() {
+			msg = msg[:g.SlotSize()]
+		}
+		owner := int(ownerSeed) % g.Members()
+		got, err := g.Round(owner, msg)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundErrors(t *testing.T) {
+	g := testGroup(t, 3)
+	if _, err := g.Round(-1, []byte("x")); !errors.Is(err, ErrBadOwner) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := g.Round(3, []byte("x")); !errors.Is(err, ErrBadOwner) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := g.Round(0, make([]byte, 1024)); !errors.Is(err, ErrMessageTooLarge) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExchange(t *testing.T) {
+	g := testGroup(t, 4)
+	resp, err := g.Exchange(2, []byte("the query"), func(req []byte) ([]byte, error) {
+		if string(bytes.TrimRight(req, "\x00")) != "the query" {
+			t.Errorf("exit saw %q", req)
+		}
+		return []byte("the answer"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bytes.TrimRight(resp, "\x00")) != "the answer" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestExchangeExitError(t *testing.T) {
+	g := testGroup(t, 3)
+	resp, err := g.Exchange(1, []byte("q"), func([]byte) ([]byte, error) {
+		return nil, errors.New("engine down")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(bytes.TrimRight(resp, "\x00"), []byte("ERR ")) {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestExchangeMultiSlotResponse(t *testing.T) {
+	g, err := NewGroup(GroupConfig{Members: 3, SlotSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := bytes.Repeat([]byte("abcdefgh"), 10) // 80 bytes = 5 slots
+	resp, err := g.Exchange(1, []byte("q"), func([]byte) ([]byte, error) {
+		return long, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp[:len(long)], long) {
+		t.Errorf("multi-slot response corrupted")
+	}
+}
+
+// Rounds with a link pay two traversals each.
+func TestRoundPaysLinkDelay(t *testing.T) {
+	g, err := NewGroup(GroupConfig{
+		Members:  3,
+		SlotSize: 64,
+		Link:     netsim.NewLink(netsim.Constant(10*time.Millisecond), 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := g.Round(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 18*time.Millisecond {
+		t.Errorf("round took %v, want >= ~20ms of WAN", elapsed)
+	}
+}
+
+func BenchmarkRound(b *testing.B) {
+	g, err := NewGroup(GroupConfig{Members: 8, SlotSize: 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte("q"), 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Round(i%8, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package enclave
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Attribute bits of an enclave report.
+const (
+	// AttrDebug marks a debug-mode enclave; verifiers must reject it in
+	// production since debug enclaves allow memory inspection.
+	AttrDebug uint64 = 1 << 1
+)
+
+// Report is the EREPORT structure an enclave produces for local or remote
+// attestation: its identity plus 64 bytes of caller-chosen data, which
+// protocols use to bind a channel key to the attested enclave.
+type Report struct {
+	MREnclave  Measurement
+	MRSigner   Measurement
+	Attributes uint64
+	ReportData [64]byte
+}
+
+// Report produces an attestation report with the given user data.
+func (e *Enclave) Report(data [64]byte) Report {
+	return Report{
+		MREnclave:  e.measurement,
+		MRSigner:   e.signer,
+		ReportData: data,
+	}
+}
+
+// Marshal serializes the report canonically (fixed width, little endian).
+func (r Report) Marshal() []byte {
+	buf := make([]byte, 0, 32+32+8+64)
+	buf = append(buf, r.MREnclave[:]...)
+	buf = append(buf, r.MRSigner[:]...)
+	var attr [8]byte
+	binary.LittleEndian.PutUint64(attr[:], r.Attributes)
+	buf = append(buf, attr[:]...)
+	buf = append(buf, r.ReportData[:]...)
+	return buf
+}
+
+// UnmarshalReport parses a serialized report.
+func UnmarshalReport(data []byte) (Report, error) {
+	var r Report
+	if len(data) != 32+32+8+64 {
+		return r, fmt.Errorf("enclave: report length %d", len(data))
+	}
+	br := bytes.NewReader(data)
+	if _, err := br.Read(r.MREnclave[:]); err != nil {
+		return r, err
+	}
+	if _, err := br.Read(r.MRSigner[:]); err != nil {
+		return r, err
+	}
+	var attr [8]byte
+	if _, err := br.Read(attr[:]); err != nil {
+		return r, err
+	}
+	r.Attributes = binary.LittleEndian.Uint64(attr[:])
+	if _, err := br.Read(r.ReportData[:]); err != nil {
+		return r, err
+	}
+	return r, nil
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"xsearch/internal/dcnet"
+	"xsearch/internal/metrics"
+	"xsearch/internal/netsim"
+	"xsearch/internal/proxy"
+	"xsearch/internal/rac"
+	"xsearch/internal/tor"
+	"xsearch/internal/workload"
+)
+
+// AnonBenchConfig sizes the anonymity-substrate comparison, an extension
+// experiment backing the paper's §2.1.1/§2.2 qualitative claims: Dissent
+// is slower than RAC, RAC slower than Tor, and all of them orders of
+// magnitude below an SGX proxy.
+type AnonBenchConfig struct {
+	// GroupSize is the Dissent group / RAC ring size.
+	GroupSize int
+	// HopMedian is the WAN hop delay for RAC/Tor/DC-net rounds.
+	HopMedian time.Duration
+	// Scale compresses WAN time.
+	Scale float64
+	// Duration and Workers shape each measurement.
+	Duration time.Duration
+	Workers  int
+	// Rates to probe per system; each stops at the first rate whose p50
+	// exceeds MaxP50.
+	DissentRates []float64
+	RACRates     []float64
+	TorRates     []float64
+	XSearchRates []float64
+	MaxP50       time.Duration
+	Seed         uint64
+}
+
+// DefaultAnonBenchConfig compresses WAN time 10x so the full sweep stays
+// under a minute while preserving the systems' relative ordering.
+func DefaultAnonBenchConfig() AnonBenchConfig {
+	return AnonBenchConfig{
+		GroupSize:    8,
+		HopMedian:    50 * time.Millisecond,
+		Scale:        0.1,
+		Duration:     time.Second,
+		Workers:      64,
+		DissentRates: []float64{5, 10, 25, 50, 100},
+		RACRates:     []float64{10, 25, 50, 100, 200},
+		TorRates:     []float64{50, 100, 250, 500, 1000},
+		XSearchRates: []float64{1000, 10000, 50000, 100000},
+		MaxP50:       time.Second,
+		Seed:         1,
+	}
+}
+
+// AnonBenchResult carries the per-system sweep points and knees.
+type AnonBenchResult struct {
+	Figure *metrics.Figure
+	// Knee is the highest probed rate with sub-MaxP50 median latency.
+	Knee map[string]float64
+}
+
+// RunAnonBench measures the four anonymity substrates under identical
+// open-loop load: DC-net (Dissent's core), RAC ring, Tor circuits, and the
+// X-Search enclave proxy (echo mode).
+func RunAnonBench(f *Fixture, cfg AnonBenchConfig) (*AnonBenchResult, error) {
+	if cfg.GroupSize <= 0 {
+		cfg = DefaultAnonBenchConfig()
+	}
+	queries := f.TrainPool
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("anonbench: empty query pool")
+	}
+	ctx := context.Background()
+	baseCfg := workload.Config{Duration: cfg.Duration, Workers: cfg.Workers, Timeout: 30 * time.Second}
+	res := &AnonBenchResult{Knee: make(map[string]float64)}
+	fig := metrics.NewFigure(
+		"Extension: anonymity substrates, p50 latency vs offered rate",
+		"offered_req_per_s", "p50_latency_ms")
+
+	record := func(name string, pts []workload.SweepPoint) {
+		series := fig.AddSeries(name)
+		for _, p := range pts {
+			series.Add(p.Rate, float64(p.Result.Latency.P50)/float64(time.Millisecond))
+			if p.Result.Latency.P50 < cfg.MaxP50 && p.Rate > res.Knee[name] {
+				res.Knee[name] = p.Rate
+			}
+		}
+	}
+
+	// --- Dissent (DC-net): globally serialized rounds, O(N^2) pads ---
+	// The round link pays the scatter/gather WAN cost.
+	roundLink, err := mkScaledLink(cfg.HopMedian, cfg.Scale, cfg.Seed+31)
+	if err != nil {
+		return nil, err
+	}
+	group, err := dcnet.NewGroup(dcnet.GroupConfig{
+		Members:  cfg.GroupSize,
+		SlotSize: 256,
+		Link:     roundLink,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var di int
+	dissentTarget := func(ctx context.Context) error {
+		q := queries[di%len(queries)]
+		di++
+		_, err := group.Exchange(di%cfg.GroupSize, []byte(q),
+			func([]byte) ([]byte, error) { return nil, nil })
+		return err
+	}
+	dPts, err := workload.Sweep(ctx, cfg.DissentRates, baseCfg, cfg.MaxP50, dissentTarget)
+	if err != nil {
+		return nil, fmt.Errorf("anonbench dissent: %w", err)
+	}
+	record("Dissent", dPts)
+
+	// --- RAC: full double ring circuit per request ---
+	ring, err := rac.NewRing(rac.RingConfig{
+		Nodes:     cfg.GroupSize,
+		HopMedian: cfg.HopMedian,
+		Scale:     cfg.Scale,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ring.Close()
+	var ri int
+	racTarget := func(ctx context.Context) error {
+		q := queries[ri%len(queries)]
+		ri++
+		_, err := ring.Send([]byte(q), 30*time.Second)
+		return err
+	}
+	rPts, err := workload.Sweep(ctx, cfg.RACRates, baseCfg, cfg.MaxP50, racTarget)
+	if err != nil {
+		return nil, fmt.Errorf("anonbench rac: %w", err)
+	}
+	record("RAC", rPts)
+
+	// --- Tor: 3 hops out of the same node population ---
+	network, err := tor.NewNetwork(tor.NetworkConfig{
+		Relays:    cfg.GroupSize,
+		HopMedian: cfg.HopMedian,
+		Scale:     cfg.Scale,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer network.Close()
+	circuits := make(chan *tor.Circuit, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		c, err := network.BuildCircuit(3)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		circuits <- c
+	}
+	var ti int
+	torTarget := func(ctx context.Context) error {
+		q := queries[ti%len(queries)]
+		ti++
+		c := <-circuits
+		defer func() { circuits <- c }()
+		_, err := c.Fetch([]byte(q), 30*time.Second)
+		return err
+	}
+	tPts, err := workload.Sweep(ctx, cfg.TorRates, baseCfg, cfg.MaxP50, torTarget)
+	if err != nil {
+		return nil, fmt.Errorf("anonbench tor: %w", err)
+	}
+	record("Tor", tPts)
+
+	// --- X-Search: enclave proxy, echo mode, direct processing path ---
+	xsProxy, err := proxy.New(proxy.Config{K: 3, EchoMode: true, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer xsProxy.Shutdown(context.Background()) //nolint:errcheck // teardown
+	var xi int
+	xsTarget := func(ctx context.Context) error {
+		q := queries[xi%len(queries)]
+		xi++
+		_, err := xsProxy.ServeQuery(ctx, q)
+		return err
+	}
+	xPts, err := workload.Sweep(ctx, cfg.XSearchRates, baseCfg, cfg.MaxP50, xsTarget)
+	if err != nil {
+		return nil, fmt.Errorf("anonbench xsearch: %w", err)
+	}
+	record("X-Search", xPts)
+
+	res.Figure = fig
+	return res, nil
+}
+
+func mkScaledLink(median time.Duration, scale float64, seed uint64) (*netsim.Link, error) {
+	model, err := netsim.NewLognormal(median, netsim.WANSigma, seed)
+	if err != nil {
+		return nil, err
+	}
+	return netsim.NewLink(model, scale), nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xsearch/internal/goopir"
+	"xsearch/internal/metrics"
+	"xsearch/internal/tmn"
+)
+
+// Fig1Config sizes the fake-query realism experiment.
+type Fig1Config struct {
+	// Fakes is the number of fake queries per generator.
+	Fakes int
+	// Points is the CCDF sampling resolution.
+	Points int
+	// Seed fixes generation.
+	Seed uint64
+}
+
+// DefaultFig1Config mirrors the paper's scale.
+func DefaultFig1Config() Fig1Config {
+	return Fig1Config{Fakes: 2000, Points: 21, Seed: 1}
+}
+
+// Fig1Result carries the figure and its headline numbers.
+type Fig1Result struct {
+	Figure *metrics.Figure
+	// Median max-similarity per generator: how close the typical fake
+	// comes to a real past query (1.0 = verbatim reuse).
+	PEASMedian    float64
+	TMNMedian     float64
+	GooPIRMedian  float64
+	XSearchMedian float64
+}
+
+// RunFig1 reproduces Figure 1: the CCDF of max(similarity(fake, past
+// query)) for PEAS (co-occurrence) and TrackMeNot (RSS) fakes — plus
+// X-Search's, which is identically 1 because its fakes ARE past queries.
+// The paper's point: PEAS and TMN fakes are "original", i.e. they almost
+// never coincide with any real query, which re-identification attacks
+// exploit.
+func RunFig1(f *Fixture, cfg Fig1Config) (*Fig1Result, error) {
+	if cfg.Fakes <= 0 {
+		cfg = DefaultFig1Config()
+	}
+	rng := f.Rand()
+
+	// PEAS fakes from the co-occurrence matrix.
+	var peasSims metrics.Distribution
+	for i := 0; i < cfg.Fakes; i++ {
+		fq, err := f.CoMatrix.FakeQuery(rng, 1+rng.IntN(3))
+		if err != nil {
+			return nil, fmt.Errorf("fig1: peas fake: %w", err)
+		}
+		peasSims.Add(f.Attack.MaxQuerySimilarity(fq))
+	}
+
+	// TrackMeNot fakes from the simulated RSS feeds.
+	feed, err := tmn.NewFeed(200, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	gen := tmn.NewGenerator(feed, cfg.Seed)
+	var tmnSims metrics.Distribution
+	for i := 0; i < cfg.Fakes; i++ {
+		tmnSims.Add(f.Attack.MaxQuerySimilarity(gen.FakeQuery()))
+	}
+
+	// GooPIR fakes from the keyword dictionary (extension series: the
+	// paper only plots PEAS and TMN, but GooPIR shares TMN's weakness).
+	gp, err := goopir.New(1, nil, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var gpSims metrics.Distribution
+	for i := 0; i < cfg.Fakes; i++ {
+		oq := gp.Obfuscate(f.TrainPool[rng.IntN(len(f.TrainPool))])
+		fakes := oq.Fakes()
+		if len(fakes) == 0 {
+			continue
+		}
+		gpSims.Add(f.Attack.MaxQuerySimilarity(fakes[0]))
+	}
+
+	// X-Search fakes are literal past queries.
+	var xsSims metrics.Distribution
+	for i := 0; i < cfg.Fakes; i++ {
+		q := f.TrainPool[rng.IntN(len(f.TrainPool))]
+		xsSims.Add(f.Attack.MaxQuerySimilarity(q))
+	}
+
+	fig := metrics.NewFigure(
+		"Figure 1: CCDF of max similarity between fake and real past queries",
+		"max_similarity", "CCDF")
+	addCCDF(fig.AddSeries("PEAS"), &peasSims, cfg.Points)
+	addCCDF(fig.AddSeries("TMN"), &tmnSims, cfg.Points)
+	addCCDF(fig.AddSeries("GooPIR"), &gpSims, cfg.Points)
+	addCCDF(fig.AddSeries("X-Search"), &xsSims, cfg.Points)
+
+	return &Fig1Result{
+		Figure:        fig,
+		PEASMedian:    peasSims.Median(),
+		TMNMedian:     tmnSims.Median(),
+		GooPIRMedian:  gpSims.Median(),
+		XSearchMedian: xsSims.Median(),
+	}, nil
+}
+
+// addCCDF samples the CCDF at fixed x in [0, 1] so series are comparable.
+func addCCDF(s *metrics.Series, d *metrics.Distribution, points int) {
+	if points < 2 {
+		points = 21
+	}
+	for i := 0; i < points; i++ {
+		x := float64(i) / float64(points-1)
+		s.Add(x, d.CCDF(x))
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xsearch/internal/core"
+	"xsearch/internal/dataset"
+	"xsearch/internal/enclave"
+	"xsearch/internal/metrics"
+)
+
+// Fig6Config sizes the memory experiment.
+type Fig6Config struct {
+	// MaxQueries is the number of queries streamed into the history
+	// (paper: 1M from the full AOL unique-query set).
+	MaxQueries int
+	// Checkpoints is how many (stored, bytes) samples to record.
+	Checkpoints int
+	// Seed fixes query generation.
+	Seed uint64
+}
+
+// DefaultFig6Config mirrors the paper (1M queries, x-axis in 10^4 steps).
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{MaxQueries: 1_000_000, Checkpoints: 100, Seed: 1}
+}
+
+// Fig6Result carries the figure and headline numbers.
+type Fig6Result struct {
+	Figure *metrics.Figure
+	// BytesAtMax is the history footprint at MaxQueries stored.
+	BytesAtMax int64
+	// FitsEPC reports whether the footprint stays under the usable EPC
+	// (the paper's claim: > 1M queries fit in 90 MB).
+	FitsEPC bool
+	// QueriesStored is the final count.
+	QueriesStored int
+}
+
+// RunFig6 reproduces Figure 6: the history store's memory occupancy as
+// queries accumulate, against the 90 MB usable-EPC line. Queries are
+// unique AOL-like strings; byte accounting is the store's own (the
+// Valgrind/Massif stand-in).
+func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
+	if cfg.MaxQueries <= 0 {
+		cfg = DefaultFig6Config()
+	}
+	if cfg.Checkpoints <= 0 {
+		cfg.Checkpoints = 100
+	}
+	genCfg := dataset.DefaultGeneratorConfig()
+	genCfg.Seed = cfg.Seed
+	gen, err := dataset.NewGenerator(genCfg)
+	if err != nil {
+		return nil, err
+	}
+	history, err := core.NewHistory(cfg.MaxQueries)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := metrics.NewFigure(
+		"Figure 6: history memory usage vs queries stored",
+		"queries_stored_x1e4", "memory_MB")
+	used := fig.AddSeries("X-Search")
+	epcLine := fig.AddSeries("Usable EPC (90 MB)")
+
+	step := cfg.MaxQueries / cfg.Checkpoints
+	if step < 1 {
+		step = 1
+	}
+	const batch = 10000
+	stored := 0
+	for stored < cfg.MaxQueries {
+		n := batch
+		if stored+n > cfg.MaxQueries {
+			n = cfg.MaxQueries - stored
+		}
+		for _, q := range gen.GenerateQueries(n) {
+			history.Add(q)
+		}
+		stored += n
+		if stored%step < batch {
+			x := float64(stored) / 1e4
+			used.Add(x, float64(history.Bytes())/(1<<20))
+			epcLine.Add(x, float64(enclave.DefaultEPCLimit)/(1<<20))
+		}
+	}
+	bytesAtMax := history.Bytes()
+	if history.Len() != cfg.MaxQueries {
+		return nil, fmt.Errorf("fig6: stored %d, want %d", history.Len(), cfg.MaxQueries)
+	}
+	return &Fig6Result{
+		Figure:        fig,
+		BytesAtMax:    bytesAtMax,
+		FitsEPC:       bytesAtMax < enclave.DefaultEPCLimit,
+		QueriesStored: history.Len(),
+	}, nil
+}

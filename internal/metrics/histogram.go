@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Histogram is an HDR-style latency histogram with logarithmic buckets and
+// linear sub-buckets, safe for concurrent recording. It covers values from
+// 1 microsecond upward with bounded (~1.6%) relative error, the same
+// trade-off wrk2 makes for its latency recording.
+type Histogram struct {
+	mu       sync.Mutex
+	counts   []uint64
+	total    uint64
+	maxValue time.Duration
+}
+
+const (
+	histMinValue    = time.Microsecond
+	histSubBuckets  = 128 // per power-of-two bucket; bounds relative error
+	log2SubBuckets  = 7   // log2(histSubBuckets)
+	histShiftLevels = 40  // highest shift level; covers > 1 year in µs
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		counts: make([]uint64, (histShiftLevels+1)*histSubBuckets),
+	}
+}
+
+// bucketIndex maps a value in microseconds to a bucket index. Values below
+// 128 µs map linearly (exact); above that, each power-of-two range is split
+// into 64 used sub-buckets, giving <= 1/64 relative error.
+func bucketIndex(us uint64) int {
+	if us < histSubBuckets {
+		return int(us)
+	}
+	bucket := bits.Len64(us) - 1 // floor(log2(us)), >= 7
+	// Choose shift so us>>shift lands in [64, 128): shift >= 1 always.
+	shift := bucket - (log2SubBuckets - 1)
+	idx := shift*histSubBuckets + int(us>>uint(shift))
+	if idx >= (histShiftLevels+1)*histSubBuckets {
+		idx = (histShiftLevels+1)*histSubBuckets - 1
+	}
+	return idx
+}
+
+// valueAt returns the representative duration (bucket midpoint) of idx.
+func valueAt(idx int) time.Duration {
+	if idx < histSubBuckets {
+		return time.Duration(idx) * histMinValue
+	}
+	shift := idx / histSubBuckets // >= 1 in the logarithmic region
+	sub := idx % histSubBuckets   // in [64, 128)
+	us := uint64(sub)<<uint(shift) + uint64(1)<<uint(shift-1)
+	return time.Duration(us) * histMinValue
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	us := uint64(d / histMinValue)
+	idx := bucketIndex(us)
+	h.mu.Lock()
+	h.counts[idx]++
+	h.total++
+	if d > h.maxValue {
+		h.maxValue = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.maxValue
+}
+
+// Percentile returns the duration at percentile p in [0, 100].
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			v := valueAt(i)
+			if v > h.maxValue {
+				v = h.maxValue
+			}
+			return v
+		}
+	}
+	return h.maxValue
+}
+
+// Mean returns the approximate mean of recorded values.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range h.counts {
+		if c > 0 {
+			sum += float64(valueAt(i)) * float64(c)
+		}
+	}
+	return time.Duration(sum / float64(h.total))
+}
+
+// Snapshot returns a point-in-time percentile summary.
+func (h *Histogram) Snapshot() LatencySnapshot {
+	return LatencySnapshot{
+		Count: h.Count(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+		Mean:  h.Mean(),
+		Max:   h.Max(),
+	}
+}
+
+// LatencySnapshot is a point-in-time summary of a Histogram.
+type LatencySnapshot struct {
+	Count uint64
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	P999  time.Duration
+	Mean  time.Duration
+	Max   time.Duration
+}
+
+// String renders the snapshot on one line.
+func (s LatencySnapshot) String() string {
+	return fmt.Sprintf("n=%d p50=%v p90=%v p99=%v p99.9=%v mean=%v max=%v",
+		s.Count, s.P50, s.P90, s.P99, s.P999, s.Mean, s.Max)
+}

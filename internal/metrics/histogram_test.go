@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Percentile(50) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	got := h.Percentile(50)
+	if relErr(got, 5*time.Millisecond) > 0.02 {
+		t.Errorf("P50 = %v, want ~5ms", got)
+	}
+	if h.Max() != 5*time.Millisecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+}
+
+func relErr(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return math.Abs(float64(a)-float64(b)) / float64(b)
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	// Every recorded value must be recoverable within ~2% across six
+	// orders of magnitude.
+	for _, d := range []time.Duration{
+		2 * time.Microsecond,
+		100 * time.Microsecond,
+		1 * time.Millisecond,
+		37 * time.Millisecond,
+		800 * time.Millisecond,
+		3 * time.Second,
+		90 * time.Second,
+	} {
+		h := NewHistogram()
+		h.Record(d)
+		got := h.Percentile(50)
+		if relErr(got, d) > 0.02 {
+			t.Errorf("value %v recovered as %v (err %.3f)", d, got, relErr(got, d))
+		}
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := uint64(a), uint64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return bucketIndex(x) <= bucketIndex(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketRoundTripError(t *testing.T) {
+	f := func(v uint32) bool {
+		us := uint64(v)
+		if us == 0 {
+			us = 1
+		}
+		idx := bucketIndex(us)
+		rep := uint64(valueAt(idx) / histMinValue)
+		err := math.Abs(float64(rep)-float64(us)) / float64(us)
+		return err <= 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewPCG(42, 42))
+	// Exponential latencies with 10ms mean.
+	for i := 0; i < 50000; i++ {
+		d := time.Duration(rng.ExpFloat64() * float64(10*time.Millisecond))
+		h.Record(d)
+	}
+	// For Exp(mean m): p50 = m*ln2, p99 = m*ln100.
+	mean := float64(10 * time.Millisecond)
+	p50 := h.Percentile(50)
+	want50 := time.Duration(mean * math.Ln2)
+	if relErr(p50, want50) > 0.05 {
+		t.Errorf("P50 = %v, want ~%v", p50, want50)
+	}
+	p99 := h.Percentile(99)
+	want99 := time.Duration(mean * math.Log(100))
+	if relErr(p99, want99) > 0.1 {
+		t.Errorf("P99 = %v, want ~%v", p99, want99)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("Count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestSnapshotOrdering(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(rng.IntN(int(time.Second))))
+	}
+	s := h.Snapshot()
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.P999 && s.P999 <= s.Max) {
+		t.Errorf("percentiles not ordered: %v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%1000) * time.Microsecond)
+	}
+}

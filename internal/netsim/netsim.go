@@ -1,0 +1,133 @@
+// Package netsim supplies the wide-area-network behaviour the paper's
+// latency experiments depend on: seeded lognormal per-link delay models
+// (the standard empirical shape of Internet RTTs), an http.RoundTripper
+// wrapper that injects link delays around real requests, and a global time
+// scale so benches can compress WAN seconds into milliseconds while
+// preserving ratios between systems.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// LatencyModel produces one-way link delays.
+type LatencyModel interface {
+	// Sample returns the next delay.
+	Sample() time.Duration
+}
+
+// Constant is a fixed-delay model.
+type Constant time.Duration
+
+// Sample returns the constant delay.
+func (c Constant) Sample() time.Duration { return time.Duration(c) }
+
+// Lognormal models Internet path latency: ln(delay) ~ N(ln(median), sigma).
+// Safe for concurrent use.
+type Lognormal struct {
+	median float64 // nanoseconds
+	sigma  float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewLognormal builds a model with the given median one-way delay and shape
+// sigma (0.3-0.5 matches measured WAN distributions). Seeded for
+// reproducibility.
+func NewLognormal(median time.Duration, sigma float64, seed uint64) (*Lognormal, error) {
+	if median <= 0 {
+		return nil, fmt.Errorf("netsim: median must be positive, got %v", median)
+	}
+	if sigma < 0 {
+		return nil, fmt.Errorf("netsim: sigma must be non-negative, got %v", sigma)
+	}
+	return &Lognormal{
+		median: float64(median),
+		sigma:  sigma,
+		rng:    rand.New(rand.NewPCG(seed, seed^0xbf58476d1ce4e5b9)),
+	}, nil
+}
+
+// Sample draws one delay.
+func (l *Lognormal) Sample() time.Duration {
+	l.mu.Lock()
+	z := l.rng.NormFloat64()
+	l.mu.Unlock()
+	return time.Duration(l.median * math.Exp(l.sigma*z))
+}
+
+// Link is a simulated network link: a latency model plus a time scale.
+// Scale 1.0 sleeps real time; scale 0.01 compresses a 100ms WAN hop into
+// 1ms so throughput benches finish quickly with preserved ratios.
+type Link struct {
+	Model LatencyModel
+	Scale float64
+}
+
+// NewLink wraps a model at the given scale.
+func NewLink(model LatencyModel, scale float64) *Link {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Link{Model: model, Scale: scale}
+}
+
+// Delay returns the scaled delay without sleeping.
+func (l *Link) Delay() time.Duration {
+	if l == nil || l.Model == nil {
+		return 0
+	}
+	return time.Duration(float64(l.Model.Sample()) * l.Scale)
+}
+
+// Wait sleeps for one sampled link traversal.
+func (l *Link) Wait() {
+	if d := l.Delay(); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Transport wraps an http.RoundTripper, adding one link traversal before
+// the request is sent and one before the response is returned — the two
+// one-way delays of a request/response exchange.
+type Transport struct {
+	Base http.RoundTripper
+	Link *Link
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.Link.Wait()
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	t.Link.Wait()
+	return resp, nil
+}
+
+// Profiles for the paper's deployment. The values put the Direct baseline's
+// end-to-end median in the few-hundred-ms range and Tor's (3 WAN hops each
+// way plus relay queueing) around 1s, matching Figure 7's shape.
+const (
+	// ClientProxyMedian is the client <-> X-Search proxy one-way delay.
+	ClientProxyMedian = 40 * time.Millisecond
+	// ProxyEngineMedian is the proxy <-> search engine one-way delay.
+	ProxyEngineMedian = 30 * time.Millisecond
+	// ClientEngineMedian is the direct client <-> engine one-way delay.
+	ClientEngineMedian = 60 * time.Millisecond
+	// RelayHopMedian is one Tor relay hop's one-way delay.
+	RelayHopMedian = 70 * time.Millisecond
+	// WANSigma is the lognormal shape for all WAN links.
+	WANSigma = 0.35
+)

@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant(5 * time.Millisecond)
+	if c.Sample() != 5*time.Millisecond {
+		t.Error("constant model wrong")
+	}
+}
+
+func TestNewLognormalValidation(t *testing.T) {
+	if _, err := NewLognormal(0, 0.3, 1); err == nil {
+		t.Error("zero median accepted")
+	}
+	if _, err := NewLognormal(time.Millisecond, -1, 1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	m, err := NewLognormal(100*time.Millisecond, 0.35, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		samples[i] = m.Sample()
+	}
+	// Median of samples ~ configured median.
+	var above int
+	for _, s := range samples {
+		if s > 100*time.Millisecond {
+			above++
+		}
+	}
+	frac := float64(above) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("fraction above median = %f", frac)
+	}
+	for _, s := range samples {
+		if s <= 0 {
+			t.Fatal("non-positive delay")
+		}
+	}
+}
+
+func TestLognormalDeterministic(t *testing.T) {
+	m1, err := NewLognormal(time.Millisecond, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewLognormal(time.Millisecond, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if m1.Sample() != m2.Sample() {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestLinkScale(t *testing.T) {
+	l := NewLink(Constant(100*time.Millisecond), 0.01)
+	if got := l.Delay(); got != time.Millisecond {
+		t.Errorf("scaled delay = %v", got)
+	}
+	// Zero scale falls back to 1.
+	l2 := NewLink(Constant(time.Millisecond), 0)
+	if got := l2.Delay(); got != time.Millisecond {
+		t.Errorf("default scale delay = %v", got)
+	}
+	// Nil link is a no-op.
+	var nilLink *Link
+	if nilLink.Delay() != 0 {
+		t.Error("nil link should have zero delay")
+	}
+}
+
+func TestLinkWaitSleeps(t *testing.T) {
+	l := NewLink(Constant(20*time.Millisecond), 1)
+	start := time.Now()
+	l.Wait()
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("Wait slept only %v", elapsed)
+	}
+}
+
+func TestTransportInjectsDelay(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Transport: &Transport{
+		Link: NewLink(Constant(15*time.Millisecond), 1),
+	}}
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	// Two one-way delays of 15ms.
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("round trip took only %v", elapsed)
+	}
+}
+
+func TestTransportPropagatesError(t *testing.T) {
+	client := &http.Client{Transport: &Transport{
+		Link: NewLink(Constant(0), 1),
+	}}
+	if _, err := client.Get("http://127.0.0.1:1"); err == nil {
+		t.Error("expected connection error")
+	}
+}

@@ -1,0 +1,465 @@
+package proxy
+
+import (
+	"context"
+	"crypto/x509"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"xsearch/internal/attestation"
+	"xsearch/internal/core"
+	"xsearch/internal/enclave"
+	"xsearch/internal/netsim"
+	"xsearch/internal/seal"
+)
+
+// Config parameterizes an X-Search proxy node.
+type Config struct {
+	// K is the number of fake queries OR-aggregated with each original.
+	K int
+	// HistoryCapacity is the sliding-window bound x on stored past
+	// queries. Zero means 1,000,000 (which fits the EPC, Figure 6).
+	HistoryCapacity int
+	// EngineHost is the host:port of the search engine.
+	EngineHost string
+	// ResultsPerList bounds each sub-query's result list (paper uses 20).
+	ResultsPerList int
+	// EchoMode answers immediately after obfuscation without contacting
+	// the engine — the paper's §6.3 capacity-measurement configuration.
+	EchoMode bool
+	// EngineCertPEM, when set, makes the enclave speak HTTPS to the
+	// engine (paper footnote 2), pinning these PEM-encoded root
+	// certificates. The pins are part of the measured enclave identity.
+	EngineCertPEM []byte
+	// Seed fixes obfuscation randomness; zero draws a random seed.
+	Seed uint64
+	// MaxSessions bounds concurrent secure channels (FIFO eviction).
+	MaxSessions int
+	// EngineLink injects WAN latency on the proxy <-> engine path
+	// (experiments); nil means none.
+	EngineLink *netsim.Link
+	// StatePath, when set, persists the query history as a sealed blob:
+	// restored (if present) at startup, written at shutdown. The blob is
+	// MRSIGNER-sealed, so upgraded proxy builds from the same vendor on
+	// the same platform can restore it — the host never reads it.
+	StatePath string
+	// PlatformSeed derives the platform fuse key deterministically,
+	// simulating restarts on the same physical machine. Ignored when
+	// Platform is set.
+	PlatformSeed []byte
+	// Platform hosts the enclave; nil creates a dedicated platform.
+	Platform *enclave.Platform
+	// Enclave tuning (TCS count, transition cost, EPC behaviour).
+	EnclaveConfig enclave.Config
+	// AttestationService verifies quotes; nil creates a private one
+	// (tests). Production deployments share one service.
+	AttestationService *attestation.Service
+	// QuotingEnclave signs reports; nil creates one registered with the
+	// service.
+	QuotingEnclave *attestation.QuotingEnclave
+}
+
+// Proxy is a running X-Search node.
+type Proxy struct {
+	cfg      Config
+	platform *enclave.Platform
+	encl     *enclave.Enclave
+	trusted  *trustedState
+	conns    *connTable
+	qe       *attestation.QuotingEnclave
+	service  *attestation.Service
+
+	http *http.Server
+	ln   net.Listener
+
+	requests   atomic.Uint64
+	handshakes atomic.Uint64
+	errors     atomic.Uint64
+}
+
+// New builds the proxy: loads the trusted code into an enclave, registers
+// the paper's ecall/ocall interface, and wires attestation.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.K < 0 {
+		return nil, fmt.Errorf("proxy: negative k")
+	}
+	if cfg.HistoryCapacity == 0 {
+		cfg.HistoryCapacity = 1_000_000
+	}
+	if cfg.ResultsPerList <= 0 {
+		cfg.ResultsPerList = 20
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 4096
+	}
+	if !cfg.EchoMode && cfg.EngineHost == "" {
+		return nil, fmt.Errorf("proxy: EngineHost required unless EchoMode")
+	}
+	platform := cfg.Platform
+	if platform == nil {
+		if cfg.PlatformSeed != nil {
+			platform = enclave.NewPlatform(enclave.WithFuseSeed(cfg.PlatformSeed))
+		} else {
+			platform = enclave.NewPlatform()
+		}
+	}
+
+	history, err := core.NewHistory(cfg.HistoryCapacity)
+	if err != nil {
+		return nil, err
+	}
+	var obOpts []core.ObfuscatorOption
+	if cfg.Seed != 0 {
+		obOpts = append(obOpts, core.WithSeed(cfg.Seed))
+	}
+	obfuscator, err := core.NewObfuscator(history, cfg.K, obOpts...)
+	if err != nil {
+		return nil, err
+	}
+	trusted := &trustedState{
+		obfuscator: obfuscator,
+		engineHost: cfg.EngineHost,
+		perList:    cfg.ResultsPerList,
+		echoMode:   cfg.EchoMode,
+		sessions:   make(map[string]*sessionState),
+		maxSess:    cfg.MaxSessions,
+	}
+	if len(cfg.EngineCertPEM) > 0 {
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(cfg.EngineCertPEM) {
+			return nil, fmt.Errorf("proxy: EngineCertPEM contains no certificates")
+		}
+		trusted.engineCAs = pool
+	}
+
+	builder := platform.NewBuilder(cfg.EnclaveConfig)
+	// The measured "code": version string plus configuration that changes
+	// behaviour. Different k, engine, or pinned engine CA => different
+	// MRENCLAVE, exactly what a client wants to attest.
+	ident := fmt.Sprintf("xsearch-proxy v1.0 k=%d history=%d engine=%s echo=%t",
+		cfg.K, cfg.HistoryCapacity, cfg.EngineHost, cfg.EchoMode)
+	if err := builder.AddData([]byte(ident)); err != nil {
+		return nil, err
+	}
+	if len(cfg.EngineCertPEM) > 0 {
+		if err := builder.AddData(cfg.EngineCertPEM); err != nil {
+			return nil, err
+		}
+	}
+	builder.SetSigner(VendorSigner)
+	if err := builder.RegisterECall("init", func(env enclave.Env, arg []byte) ([]byte, error) {
+		// Setup options arrive before serving; currently a no-op beyond
+		// existing to match the paper's interface.
+		return nil, nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := builder.RegisterECall("request", trusted.handleRequest); err != nil {
+		return nil, err
+	}
+	if err := builder.RegisterECall("restore", trusted.handleRestore); err != nil {
+		return nil, err
+	}
+	if err := builder.RegisterECall("snapshot", trusted.handleSnapshot); err != nil {
+		return nil, err
+	}
+	encl, err := builder.Build()
+	if err != nil {
+		return nil, err
+	}
+	sealer, err := seal.New(platform, encl, enclave.PolicyMRSIGNER, [16]byte{'h', 'i', 's', 't'})
+	if err != nil {
+		encl.Destroy()
+		return nil, err
+	}
+	trusted.sealer = sealer
+
+	conns := newConnTable(cfg.EngineLink)
+	for name, h := range conns.handlers() {
+		if err := encl.RegisterOCall(name, h); err != nil {
+			encl.Destroy()
+			return nil, err
+		}
+	}
+
+	service := cfg.AttestationService
+	qe := cfg.QuotingEnclave
+	if service == nil {
+		service, err = attestation.NewService()
+		if err != nil {
+			encl.Destroy()
+			return nil, err
+		}
+	}
+	if qe == nil {
+		qe, err = attestation.NewQuotingEnclave()
+		if err != nil {
+			encl.Destroy()
+			return nil, err
+		}
+		service.RegisterQE(qe)
+	}
+
+	p := &Proxy{
+		cfg:      cfg,
+		platform: platform,
+		encl:     encl,
+		trusted:  trusted,
+		conns:    conns,
+		qe:       qe,
+		service:  service,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", p.handlePlainSearch)
+	mux.HandleFunc("/handshake", p.handleHandshake)
+	mux.HandleFunc("/secure", p.handleSecure)
+	mux.HandleFunc("/stats", p.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	p.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+
+	// Run the init ecall, mirroring the paper's interface.
+	if _, err := encl.ECall(context.Background(), "init", nil); err != nil {
+		encl.Destroy()
+		return nil, err
+	}
+	// Restore persisted history: the host hands the enclave the sealed
+	// blob; only the enclave can open it.
+	if cfg.StatePath != "" {
+		blob, err := os.ReadFile(cfg.StatePath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// First start: nothing to restore.
+		case err != nil:
+			encl.Destroy()
+			return nil, fmt.Errorf("proxy: read state: %w", err)
+		default:
+			if _, err := encl.ECall(context.Background(), "restore", blob); err != nil {
+				encl.Destroy()
+				return nil, fmt.Errorf("proxy: restore state: %w", err)
+			}
+		}
+	}
+	return p, nil
+}
+
+// VendorSigner is the MRSIGNER identity of the (fictional) X-Search vendor.
+var VendorSigner = enclave.Measurement{0x58, 0x53} // "XS"
+
+// Measurement returns the enclave's MRENCLAVE, which clients pin.
+func (p *Proxy) Measurement() enclave.Measurement { return p.encl.Measurement() }
+
+// AttestationService returns the service verifying this proxy's quotes.
+func (p *Proxy) AttestationService() *attestation.Service { return p.service }
+
+// Start serves the HTTP front on addr ("127.0.0.1:0" picks a port).
+func (p *Proxy) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("proxy: listen %s: %w", addr, err)
+	}
+	p.ln = ln
+	go func() { _ = p.http.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound address after Start.
+func (p *Proxy) Addr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// URL returns the proxy base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Shutdown stops the HTTP front, persists the sealed history when
+// configured, and destroys the enclave.
+func (p *Proxy) Shutdown(ctx context.Context) error {
+	var err error
+	if p.http != nil {
+		err = p.http.Shutdown(ctx)
+	}
+	if p.cfg.StatePath != "" {
+		blob, serr := p.encl.ECall(ctx, "snapshot", nil)
+		if serr == nil {
+			serr = os.WriteFile(p.cfg.StatePath, blob, 0o600)
+		}
+		if serr != nil && err == nil {
+			err = fmt.Errorf("proxy: persist state: %w", serr)
+		}
+	}
+	p.conns.closeAll()
+	p.encl.Destroy()
+	return err
+}
+
+// Stats reports request counters plus enclave resource accounting.
+type Stats struct {
+	Requests   uint64        `json:"requests"`
+	Handshakes uint64        `json:"handshakes"`
+	Errors     uint64        `json:"errors"`
+	Enclave    enclave.Stats `json:"enclave"`
+	HistoryLen int           `json:"history_len"`
+	HistoryB   int64         `json:"history_bytes"`
+}
+
+// Stats returns a snapshot.
+func (p *Proxy) Stats() Stats {
+	h := p.trusted.obfuscator.History()
+	return Stats{
+		Requests:   p.requests.Load(),
+		Handshakes: p.handshakes.Load(),
+		Errors:     p.errors.Load(),
+		Enclave:    p.encl.Stats(),
+		HistoryLen: h.Len(),
+		HistoryB:   h.Bytes(),
+	}
+}
+
+// ServeQuery runs one plain query through the full enclave pipeline
+// (ecall -> Algorithm 1 -> engine fetch or echo -> Algorithm 2), bypassing
+// the HTTP front. The capacity experiments use it to measure the proxy's
+// processing limit without the host network stack in the way, as the
+// paper's wrk2-on-bare-metal setup does.
+func (p *Proxy) ServeQuery(ctx context.Context, query string) ([]core.Result, error) {
+	p.requests.Add(1)
+	reply, err := p.ecall(ctx, envelope{Type: typePlain, Query: query})
+	if err != nil {
+		p.errors.Add(1)
+		return nil, err
+	}
+	return reply.Results, nil
+}
+
+// ecall sends an envelope through the "request" ecall.
+func (p *Proxy) ecall(ctx context.Context, req envelope) (envelopeReply, error) {
+	var reply envelopeReply
+	arg, err := json.Marshal(req)
+	if err != nil {
+		return reply, err
+	}
+	out, err := p.encl.ECall(ctx, "request", arg)
+	if err != nil {
+		return reply, err
+	}
+	if err := json.Unmarshal(out, &reply); err != nil {
+		return reply, fmt.Errorf("proxy: bad reply: %w", err)
+	}
+	return reply, nil
+}
+
+// handlePlainSearch serves GET /search?q= for third-party clients.
+func (p *Proxy) handlePlainSearch(w http.ResponseWriter, r *http.Request) {
+	p.requests.Add(1)
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		p.errors.Add(1)
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	reply, err := p.ecall(r.Context(), envelope{Type: typePlain, Query: q})
+	if err != nil {
+		p.errors.Add(1)
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	results := reply.Results
+	if results == nil {
+		results = []core.Result{}
+	}
+	_ = json.NewEncoder(w).Encode(results)
+}
+
+// handleHandshake serves POST /handshake: the attested channel setup.
+// Body: {"offer": <client offer JSON>, "nonce": <base64>}.
+func (p *Proxy) handleHandshake(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	p.handshakes.Add(1)
+	var body struct {
+		Offer json.RawMessage `json:"offer"`
+		Nonce []byte          `json:"nonce"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		p.errors.Add(1)
+		http.Error(w, "bad handshake body", http.StatusBadRequest)
+		return
+	}
+	reply, err := p.ecall(r.Context(), envelope{Type: typeHandshake, Offer: body.Offer})
+	if err != nil {
+		p.errors.Add(1)
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	// Produce the quote for the enclave-bound report data and have the
+	// attestation service verify it (both steps are untrusted plumbing;
+	// the client re-verifies everything).
+	var reportData [64]byte
+	copy(reportData[:], reply.ReportData)
+	quote := p.qe.Quote(p.encl.Report(reportData))
+	vr, err := p.service.Verify(quote, body.Nonce)
+	if err != nil {
+		p.errors.Add(1)
+		http.Error(w, fmt.Sprintf("attestation: %v", err), http.StatusBadGateway)
+		return
+	}
+	vrJSON, err := json.Marshal(vr)
+	if err != nil {
+		p.errors.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(HandshakeResponse{
+		Offer:              reply.Offer,
+		Session:            reply.Session,
+		VerificationReport: vrJSON,
+	})
+}
+
+// handleSecure serves POST /secure: one sealed query record in, one sealed
+// response record out.
+func (p *Proxy) handleSecure(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	p.requests.Add(1)
+	var body SecureEnvelope
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		p.errors.Add(1)
+		http.Error(w, "bad secure body", http.StatusBadRequest)
+		return
+	}
+	reply, err := p.ecall(r.Context(), envelope{
+		Type:    typeSecure,
+		Session: body.Session,
+		Record:  body.Record,
+	})
+	if err != nil {
+		p.errors.Add(1)
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(SecureEnvelope{Session: body.Session, Record: reply.Record})
+}
+
+// handleStats serves GET /stats (operational, non-sensitive aggregates).
+func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(p.Stats())
+}

@@ -1,0 +1,184 @@
+package proxy
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"xsearch/internal/netsim"
+)
+
+// sha256Sum is the hash primitive available to trusted code.
+func sha256Sum(data []byte) [32]byte { return sha256.Sum256(data) }
+
+// connTable is the untrusted runtime's socket table backing the
+// sock_connect/send/recv/close ocalls. Descriptors are opaque handles the
+// enclave cannot dereference.
+type connTable struct {
+	mu     sync.Mutex
+	nextFD int64
+	conns  map[int64]net.Conn
+	// DialTimeout bounds connection establishment.
+	dialTimeout time.Duration
+	// link, when set, injects WAN delay on the proxy <-> engine path
+	// (one traversal on connect, one per request write, one per
+	// response's first read).
+	link *netsim.Link
+}
+
+func newConnTable(link *netsim.Link) *connTable {
+	return &connTable{
+		conns:       make(map[int64]net.Conn),
+		dialTimeout: 10 * time.Second,
+		link:        link,
+	}
+}
+
+// delayedConn injects link latency around a request/response exchange.
+type delayedConn struct {
+	net.Conn
+	link *netsim.Link
+
+	mu          sync.Mutex
+	pendingRead bool
+}
+
+func (d *delayedConn) Write(p []byte) (int, error) {
+	d.link.Wait()
+	d.mu.Lock()
+	d.pendingRead = true
+	d.mu.Unlock()
+	return d.Conn.Write(p)
+}
+
+func (d *delayedConn) Read(p []byte) (int, error) {
+	d.mu.Lock()
+	pending := d.pendingRead
+	d.pendingRead = false
+	d.mu.Unlock()
+	if pending {
+		d.link.Wait()
+	}
+	return d.Conn.Read(p)
+}
+
+// register installs the four ocall handlers on the enclave.
+func (ct *connTable) handlers() map[string]func([]byte) ([]byte, error) {
+	return map[string]func([]byte) ([]byte, error){
+		"sock_connect": ct.ocallConnect,
+		"send":         ct.ocallSend,
+		"recv":         ct.ocallRecv,
+		"close":        ct.ocallClose,
+	}
+}
+
+func (ct *connTable) ocallConnect(arg []byte) ([]byte, error) {
+	var req connectArg
+	if err := json.Unmarshal(arg, &req); err != nil {
+		return nil, fmt.Errorf("proxy: connect arg: %w", err)
+	}
+	addr := net.JoinHostPort(req.Host, fmt.Sprintf("%d", req.Port))
+	if ct.link != nil {
+		ct.link.Wait() // connection establishment traverses the WAN
+	}
+	conn, err := net.DialTimeout("tcp", addr, ct.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: dial %s: %w", addr, err)
+	}
+	if ct.link != nil {
+		conn = &delayedConn{Conn: conn, link: ct.link}
+	}
+	ct.mu.Lock()
+	ct.nextFD++
+	fd := ct.nextFD
+	ct.conns[fd] = conn
+	ct.mu.Unlock()
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, uint64(fd))
+	return out, nil
+}
+
+func (ct *connTable) lookup(fd int64) (net.Conn, error) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	conn, ok := ct.conns[fd]
+	if !ok {
+		return nil, fmt.Errorf("proxy: unknown fd %d", fd)
+	}
+	return conn, nil
+}
+
+func (ct *connTable) ocallSend(arg []byte) ([]byte, error) {
+	if len(arg) < 8 {
+		return nil, fmt.Errorf("proxy: send arg too short")
+	}
+	fd := int64(binary.LittleEndian.Uint64(arg))
+	conn, err := ct.lookup(fd)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(arg[8:]); err != nil {
+		return nil, fmt.Errorf("proxy: write fd %d: %w", fd, err)
+	}
+	return nil, nil
+}
+
+func (ct *connTable) ocallRecv(arg []byte) ([]byte, error) {
+	if len(arg) < 16 {
+		return nil, fmt.Errorf("proxy: recv arg too short")
+	}
+	fd := int64(binary.LittleEndian.Uint64(arg))
+	max := int(binary.LittleEndian.Uint64(arg[8:]))
+	if max <= 0 || max > 1<<20 {
+		max = 16 * 1024
+	}
+	conn, err := ct.lookup(fd)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, max+1)
+	n, err := conn.Read(buf[1:])
+	switch {
+	case err == io.EOF:
+		buf[0] = 1 // EOF marker
+		return buf[:1+n], nil
+	case err != nil:
+		return nil, fmt.Errorf("proxy: read fd %d: %w", fd, err)
+	default:
+		buf[0] = 0
+		return buf[:1+n], nil
+	}
+}
+
+func (ct *connTable) ocallClose(arg []byte) ([]byte, error) {
+	if len(arg) < 8 {
+		return nil, fmt.Errorf("proxy: close arg too short")
+	}
+	fd := int64(binary.LittleEndian.Uint64(arg))
+	ct.mu.Lock()
+	conn, ok := ct.conns[fd]
+	delete(ct.conns, fd)
+	ct.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("proxy: unknown fd %d", fd)
+	}
+	if err := conn.Close(); err != nil {
+		return nil, fmt.Errorf("proxy: close fd %d: %w", fd, err)
+	}
+	return nil, nil
+}
+
+// closeAll reaps any connections the enclave leaked.
+func (ct *connTable) closeAll() {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	for fd, conn := range ct.conns {
+		_ = conn.Close()
+		delete(ct.conns, fd)
+	}
+}

@@ -1,0 +1,120 @@
+package proxy
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"xsearch/internal/searchengine"
+)
+
+// tlsStack boots an HTTPS engine and a proxy whose enclave terminates TLS
+// over the socket ocalls — the paper's footnote-2 configuration.
+func tlsStack(t *testing.T, certPEM []byte, startProxy bool) (*searchengine.Server, *Proxy) {
+	t.Helper()
+	engine := searchengine.NewEngine(searchengine.WithCorpus(
+		searchengine.GenerateCorpus(searchengine.CorpusConfig{DocsPerTopic: 10, Seed: 1})))
+	srv := searchengine.NewServer(engine)
+	cert, pem, err := searchengine.GenerateSelfSignedCert("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if certPEM == nil {
+		certPEM = pem
+	}
+	if err := srv.StartTLS("127.0.0.1:0", cert); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	p, err := New(Config{
+		K:             1,
+		EngineHost:    srv.Addr(),
+		Seed:          1,
+		EngineCertPEM: certPEM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if startProxy {
+		if err := p.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = p.Shutdown(ctx)
+		})
+	}
+	return srv, p
+}
+
+func TestEnclaveTLSToEngine(t *testing.T) {
+	_, p := tlsStack(t, nil, true)
+	results, err := p.ServeQuery(context.Background(), "chicken recipe dinner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results over enclave TLS")
+	}
+}
+
+func TestEnclaveTLSRejectsUnknownCA(t *testing.T) {
+	// Pin a DIFFERENT certificate than the engine presents: the enclave
+	// must refuse the connection.
+	_, otherPEM, err := searchengine.GenerateSelfSignedCert("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p := tlsStack(t, otherPEM, true)
+	_, err = p.ServeQuery(context.Background(), "chicken recipe")
+	if err == nil {
+		t.Fatal("enclave accepted engine with unpinned certificate")
+	}
+	if !strings.Contains(err.Error(), "TLS") && !strings.Contains(err.Error(), "certificate") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestEngineCertChangesMeasurement(t *testing.T) {
+	_, p1 := tlsStack(t, nil, false)
+	defer p1.encl.Destroy()
+	_, pem2, err := searchengine.GenerateSelfSignedCert("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := New(Config{K: 1, EchoMode: true, Seed: 1, EngineCertPEM: pem2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.encl.Destroy()
+	if p1.Measurement() == p2.Measurement() {
+		t.Error("different pinned CA must change MRENCLAVE")
+	}
+}
+
+func TestBadEngineCertRejected(t *testing.T) {
+	if _, err := New(Config{K: 1, EchoMode: true, EngineCertPEM: []byte("not a pem")}); err == nil {
+		t.Error("garbage PEM accepted")
+	}
+}
+
+// Plain-HTTP engines keep working when no CA is pinned (regression guard
+// for the refactored fetch path).
+func TestPlainHTTPStillWorks(t *testing.T) {
+	st := newTestStack(t, nil)
+	resp, err := http.Get(st.proxy.URL() + "/search?q=chicken+recipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,544 @@
+package proxy
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"xsearch/internal/core"
+	"xsearch/internal/enclave"
+	"xsearch/internal/seal"
+	"xsearch/internal/searchengine"
+	"xsearch/internal/securechannel"
+)
+
+// trustedState is the in-enclave state of the X-Search node: the past-query
+// history, the obfuscator, and the table of established secure channels.
+// Everything here lives in (simulated) EPC; the untrusted runtime only sees
+// sealed records and obfuscated queries.
+type trustedState struct {
+	obfuscator *core.Obfuscator
+	engineHost string
+	perList    int
+	echoMode   bool
+	// engineCAs, when non-nil, makes the enclave speak TLS to the engine
+	// (the paper's footnote 2), verifying against these pinned roots.
+	engineCAs *x509.CertPool
+	// sealer encrypts the history for persistence across restarts; set
+	// after the enclave is built (the sealing key derives from the
+	// enclave identity).
+	sealer *seal.Sealer
+
+	mu       sync.Mutex
+	sessions map[string]*sessionState
+	maxSess  int
+	// order tracks session insertion for FIFO eviction.
+	order []string
+}
+
+// historyAAD versions the sealed-history format.
+var historyAAD = []byte("xsearch-history-v1")
+
+// handleRestore is the "restore" ecall: unseal a persisted history blob
+// and load it into the window, charging the EPC for the restored bytes.
+func (ts *trustedState) handleRestore(env enclave.Env, arg []byte) ([]byte, error) {
+	if ts.sealer == nil {
+		return nil, fmt.Errorf("proxy: sealing not configured")
+	}
+	plaintext, err := ts.sealer.Unseal(arg, historyAAD)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: unseal history: %w", err)
+	}
+	var queries []string
+	if err := json.Unmarshal(plaintext, &queries); err != nil {
+		return nil, fmt.Errorf("proxy: history payload: %w", err)
+	}
+	nBytes := ts.obfuscator.History().Restore(queries)
+	if nBytes > 0 {
+		if err := env.Alloc(nBytes); err != nil {
+			return nil, fmt.Errorf("proxy: history alloc: %w", err)
+		}
+	}
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, uint64(ts.obfuscator.History().Len()))
+	return out, nil
+}
+
+// handleSnapshot is the "snapshot" ecall: seal the current history for
+// persistence by the untrusted runtime (which can store but not read it).
+func (ts *trustedState) handleSnapshot(_ enclave.Env, _ []byte) ([]byte, error) {
+	if ts.sealer == nil {
+		return nil, fmt.Errorf("proxy: sealing not configured")
+	}
+	plaintext, err := json.Marshal(ts.obfuscator.History().Snapshot())
+	if err != nil {
+		return nil, err
+	}
+	return ts.sealer.Seal(plaintext, historyAAD)
+}
+
+type sessionState struct {
+	channel *securechannel.Channel
+}
+
+// handleRequest is the body of the "request" ecall: the single entry point
+// for sensitive data, per the paper's minimal enclave interface.
+func (ts *trustedState) handleRequest(env enclave.Env, arg []byte) ([]byte, error) {
+	var req envelope
+	if err := json.Unmarshal(arg, &req); err != nil {
+		return nil, fmt.Errorf("proxy: bad envelope: %w", err)
+	}
+	switch req.Type {
+	case typePlain:
+		return ts.handlePlain(env, req.Query)
+	case typeHandshake:
+		return ts.handleHandshake(env, req.Offer)
+	case typeSecure:
+		return ts.handleSecure(env, req.Session, req.Record)
+	default:
+		return nil, fmt.Errorf("proxy: unknown request type %q", req.Type)
+	}
+}
+
+// handlePlain serves a third-party (curl/wget) query: obfuscate, fetch,
+// filter. No channel crypto, but the query still never reaches the engine
+// in identifiable form.
+func (ts *trustedState) handlePlain(env enclave.Env, query string) ([]byte, error) {
+	if strings.TrimSpace(query) == "" {
+		return nil, fmt.Errorf("proxy: empty query")
+	}
+	results, err := ts.searchAndFilter(env, query, ts.perList)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(envelopeReply{Results: results})
+}
+
+// handleHandshake establishes a secure channel: generate an ephemeral
+// server key inside the enclave, bind it into report data, and remember
+// the session.
+func (ts *trustedState) handleHandshake(env enclave.Env, rawOffer json.RawMessage) ([]byte, error) {
+	clientOffer, err := parseOffer(rawOffer)
+	if err != nil {
+		return nil, err
+	}
+	hs, err := securechannel.NewHandshake(securechannel.RoleServer)
+	if err != nil {
+		return nil, err
+	}
+	channel, err := hs.Complete(clientOffer)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: handshake: %w", err)
+	}
+	var sid [16]byte
+	if err := env.Read(sid[:]); err != nil {
+		return nil, fmt.Errorf("proxy: session id: %w", err)
+	}
+	session := hex.EncodeToString(sid[:])
+
+	ts.mu.Lock()
+	if len(ts.sessions) >= ts.maxSess && len(ts.order) > 0 {
+		oldest := ts.order[0]
+		ts.order = ts.order[1:]
+		delete(ts.sessions, oldest)
+	}
+	ts.sessions[session] = &sessionState{channel: channel}
+	ts.order = append(ts.order, session)
+	ts.mu.Unlock()
+
+	offerJSON, err := hs.Offer().Marshal()
+	if err != nil {
+		return nil, err
+	}
+	// The runtime needs the bound key hash to request a quote; the value
+	// itself is public (it is a hash of a public key).
+	bind := bindKeyHash(hs.PublicKeyBytes())
+	return json.Marshal(envelopeReply{
+		Offer:      offerJSON,
+		Session:    session,
+		ReportData: bind[:],
+	})
+}
+
+// handleSecure serves one sealed query record.
+func (ts *trustedState) handleSecure(env enclave.Env, session string, record []byte) ([]byte, error) {
+	ts.mu.Lock()
+	sess, ok := ts.sessions[session]
+	ts.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("proxy: unknown session %q", session)
+	}
+	plaintext, err := sess.channel.Open(record)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: open record: %w", err)
+	}
+	var sreq secureRequest
+	if err := json.Unmarshal(plaintext, &sreq); err != nil {
+		return nil, fmt.Errorf("proxy: bad secure request: %w", err)
+	}
+	count := sreq.Count
+	if count <= 0 || count > 100 {
+		count = ts.perList
+	}
+	var sresp secureResponse
+	results, err := ts.searchAndFilter(env, sreq.Query, count)
+	if err != nil {
+		sresp.Err = err.Error()
+	} else {
+		sresp.Results = results
+	}
+	respPT, err := json.Marshal(sresp)
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := sess.channel.Seal(respPT)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: seal response: %w", err)
+	}
+	return json.Marshal(envelopeReply{Record: sealed})
+}
+
+// searchAndFilter is the paper's Figure 2 pipeline: Algorithm 1 obfuscation
+// (which also stores the query in the history, charging the EPC), the
+// engine round trip through ocalls, then Algorithm 2 filtering and
+// redirect stripping.
+func (ts *trustedState) searchAndFilter(env enclave.Env, query string, count int) ([]core.Result, error) {
+	oq, delta := ts.obfuscator.Obfuscate(query)
+	if delta > 0 {
+		if err := env.Alloc(delta); err != nil {
+			return nil, fmt.Errorf("proxy: history alloc: %w", err)
+		}
+	} else if delta < 0 {
+		env.Free(-delta)
+	}
+	if ts.echoMode {
+		// Capacity-measurement mode (§6.3): reply immediately without
+		// contacting the engine, so the proxy's own saturation point is
+		// visible.
+		return []core.Result{}, nil
+	}
+	raw, err := ts.fetchResults(env, oq.Query(), count)
+	if err != nil {
+		return nil, err
+	}
+	filtered := core.FilterResults(oq.Original(), oq.Fakes(), raw)
+	for i := range filtered {
+		filtered[i].URL = core.StripRedirects(filtered[i].URL)
+	}
+	return filtered, nil
+}
+
+// fetchResults performs the engine round trip from inside the enclave,
+// using only the paper's four ocalls: sock_connect, send, recv, close.
+// With an engine CA configured (the paper's footnote 2), the enclave
+// terminates TLS itself over those same ocalls, so the untrusted host sees
+// only ciphertext between proxy and engine.
+func (ts *trustedState) fetchResults(env enclave.Env, query string, count int) ([]core.Result, error) {
+	host, port, err := splitHostPort(ts.engineHost)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := ocallConnect(env, host, port)
+	if err != nil {
+		return nil, err
+	}
+	defer ocallClose(env, fd)
+
+	var conn io.ReadWriter = newOCallConn(env, fd)
+	if ts.engineCAs != nil {
+		tlsConn := tls.Client(newOCallConn(env, fd), &tls.Config{
+			RootCAs:    ts.engineCAs,
+			ServerName: host,
+		})
+		if err := tlsConn.Handshake(); err != nil {
+			return nil, fmt.Errorf("proxy: engine TLS: %w", err)
+		}
+		conn = tlsConn
+	}
+
+	path := "/search?q=" + queryEscape(query) + "&count=" + strconv.Itoa(count)
+	// HTTP/1.0 with Connection: close keeps framing trivial (no chunked
+	// encoding); the response parser still handles 1.1 servers that send
+	// chunked or Content-Length framing.
+	reqText := "GET " + path + " HTTP/1.0\r\nHost: " + ts.engineHost +
+		"\r\nConnection: close\r\n\r\n"
+	if _, err := conn.Write([]byte(reqText)); err != nil {
+		return nil, fmt.Errorf("proxy: send request: %w", err)
+	}
+	body, status, err := readHTTPResponse(conn)
+	if err != nil {
+		return nil, err
+	}
+	if status != 200 {
+		return nil, fmt.Errorf("proxy: engine status %d", status)
+	}
+	var engineResults []searchengine.Result
+	if err := json.Unmarshal(body, &engineResults); err != nil {
+		return nil, fmt.Errorf("proxy: engine response: %w", err)
+	}
+	results := make([]core.Result, len(engineResults))
+	for i, r := range engineResults {
+		results[i] = core.Result{URL: r.URL, Title: r.Title, Snippet: r.Snippet}
+	}
+	return results, nil
+}
+
+// readHTTPResponse reads status line, headers and body from the (possibly
+// TLS-wrapped) connection, handling the three HTTP body framings: chunked,
+// Content-Length, and read-to-EOF.
+func readHTTPResponse(conn io.Reader) (body []byte, status int, err error) {
+	raw, err := io.ReadAll(conn)
+	if err != nil && len(raw) == 0 {
+		return nil, 0, fmt.Errorf("proxy: read response: %w", err)
+	}
+	reader := bufio.NewReader(bytes.NewReader(raw))
+	statusLine, err := reader.ReadString('\n')
+	if err != nil {
+		return nil, 0, fmt.Errorf("proxy: read status line: %w", err)
+	}
+	parts := strings.SplitN(statusLine, " ", 3)
+	if len(parts) < 2 {
+		return nil, 0, fmt.Errorf("proxy: malformed status line %q", statusLine)
+	}
+	status, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, 0, fmt.Errorf("proxy: status code: %w", err)
+	}
+	chunked := false
+	contentLength := -1
+	for {
+		line, err := reader.ReadString('\n')
+		if err != nil {
+			return nil, 0, fmt.Errorf("proxy: read headers: %w", err)
+		}
+		if line == "\r\n" || line == "\n" {
+			break
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		value = strings.TrimSpace(strings.TrimSuffix(value, "\r\n"))
+		switch strings.ToLower(name) {
+		case "transfer-encoding":
+			chunked = strings.Contains(strings.ToLower(value), "chunked")
+		case "content-length":
+			if n, err := strconv.Atoi(value); err == nil {
+				contentLength = n
+			}
+		}
+	}
+	switch {
+	case chunked:
+		return readChunkedBody(reader, status)
+	case contentLength >= 0:
+		out := make([]byte, contentLength)
+		if _, err := io.ReadFull(reader, out); err != nil {
+			return nil, 0, fmt.Errorf("proxy: read body: %w", err)
+		}
+		return out, status, nil
+	default:
+		rest := new(bytes.Buffer)
+		if _, err := rest.ReadFrom(reader); err != nil {
+			return nil, 0, err
+		}
+		return rest.Bytes(), status, nil
+	}
+}
+
+// readChunkedBody decodes HTTP/1.1 chunked transfer encoding.
+func readChunkedBody(reader *bufio.Reader, status int) ([]byte, int, error) {
+	var out bytes.Buffer
+	for {
+		sizeLine, err := reader.ReadString('\n')
+		if err != nil {
+			return nil, 0, fmt.Errorf("proxy: chunk size: %w", err)
+		}
+		sizeLine = strings.TrimSpace(sizeLine)
+		if idx := strings.IndexByte(sizeLine, ';'); idx >= 0 {
+			sizeLine = sizeLine[:idx] // drop chunk extensions
+		}
+		size, err := strconv.ParseInt(sizeLine, 16, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("proxy: chunk size %q: %w", sizeLine, err)
+		}
+		if size == 0 {
+			return out.Bytes(), status, nil // trailers ignored
+		}
+		chunk := make([]byte, size)
+		if _, err := io.ReadFull(reader, chunk); err != nil {
+			return nil, 0, fmt.Errorf("proxy: chunk body: %w", err)
+		}
+		out.Write(chunk)
+		// Consume trailing CRLF.
+		if _, err := reader.Discard(2); err != nil {
+			return nil, 0, fmt.Errorf("proxy: chunk crlf: %w", err)
+		}
+	}
+}
+
+// --- ocall wrappers (the paper's table in §5.3.3) ---
+
+type connectArg struct {
+	Host string `json:"host"`
+	Port int    `json:"port"`
+}
+
+func ocallConnect(env enclave.Env, host string, port int) (int64, error) {
+	arg, err := json.Marshal(connectArg{Host: host, Port: port})
+	if err != nil {
+		return 0, err
+	}
+	res, err := env.OCall("sock_connect", arg)
+	if err != nil {
+		return 0, fmt.Errorf("proxy: sock_connect: %w", err)
+	}
+	if len(res) != 8 {
+		return 0, fmt.Errorf("proxy: sock_connect returned %d bytes", len(res))
+	}
+	return int64(binary.LittleEndian.Uint64(res)), nil
+}
+
+func ocallSend(env enclave.Env, fd int64, data []byte) error {
+	arg := make([]byte, 8+len(data))
+	binary.LittleEndian.PutUint64(arg, uint64(fd))
+	copy(arg[8:], data)
+	if _, err := env.OCall("send", arg); err != nil {
+		return fmt.Errorf("proxy: send: %w", err)
+	}
+	return nil
+}
+
+func ocallRecv(env enclave.Env, fd int64, max int) (data []byte, eof bool, err error) {
+	arg := make([]byte, 16)
+	binary.LittleEndian.PutUint64(arg, uint64(fd))
+	binary.LittleEndian.PutUint64(arg[8:], uint64(max))
+	res, err := env.OCall("recv", arg)
+	if err != nil {
+		return nil, false, fmt.Errorf("proxy: recv: %w", err)
+	}
+	if len(res) < 1 {
+		return nil, false, fmt.Errorf("proxy: recv returned empty result")
+	}
+	return res[1:], res[0] == 1, nil
+}
+
+func ocallClose(env enclave.Env, fd int64) {
+	arg := make([]byte, 8)
+	binary.LittleEndian.PutUint64(arg, uint64(fd))
+	// Best effort; the runtime reaps leaked conns on shutdown anyway.
+	_, _ = env.OCall("close", arg)
+}
+
+// ocallConn adapts the four socket ocalls into a net.Conn so the enclave
+// can layer crypto/tls over them. Deadlines are not supported (the
+// underlying ocall interface has none); crypto/tls only uses them when the
+// caller sets them, which we never do.
+type ocallConn struct {
+	env enclave.Env
+	fd  int64
+
+	mu      sync.Mutex
+	pending []byte
+	sawEOF  bool
+}
+
+func newOCallConn(env enclave.Env, fd int64) *ocallConn {
+	return &ocallConn{env: env, fd: fd}
+}
+
+func (c *ocallConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.pending) == 0 {
+		if c.sawEOF {
+			return 0, io.EOF
+		}
+		data, eof, err := ocallRecv(c.env, c.fd, 16*1024)
+		if err != nil {
+			return 0, err
+		}
+		c.pending = data
+		c.sawEOF = eof
+	}
+	n := copy(p, c.pending)
+	c.pending = c.pending[n:]
+	return n, nil
+}
+
+func (c *ocallConn) Write(p []byte) (int, error) {
+	if err := ocallSend(c.env, c.fd, p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (c *ocallConn) Close() error {
+	ocallClose(c.env, c.fd)
+	return nil
+}
+
+// Address and deadline stubs: the ocall interface exposes neither.
+func (c *ocallConn) LocalAddr() net.Addr              { return ocallAddr{} }
+func (c *ocallConn) RemoteAddr() net.Addr             { return ocallAddr{} }
+func (c *ocallConn) SetDeadline(time.Time) error      { return nil }
+func (c *ocallConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *ocallConn) SetWriteDeadline(time.Time) error { return nil }
+
+type ocallAddr struct{}
+
+func (ocallAddr) Network() string { return "ocall" }
+func (ocallAddr) String() string  { return "enclave-ocall" }
+
+// --- small helpers that must live inside the enclave ---
+
+func splitHostPort(hostport string) (string, int, error) {
+	idx := strings.LastIndex(hostport, ":")
+	if idx < 0 {
+		return "", 0, fmt.Errorf("proxy: engine host %q missing port", hostport)
+	}
+	port, err := strconv.Atoi(hostport[idx+1:])
+	if err != nil {
+		return "", 0, fmt.Errorf("proxy: engine port: %w", err)
+	}
+	return hostport[:idx], port, nil
+}
+
+// queryEscape percent-encodes a query for a URL query component.
+func queryEscape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r == ' ':
+			b.WriteByte('+')
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == '~':
+			b.WriteRune(r)
+		default:
+			for _, by := range []byte(string(r)) {
+				fmt.Fprintf(&b, "%%%02X", by)
+			}
+		}
+	}
+	return b.String()
+}
+
+// bindKeyHash mirrors attestation.BindKey without importing it into the
+// trusted code (the enclave must compute the binding itself).
+func bindKeyHash(pub []byte) [64]byte {
+	var out [64]byte
+	sum := sha256Sum(pub)
+	copy(out[:], sum[:])
+	return out
+}

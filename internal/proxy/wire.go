@@ -1,0 +1,85 @@
+// Package proxy implements the X-Search node (§4): an enclave-hosted
+// request handler that decrypts client queries, obfuscates them with k real
+// past queries (core.Obfuscator), queries the search engine through the
+// paper's ocall interface (sock_connect/send/recv/close), filters the
+// merged results back down to the original query's results, and returns
+// them over the attested secure channel. An additional plain HTTP front
+// accepts unencrypted queries from third-party clients (curl/wget), as the
+// paper notes.
+package proxy
+
+import (
+	"encoding/json"
+
+	"xsearch/internal/core"
+	"xsearch/internal/securechannel"
+)
+
+// Request types crossing the enclave boundary. The envelope is what the
+// untrusted runtime marshals into the single "request" ecall, mirroring the
+// paper's narrow enclave interface.
+const (
+	typePlain     = "plain"
+	typeHandshake = "handshake"
+	typeSecure    = "secure"
+)
+
+// envelope is the argument of the "request" ecall.
+type envelope struct {
+	Type string `json:"type"`
+	// Plain query (Type == typePlain).
+	Query string `json:"query,omitempty"`
+	// Handshake offer from the client (Type == typeHandshake).
+	Offer json.RawMessage `json:"offer,omitempty"`
+	// Secure record (Type == typeSecure).
+	Session string `json:"session,omitempty"`
+	Record  []byte `json:"record,omitempty"`
+}
+
+// envelopeReply is the result of the "request" ecall.
+type envelopeReply struct {
+	// Results of a plain query.
+	Results []core.Result `json:"results,omitempty"`
+	// Handshake reply.
+	Offer   json.RawMessage `json:"offer,omitempty"`
+	Session string          `json:"session,omitempty"`
+	// ReportData echoes the value the enclave bound into its report so
+	// the untrusted runtime can fetch a quote for it.
+	ReportData []byte `json:"report_data,omitempty"`
+	// Sealed response record for a secure request.
+	Record []byte `json:"record,omitempty"`
+}
+
+// secureRequest is the plaintext the client seals into a record.
+type secureRequest struct {
+	Query string `json:"query"`
+	Count int    `json:"count,omitempty"`
+}
+
+// secureResponse is the plaintext the enclave seals back.
+type secureResponse struct {
+	Results []core.Result `json:"results"`
+	Err     string        `json:"err,omitempty"`
+}
+
+// HandshakeResponse is what the HTTP front returns for POST /handshake.
+type HandshakeResponse struct {
+	// Offer is the enclave's securechannel offer.
+	Offer json.RawMessage `json:"offer"`
+	// Session identifies the established channel on subsequent requests.
+	Session string `json:"session"`
+	// VerificationReport is the attestation service's signed statement
+	// covering the enclave quote (bound to Offer's public key).
+	VerificationReport []byte `json:"verification_report"`
+}
+
+// SecureEnvelope is the HTTP body for POST /secure.
+type SecureEnvelope struct {
+	Session string `json:"session"`
+	Record  []byte `json:"record"`
+}
+
+// parseOffer decodes a securechannel offer from raw JSON.
+func parseOffer(raw json.RawMessage) (securechannel.Offer, error) {
+	return securechannel.UnmarshalOffer(raw)
+}

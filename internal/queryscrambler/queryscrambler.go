@@ -1,0 +1,132 @@
+// Package queryscrambler implements the QueryScrambler baseline
+// (Arampatzis, Efraimidis & Drosatos, Information Retrieval 2013) the
+// paper describes in §2.1.2: instead of hiding the query among fakes, it
+// REPLACES the query with a set of semantically related, more general
+// queries, then reconstructs plausible results for the original by merging
+// and filtering the related queries' results. The generalization here uses
+// the topic vocabulary as the concept hierarchy: a term generalizes to
+// other terms of its topic.
+package queryscrambler
+
+import (
+	"fmt"
+	mrand "math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+
+	"xsearch/internal/core"
+	"xsearch/internal/dataset"
+	"xsearch/internal/textutil"
+)
+
+// Scrambler generates related queries and filters their merged results.
+type Scrambler struct {
+	// termTopic maps a stemmed term to the indices of topics containing
+	// it (the concept hierarchy).
+	termTopic map[string][]int
+	// topicTerms holds each topic's raw words for generalization.
+	topicTerms [][]string
+	related    int
+
+	mu  sync.Mutex
+	rng *mrand.Rand
+}
+
+// New builds a scrambler producing `related` scrambled queries per
+// original query.
+func New(related int, seed uint64) (*Scrambler, error) {
+	if related <= 0 {
+		return nil, fmt.Errorf("queryscrambler: related must be positive, got %d", related)
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	s := &Scrambler{
+		termTopic: make(map[string][]int),
+		related:   related,
+		rng:       mrand.New(mrand.NewPCG(seed, seed^0xa54ff53a5f1d36f1)),
+	}
+	for ti, topic := range dataset.Topics {
+		s.topicTerms = append(s.topicTerms, topic.Words)
+		for _, w := range topic.Words {
+			stem := textutil.Stem(strings.ToLower(w))
+			s.termTopic[stem] = append(s.termTopic[stem], ti)
+		}
+	}
+	return s, nil
+}
+
+// Scramble produces the related queries that replace the original. Each
+// related query keeps the original's shape but swaps each recognizable
+// term for a sibling term from the same topic — a generalization to the
+// concept the term belongs to. Terms outside the vocabulary stay, which
+// mirrors QueryScrambler's behaviour on out-of-ontology words.
+func (s *Scrambler) Scramble(query string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	words := strings.Fields(query)
+	out := make([]string, 0, s.related)
+	for i := 0; i < s.related; i++ {
+		scrambled := make([]string, len(words))
+		for wi, w := range words {
+			scrambled[wi] = s.generalize(w)
+		}
+		out = append(out, strings.Join(scrambled, " "))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// generalize swaps w for a random sibling in one of its topics.
+func (s *Scrambler) generalize(w string) string {
+	stem := textutil.Stem(strings.ToLower(w))
+	topics, ok := s.termTopic[stem]
+	if !ok || len(topics) == 0 {
+		return w
+	}
+	topic := s.topicTerms[topics[s.rng.IntN(len(topics))]]
+	// Avoid picking the word itself when possible.
+	for attempts := 0; attempts < 4; attempts++ {
+		candidate := topic[s.rng.IntN(len(topic))]
+		if candidate != w {
+			return candidate
+		}
+	}
+	return w
+}
+
+// Reconstruct merges the results of the scrambled queries and keeps those
+// most plausible for the original query, scored by common words — the
+// merge-and-filter step of the protocol. Results are returned in
+// descending score order, at most max entries.
+func (s *Scrambler) Reconstruct(original string, resultSets [][]core.Result, max int) []core.Result {
+	type scored struct {
+		r     core.Result
+		score int
+	}
+	var all []scored
+	seen := map[string]struct{}{}
+	for _, set := range resultSets {
+		for _, r := range set {
+			if _, dup := seen[r.URL]; dup {
+				continue
+			}
+			seen[r.URL] = struct{}{}
+			score := textutil.CommonWords(original, r.Title) +
+				textutil.CommonWords(original, r.Snippet)
+			if score > 0 {
+				all = append(all, scored{r: r, score: score})
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].score > all[j].score })
+	if max > 0 && len(all) > max {
+		all = all[:max]
+	}
+	out := make([]core.Result, len(all))
+	for i, sc := range all {
+		out[i] = sc.r
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package queryscrambler
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"xsearch/internal/core"
+	"xsearch/internal/dataset"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("zero related accepted")
+	}
+}
+
+func TestScrambleReplacesQuery(t *testing.T) {
+	s, err := New(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	related := s.Scramble("mortgage rates")
+	if len(related) != 4 {
+		t.Fatalf("got %d related queries", len(related))
+	}
+	// The original query itself must not appear — QueryScrambler never
+	// sends it.
+	for _, q := range related {
+		if q == "mortgage rates" {
+			t.Error("original query leaked")
+		}
+		if len(strings.Fields(q)) != 2 {
+			t.Errorf("scrambled %q lost shape", q)
+		}
+	}
+}
+
+func TestScrambleStaysInTopic(t *testing.T) {
+	finance := map[string]struct{}{}
+	for _, w := range dataset.TopicByName("finance").Words {
+		finance[w] = struct{}{}
+	}
+	s, err := New(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "mortgage" belongs to finance only; its replacements must too.
+	for _, q := range s.Scramble("mortgage") {
+		if _, ok := finance[q]; !ok {
+			t.Errorf("replacement %q not in finance topic", q)
+		}
+	}
+}
+
+func TestScrambleUnknownWordsKept(t *testing.T) {
+	s, err := New(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range s.Scramble("zzyzx unknownword") {
+		if q != "zzyzx unknownword" {
+			t.Errorf("out-of-vocabulary words changed: %q", q)
+		}
+	}
+}
+
+func TestScrambleDeterministic(t *testing.T) {
+	s1, err := New(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s1.Scramble("mortgage rates compare")
+	b := s2.Scramble("mortgage rates compare")
+	if !reflect.DeepEqual(a, b) {
+		t.Error("not deterministic under same seed")
+	}
+}
+
+func TestReconstruct(t *testing.T) {
+	s, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := [][]core.Result{
+		{
+			{URL: "u1", Title: "mortgage rates today", Snippet: "compare mortgage rates"},
+			{URL: "u2", Title: "garden roses", Snippet: "pruning roses"},
+		},
+		{
+			{URL: "u1", Title: "mortgage rates today", Snippet: "compare mortgage rates"}, // dup
+			{URL: "u3", Title: "refinance mortgage", Snippet: "loan rates"},
+		},
+	}
+	got := s.Reconstruct("mortgage rates", sets, 10)
+	if len(got) != 2 {
+		t.Fatalf("got %d results: %+v", len(got), got)
+	}
+	if got[0].URL != "u1" {
+		t.Errorf("best match = %s", got[0].URL)
+	}
+	for _, r := range got {
+		if r.URL == "u2" {
+			t.Error("unrelated result kept")
+		}
+	}
+	// max truncation
+	if n := len(s.Reconstruct("mortgage rates", sets, 1)); n != 1 {
+		t.Errorf("max=1 returned %d", n)
+	}
+}

@@ -1,0 +1,233 @@
+// Package rac implements the cost structure of RAC (Ben Mokhtar et al.,
+// ICDCS'13), the freerider-resilient anonymous communication protocol the
+// paper cites (§2.1.1): nodes are organized on rings, and every relayed
+// message must circulate through ALL nodes of the ring so that a node
+// dropping messages is detected by its successors. The accountability
+// property is exactly what makes it slow — each request costs a full ring
+// traversal in each direction, every hop re-authenticating the message —
+// and that is the behaviour this package reproduces: per-hop HMAC
+// verification/re-authentication, single-threaded nodes, WAN delay per hop.
+package rac
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xsearch/internal/netsim"
+)
+
+// Errors returned by the ring.
+var (
+	ErrClosed  = errors.New("rac: ring closed")
+	ErrTimeout = errors.New("rac: request timed out")
+)
+
+// RingConfig parameterizes a RAC ring.
+type RingConfig struct {
+	// Nodes is the ring size (>= 3).
+	Nodes int
+	// HopMedian is the median one-way inter-node delay; zero uses
+	// netsim.RelayHopMedian.
+	HopMedian time.Duration
+	// Scale compresses WAN time.
+	Scale float64
+	// Seed fixes latency draws.
+	Seed uint64
+	// Exit handles a request payload once the message has completed its
+	// accountability circuit. Nil echoes empty responses.
+	Exit func(payload []byte) ([]byte, error)
+}
+
+// message circulates the ring.
+type message struct {
+	id       uint64
+	hopsLeft int
+	backward bool
+	payload  []byte
+	mac      []byte
+	origin   chan []byte
+}
+
+// node is one ring member with a single-threaded relay loop.
+type node struct {
+	id    int
+	key   [32]byte // hop-authentication key (ring-shared in this model)
+	inbox chan *message
+}
+
+// Ring is a running RAC instance.
+type Ring struct {
+	cfg    RingConfig
+	nodes  []*node
+	links  []*netsim.Link
+	exit   func([]byte) ([]byte, error)
+	done   chan struct{}
+	closed atomic.Bool
+	nextID atomic.Uint64
+
+	// Dropped counts messages discarded due to MAC failures — the
+	// freerider/corruption detection at work.
+	Dropped atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// NewRing starts the node workers.
+func NewRing(cfg RingConfig) (*Ring, error) {
+	if cfg.Nodes < 3 {
+		return nil, fmt.Errorf("rac: need >= 3 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.HopMedian <= 0 {
+		cfg.HopMedian = netsim.RelayHopMedian
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	r := &Ring{cfg: cfg, exit: cfg.Exit, done: make(chan struct{})}
+	if r.exit == nil {
+		r.exit = func([]byte) ([]byte, error) { return nil, nil }
+	}
+	var ringKey [32]byte
+	if _, err := rand.Read(ringKey[:]); err != nil {
+		return nil, fmt.Errorf("rac: ring key: %w", err)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{id: i, key: ringKey, inbox: make(chan *message, 1024)}
+		model, err := netsim.NewLognormal(cfg.HopMedian, netsim.WANSigma, cfg.Seed+uint64(i)+1)
+		if err != nil {
+			return nil, err
+		}
+		r.nodes = append(r.nodes, n)
+		r.links = append(r.links, netsim.NewLink(model, cfg.Scale))
+	}
+	for _, n := range r.nodes {
+		r.wg.Add(1)
+		go r.worker(n)
+	}
+	return r, nil
+}
+
+// Nodes returns the ring size.
+func (r *Ring) Nodes() int { return len(r.nodes) }
+
+// Close stops the workers.
+func (r *Ring) Close() {
+	if r.closed.CompareAndSwap(false, true) {
+		close(r.done)
+		r.wg.Wait()
+	}
+}
+
+func macFor(key [32]byte, m *message) []byte {
+	h := hmac.New(sha256.New, key[:])
+	var hdr [17]byte
+	binary.BigEndian.PutUint64(hdr[:8], m.id)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(m.hopsLeft))
+	if m.backward {
+		hdr[16] = 1
+	}
+	h.Write(hdr[:])
+	h.Write(m.payload)
+	return h.Sum(nil)
+}
+
+// worker is a node's single relay thread: verify the hop MAC, decrement
+// the circuit counter, re-authenticate and forward. A message whose MAC
+// fails is dropped and counted — that is RAC's accountability check.
+func (r *Ring) worker(n *node) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case m := <-n.inbox:
+			if !hmac.Equal(m.mac, macFor(n.key, m)) {
+				r.Dropped.Add(1)
+				continue
+			}
+			m.hopsLeft--
+			if m.hopsLeft <= 0 {
+				if m.backward {
+					// Response completed its circuit: deliver.
+					select {
+					case m.origin <- m.payload:
+					default:
+					}
+					continue
+				}
+				// Request completed its circuit: this node executes the
+				// exit call and starts the response circuit.
+				resp, err := r.exit(m.payload)
+				if err != nil {
+					resp = []byte("ERR " + err.Error())
+				}
+				back := &message{
+					id:       m.id,
+					hopsLeft: len(r.nodes),
+					backward: true,
+					payload:  resp,
+					origin:   m.origin,
+				}
+				back.mac = macFor(n.key, back)
+				r.forward(n.id, back)
+				continue
+			}
+			m.mac = macFor(n.key, m)
+			r.forward(n.id, m)
+		}
+	}
+}
+
+// forward sends m to the next node on the ring, paying the hop delay
+// asynchronously so hops pipeline across messages.
+func (r *Ring) forward(from int, m *message) {
+	next := (from + 1) % len(r.nodes)
+	link := r.links[next]
+	go func() {
+		link.Wait()
+		select {
+		case r.nodes[next].inbox <- m:
+		case <-r.done:
+		}
+	}()
+}
+
+// Send injects a request at node 0, waits for the full double circuit
+// (request N hops, response N hops), and returns the response payload.
+func (r *Ring) Send(request []byte, timeout time.Duration) ([]byte, error) {
+	if r.closed.Load() {
+		return nil, ErrClosed
+	}
+	m := &message{
+		id:       r.nextID.Add(1),
+		hopsLeft: len(r.nodes),
+		payload:  request,
+		origin:   make(chan []byte, 1),
+	}
+	m.mac = macFor(r.nodes[0].key, m)
+	select {
+	case r.nodes[0].inbox <- m:
+	case <-r.done:
+		return nil, ErrClosed
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	select {
+	case resp := <-m.origin:
+		return resp, nil
+	case <-deadline.C:
+		return nil, ErrTimeout
+	case <-r.done:
+		return nil, ErrClosed
+	}
+}

@@ -1,0 +1,147 @@
+package rac
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testRing(t *testing.T, exit func([]byte) ([]byte, error)) *Ring {
+	t.Helper()
+	r, err := NewRing(RingConfig{
+		Nodes:     4,
+		HopMedian: 500 * time.Microsecond,
+		Scale:     1,
+		Seed:      1,
+		Exit:      exit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(RingConfig{Nodes: 2}); err == nil {
+		t.Error("2 nodes accepted")
+	}
+}
+
+func TestSendEcho(t *testing.T) {
+	r := testRing(t, func(req []byte) ([]byte, error) {
+		return append([]byte("echo:"), req...), nil
+	})
+	resp, err := r.Send([]byte("chicken recipe"), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:chicken recipe" {
+		t.Errorf("resp = %q", resp)
+	}
+	if r.Dropped.Load() != 0 {
+		t.Errorf("dropped = %d", r.Dropped.Load())
+	}
+}
+
+func TestSendSequential(t *testing.T) {
+	r := testRing(t, func(req []byte) ([]byte, error) { return req, nil })
+	for i := 0; i < 5; i++ {
+		msg := []byte{byte('a' + i)}
+		resp, err := r.Send(msg, 10*time.Second)
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if !bytes.Equal(resp, msg) {
+			t.Fatalf("send %d: got %q", i, resp)
+		}
+	}
+}
+
+func TestSendConcurrent(t *testing.T) {
+	r := testRing(t, func(req []byte) ([]byte, error) { return req, nil })
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte{byte('0' + i)}
+			resp, err := r.Send(msg, 15*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(resp, msg) {
+				errs <- ErrTimeout
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestExitErrorPropagates(t *testing.T) {
+	r := testRing(t, func([]byte) ([]byte, error) {
+		return nil, ErrTimeout
+	})
+	resp, err := r.Send([]byte("q"), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(resp), "ERR ") {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestClosedRingRejects(t *testing.T) {
+	r, err := NewRing(RingConfig{Nodes: 3, HopMedian: time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close() // double close safe
+	if _, err := r.Send([]byte("q"), time.Second); err == nil {
+		t.Error("closed ring accepted send")
+	}
+}
+
+// A corrupted message (wrong MAC) must be dropped by the next node — the
+// freerider/tamper detection RAC exists for.
+func TestCorruptedMessageDropped(t *testing.T) {
+	r := testRing(t, func(req []byte) ([]byte, error) { return req, nil })
+	m := &message{
+		id:       999,
+		hopsLeft: r.Nodes(),
+		payload:  []byte("forged"),
+		mac:      []byte("bogus mac"),
+		origin:   make(chan []byte, 1),
+	}
+	r.nodes[0].inbox <- m
+	deadline := time.After(300 * time.Millisecond)
+	select {
+	case <-m.origin:
+		t.Fatal("forged message delivered")
+	case <-deadline:
+	}
+	if r.Dropped.Load() == 0 {
+		t.Error("forged message not counted as dropped")
+	}
+}
+
+func TestSendTimeout(t *testing.T) {
+	block := make(chan struct{})
+	r := testRing(t, func(req []byte) ([]byte, error) {
+		<-block
+		return req, nil
+	})
+	defer close(block)
+	if _, err := r.Send([]byte("q"), 50*time.Millisecond); err != ErrTimeout {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package searchengine
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// GenerateSelfSignedCert creates an ECDSA P-256 certificate for host,
+// returning the TLS keypair and the certificate PEM clients pin. It stands
+// in for the WebTrust certificate a real engine (bing.com) presents.
+func GenerateSelfSignedCert(host string) (tls.Certificate, []byte, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, nil, fmt.Errorf("searchengine: tls key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return tls.Certificate{}, nil, fmt.Errorf("searchengine: serial: %w", err)
+	}
+	template := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: host, Organization: []string{"xsearch sim"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true, // self-signed root doubling as leaf
+		DNSNames:              []string{host},
+	}
+	if ip := net.ParseIP(host); ip != nil {
+		template.IPAddresses = []net.IP{ip}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &template, &template, &priv.PublicKey, priv)
+	if err != nil {
+		return tls.Certificate{}, nil, fmt.Errorf("searchengine: create cert: %w", err)
+	}
+	certPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyDER, err := x509.MarshalECPrivateKey(priv)
+	if err != nil {
+		return tls.Certificate{}, nil, fmt.Errorf("searchengine: marshal key: %w", err)
+	}
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	pair, err := tls.X509KeyPair(certPEM, keyPEM)
+	if err != nil {
+		return tls.Certificate{}, nil, fmt.Errorf("searchengine: keypair: %w", err)
+	}
+	return pair, certPEM, nil
+}
+
+// StartTLS listens with TLS on addr using cert, serving the same API as
+// Start. Use with proxy.Config.EngineCertPEM to exercise the paper's
+// footnote-2 configuration (HTTPS terminated inside the enclave).
+func (s *Server) StartTLS(addr string, cert tls.Certificate) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("searchengine: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	tlsLn := tls.NewListener(ln, &tls.Config{Certificates: []tls.Certificate{cert}})
+	go func() { _ = s.http.Serve(tlsLn) }()
+	return nil
+}

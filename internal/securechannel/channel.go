@@ -1,0 +1,198 @@
+package securechannel
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by the channel.
+var (
+	ErrReplay      = errors.New("securechannel: record replayed or reordered")
+	ErrCorrupt     = errors.New("securechannel: record corrupt")
+	ErrShortRecord = errors.New("securechannel: record too short")
+	ErrRole        = errors.New("securechannel: both peers have the same role")
+)
+
+// Role distinguishes the two ends of the handshake so key derivation is
+// asymmetric (client-to-server and server-to-client keys differ).
+type Role int
+
+// Handshake roles.
+const (
+	RoleClient Role = iota + 1
+	RoleServer
+)
+
+// Offer is the public handshake message each side sends.
+type Offer struct {
+	Role   Role   `json:"role"`
+	PubKey []byte `json:"pub_key"` // P-256 point, SEC1 uncompressed
+	Nonce  []byte `json:"nonce"`   // 16-byte freshness
+}
+
+// Marshal serializes the offer.
+func (o Offer) Marshal() ([]byte, error) { return json.Marshal(o) }
+
+// UnmarshalOffer parses an offer.
+func UnmarshalOffer(data []byte) (Offer, error) {
+	var o Offer
+	if err := json.Unmarshal(data, &o); err != nil {
+		return o, fmt.Errorf("securechannel: parse offer: %w", err)
+	}
+	return o, nil
+}
+
+// Handshake holds one side's ephemeral ECDH state.
+type Handshake struct {
+	role  Role
+	priv  *ecdh.PrivateKey
+	nonce [16]byte
+}
+
+// NewHandshake generates an ephemeral P-256 key pair for the given role.
+func NewHandshake(role Role) (*Handshake, error) {
+	if role != RoleClient && role != RoleServer {
+		return nil, fmt.Errorf("securechannel: invalid role %d", role)
+	}
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("securechannel: generate key: %w", err)
+	}
+	h := &Handshake{role: role, priv: priv}
+	if _, err := rand.Read(h.nonce[:]); err != nil {
+		return nil, fmt.Errorf("securechannel: nonce: %w", err)
+	}
+	return h, nil
+}
+
+// Offer returns this side's handshake message.
+func (h *Handshake) Offer() Offer {
+	return Offer{Role: h.role, PubKey: h.priv.PublicKey().Bytes(), Nonce: h.nonce[:]}
+}
+
+// PublicKeyBytes returns the local public key; the enclave binds this value
+// into its attestation report data (see attestation.BindKey).
+func (h *Handshake) PublicKeyBytes() []byte { return h.priv.PublicKey().Bytes() }
+
+// Complete combines the peer's offer with local state into a Channel.
+// Both sides derive the same pair of direction keys; each Channel sends
+// with its own direction key and receives with the peer's.
+func (h *Handshake) Complete(peer Offer) (*Channel, error) {
+	if peer.Role == h.role {
+		return nil, ErrRole
+	}
+	peerPub, err := ecdh.P256().NewPublicKey(peer.PubKey)
+	if err != nil {
+		return nil, fmt.Errorf("securechannel: peer key: %w", err)
+	}
+	secret, err := h.priv.ECDH(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("securechannel: ecdh: %w", err)
+	}
+	// Transcript ordered client-first so both sides agree.
+	var clientPub, serverPub, clientNonce, serverNonce []byte
+	if h.role == RoleClient {
+		clientPub, serverPub = h.PublicKeyBytes(), peer.PubKey
+		clientNonce, serverNonce = h.nonce[:], peer.Nonce
+	} else {
+		clientPub, serverPub = peer.PubKey, h.PublicKeyBytes()
+		clientNonce, serverNonce = peer.Nonce, h.nonce[:]
+	}
+	transcript := sha256.New()
+	transcript.Write(clientPub)
+	transcript.Write(serverPub)
+	transcript.Write(clientNonce)
+	transcript.Write(serverNonce)
+	salt := transcript.Sum(nil)
+
+	c2s, err := DeriveKey(secret, salt, []byte("xsearch c2s"), 32)
+	if err != nil {
+		return nil, err
+	}
+	s2c, err := DeriveKey(secret, salt, []byte("xsearch s2c"), 32)
+	if err != nil {
+		return nil, err
+	}
+	var sendKey, recvKey []byte
+	if h.role == RoleClient {
+		sendKey, recvKey = c2s, s2c
+	} else {
+		sendKey, recvKey = s2c, c2s
+	}
+	return newChannel(sendKey, recvKey)
+}
+
+// Channel is one direction-aware end of an established secure channel.
+// It is safe for concurrent use.
+type Channel struct {
+	sendAEAD cipher.AEAD
+	recvAEAD cipher.AEAD
+
+	mu       sync.Mutex
+	sendSeq  uint64
+	recvHigh uint64 // highest sequence accepted
+}
+
+func newChannel(sendKey, recvKey []byte) (*Channel, error) {
+	mk := func(key []byte) (cipher.AEAD, error) {
+		block, err := aes.NewCipher(key)
+		if err != nil {
+			return nil, fmt.Errorf("securechannel: cipher: %w", err)
+		}
+		return cipher.NewGCM(block)
+	}
+	send, err := mk(sendKey)
+	if err != nil {
+		return nil, err
+	}
+	recv, err := mk(recvKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Channel{sendAEAD: send, recvAEAD: recv}, nil
+}
+
+// Seal encrypts plaintext into a record: seq(8) || ciphertext. The sequence
+// number doubles as GCM nonce material and replay ordinal.
+func (c *Channel) Seal(plaintext []byte) ([]byte, error) {
+	c.mu.Lock()
+	c.sendSeq++
+	seq := c.sendSeq
+	c.mu.Unlock()
+
+	nonce := make([]byte, c.sendAEAD.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], seq)
+	record := make([]byte, 8, 8+len(plaintext)+c.sendAEAD.Overhead())
+	binary.BigEndian.PutUint64(record, seq)
+	return c.sendAEAD.Seal(record, nonce, plaintext, record[:8]), nil
+}
+
+// Open authenticates and decrypts a record, enforcing strictly increasing
+// sequence numbers (anti-replay).
+func (c *Channel) Open(record []byte) ([]byte, error) {
+	if len(record) < 8 {
+		return nil, ErrShortRecord
+	}
+	seq := binary.BigEndian.Uint64(record[:8])
+	nonce := make([]byte, c.recvAEAD.NonceSize())
+	binary.BigEndian.PutUint64(nonce[len(nonce)-8:], seq)
+	pt, err := c.recvAEAD.Open(nil, nonce, record[8:], record[:8])
+	if err != nil {
+		return nil, ErrCorrupt
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if seq <= c.recvHigh {
+		return nil, ErrReplay
+	}
+	c.recvHigh = seq
+	return pt, nil
+}

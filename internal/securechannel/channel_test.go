@@ -1,0 +1,311 @@
+package securechannel
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 5869 test vector A.1 (SHA-256).
+func TestHKDFVectorA1(t *testing.T) {
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	salt, _ := hex.DecodeString("000102030405060708090a0b0c")
+	info, _ := hex.DecodeString("f0f1f2f3f4f5f6f7f8f9")
+	wantPRK, _ := hex.DecodeString("077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+	wantOKM, _ := hex.DecodeString("3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+
+	prk := hkdfExtract(salt, ikm)
+	if !bytes.Equal(prk, wantPRK) {
+		t.Errorf("PRK = %x", prk)
+	}
+	okm, err := hkdfExpand(prk, info, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(okm, wantOKM) {
+		t.Errorf("OKM = %x", okm)
+	}
+}
+
+// RFC 5869 test vector A.3 (zero-length salt and info).
+func TestHKDFVectorA3(t *testing.T) {
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	wantOKM, _ := hex.DecodeString("8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+	okm, err := DeriveKey(ikm, nil, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(okm, wantOKM) {
+		t.Errorf("OKM = %x", okm)
+	}
+}
+
+func TestHKDFExpandTooLong(t *testing.T) {
+	if _, err := hkdfExpand(make([]byte, 32), nil, 256*32+1); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func established(t *testing.T) (client, server *Channel) {
+	t.Helper()
+	ch, err := NewHandshake(RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewHandshake(RoleServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err = ch.Complete(sh.Offer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err = sh.Complete(ch.Offer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, server
+}
+
+func TestChannelRoundTrip(t *testing.T) {
+	client, server := established(t)
+	msg := []byte("private web search query")
+	rec, err := client.Seal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := server.Open(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Errorf("got %q", pt)
+	}
+	// And the reverse direction.
+	rec2, err := server.Seal([]byte("results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt2, err := client.Open(rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt2) != "results" {
+		t.Errorf("got %q", pt2)
+	}
+}
+
+func TestChannelDirectionsIndependent(t *testing.T) {
+	client, server := established(t)
+	rec, err := client.Seal([]byte("to server"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client cannot open its own record (different direction keys).
+	if _, err := client.Open(rec); err == nil {
+		t.Error("client opened its own record")
+	}
+	if _, err := server.Open(rec); err != nil {
+		t.Errorf("server failed to open: %v", err)
+	}
+}
+
+func TestChannelReplayRejected(t *testing.T) {
+	client, server := established(t)
+	rec, err := client.Seal([]byte("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Open(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Open(rec); !errors.Is(err, ErrReplay) {
+		t.Errorf("replay err = %v", err)
+	}
+}
+
+func TestChannelReorderRejected(t *testing.T) {
+	client, server := established(t)
+	rec1, err := client.Seal([]byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := client.Seal([]byte("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Open(rec2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Open(rec1); !errors.Is(err, ErrReplay) {
+		t.Errorf("reorder err = %v", err)
+	}
+}
+
+func TestChannelTamperRejected(t *testing.T) {
+	client, server := established(t)
+	rec, err := client.Seal([]byte("query"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec[len(rec)-1] ^= 0x01
+	if _, err := server.Open(rec); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("tamper err = %v", err)
+	}
+	if _, err := server.Open([]byte("abc")); !errors.Is(err, ErrShortRecord) {
+		t.Errorf("short err = %v", err)
+	}
+}
+
+func TestSameRoleRejected(t *testing.T) {
+	a, err := NewHandshake(RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHandshake(RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Complete(b.Offer()); !errors.Is(err, ErrRole) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := NewHandshake(Role(9)); err == nil {
+		t.Error("bad role accepted")
+	}
+}
+
+func TestMITMDifferentKeyFails(t *testing.T) {
+	// A man in the middle who substitutes its own key produces a channel
+	// whose records the honest server cannot open.
+	ch, err := NewHandshake(RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewHandshake(RoleServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitm, err := NewHandshake(RoleServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client completes against the MITM's offer.
+	clientChan, err := ch.Complete(mitm.Offer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Honest server completes against the client's offer.
+	serverChan, err := sh.Complete(ch.Offer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := clientChan.Seal([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serverChan.Open(rec); err == nil {
+		t.Error("server opened record keyed to MITM — ECDH broken")
+	}
+}
+
+func TestOfferMarshalRoundTrip(t *testing.T) {
+	h, err := NewHandshake(RoleServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := h.Offer().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalOffer(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Role != RoleServer || !bytes.Equal(back.PubKey, h.PublicKeyBytes()) {
+		t.Error("round trip mismatch")
+	}
+	if _, err := UnmarshalOffer([]byte("{")); err == nil {
+		t.Error("bad offer accepted")
+	}
+}
+
+func TestChannelConcurrentSeal(t *testing.T) {
+	client, server := established(t)
+	const n = 200
+	records := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, err := client.Seal([]byte("msg"))
+			if err != nil {
+				t.Errorf("seal: %v", err)
+				return
+			}
+			records[i] = rec
+		}(i)
+	}
+	wg.Wait()
+	// All records must have distinct sequence numbers.
+	seen := map[string]struct{}{}
+	for _, rec := range records {
+		key := string(rec[:8])
+		if _, dup := seen[key]; dup {
+			t.Fatal("duplicate sequence number")
+		}
+		seen[key] = struct{}{}
+	}
+	_ = server
+}
+
+func TestChannelRoundTripProperty(t *testing.T) {
+	client, server := established(t)
+	f := func(msg []byte) bool {
+		rec, err := client.Seal(msg)
+		if err != nil {
+			return false
+		}
+		pt, err := server.Open(rec)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkChannelSealOpen(b *testing.B) {
+	ch, _ := NewHandshake(RoleClient)
+	sh, _ := NewHandshake(RoleServer)
+	client, _ := ch.Complete(sh.Offer())
+	server, _ := sh.Complete(ch.Offer())
+	msg := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := client.Seal(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := server.Open(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHandshake(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ch, _ := NewHandshake(RoleClient)
+		sh, _ := NewHandshake(RoleServer)
+		if _, err := ch.Complete(sh.Offer()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package securechannel provides the encrypted tunnel between the client
+// broker and the X-Search enclave (§4.2): an ECDH(P-256) handshake whose
+// server key is bound to the enclave's attestation report, HKDF-SHA256 key
+// derivation, and an AES-256-GCM record layer with strict sequence numbers
+// (replay protection). Queries are "encrypted while outside the enclave,
+// and only accessible as plain text from within".
+package securechannel
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+)
+
+// hkdfExtract implements RFC 5869 HKDF-Extract with SHA-256.
+func hkdfExtract(salt, ikm []byte) []byte {
+	if len(salt) == 0 {
+		salt = make([]byte, sha256.Size)
+	}
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(ikm)
+	return mac.Sum(nil)
+}
+
+// hkdfExpand implements RFC 5869 HKDF-Expand with SHA-256.
+func hkdfExpand(prk, info []byte, length int) ([]byte, error) {
+	const hashLen = sha256.Size
+	if length > 255*hashLen {
+		return nil, fmt.Errorf("securechannel: hkdf expand length %d too large", length)
+	}
+	var out, t []byte
+	for counter := byte(1); len(out) < length; counter++ {
+		mac := hmac.New(sha256.New, prk)
+		mac.Write(t)
+		mac.Write(info)
+		mac.Write([]byte{counter})
+		t = mac.Sum(nil)
+		out = append(out, t...)
+	}
+	return out[:length], nil
+}
+
+// DeriveKey derives a length-byte key from secret, salt and context info.
+func DeriveKey(secret, salt, info []byte, length int) ([]byte, error) {
+	return hkdfExpand(hkdfExtract(salt, secret), info, length)
+}

@@ -1,0 +1,174 @@
+package tmn
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xsearch/internal/dataset"
+)
+
+func newsVocab() map[string]struct{} {
+	set := make(map[string]struct{}, len(dataset.NewsWords))
+	for _, w := range dataset.NewsWords {
+		set[w] = struct{}{}
+	}
+	return set
+}
+
+func TestNewFeedValidation(t *testing.T) {
+	if _, err := NewFeed(0, 1); err == nil {
+		t.Error("zero headlines accepted")
+	}
+}
+
+func TestFeedHeadlines(t *testing.T) {
+	f, err := NewFeed(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := f.Headlines()
+	if len(hs) != 50 {
+		t.Fatalf("got %d headlines", len(hs))
+	}
+	vocab := newsVocab()
+	for _, h := range hs {
+		words := strings.Fields(h)
+		if len(words) < 4 || len(words) > 8 {
+			t.Errorf("headline %q has %d words", h, len(words))
+		}
+		for _, w := range words {
+			if _, ok := vocab[w]; !ok {
+				t.Errorf("headline word %q not in news vocabulary", w)
+			}
+		}
+	}
+}
+
+func TestFeedDeterministic(t *testing.T) {
+	f1, err := NewFeed(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewFeed(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := f1.Headlines(), f2.Headlines()
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("feeds differ under same seed")
+		}
+	}
+}
+
+func TestFeedRefresh(t *testing.T) {
+	f, err := NewFeed(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.Headlines()
+	f.Refresh(0.5)
+	after := f.Headlines()
+	changed := 0
+	for i := range before {
+		if before[i] != after[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("refresh changed nothing")
+	}
+}
+
+func TestFakeQueryFromNewsVocabulary(t *testing.T) {
+	f, err := NewFeed(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(f, 2)
+	vocab := newsVocab()
+	for i := 0; i < 100; i++ {
+		fq := g.FakeQuery()
+		words := strings.Fields(fq)
+		if len(words) < 1 || len(words) > 3 {
+			t.Errorf("fake %q has %d words", fq, len(words))
+		}
+		for _, w := range words {
+			if _, ok := vocab[w]; !ok {
+				t.Errorf("fake word %q not from news vocabulary", w)
+			}
+		}
+	}
+}
+
+// The Figure 1 property: TMN fakes share (almost) no vocabulary with
+// topical user queries.
+func TestFakesDisjointFromQueryTopics(t *testing.T) {
+	topicVocab := map[string]struct{}{}
+	for _, topic := range dataset.Topics {
+		for _, w := range topic.Words {
+			topicVocab[w] = struct{}{}
+		}
+	}
+	f, err := NewFeed(50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(f, 2)
+	overlap := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		for _, w := range strings.Fields(g.FakeQuery()) {
+			if _, ok := topicVocab[w]; ok {
+				overlap++
+			}
+		}
+	}
+	if overlap > trials/10 {
+		t.Errorf("news fakes overlap topic vocabulary %d times", overlap)
+	}
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	f, err := NewFeed(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(f, 1)
+	if _, err := NewAgent(g, 0, func(string) {}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewAgent(g, time.Second, nil); err == nil {
+		t.Error("nil send accepted")
+	}
+}
+
+func TestAgentEmitsFakes(t *testing.T) {
+	f, err := NewFeed(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(f, 1)
+	var mu sync.Mutex
+	var got []string
+	agent, err := NewAgent(g, 5*time.Millisecond, func(q string) {
+		mu.Lock()
+		got = append(got, q)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	agent.Run(ctx)
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n < 3 {
+		t.Errorf("agent emitted only %d fakes", n)
+	}
+}

@@ -1,0 +1,156 @@
+// Package workload is the wrk2 substitute used by the Figure 5 experiment:
+// an open-loop constant-rate load generator with coordinated-omission-
+// corrected latency recording. Requests are scheduled on a fixed arrival
+// timetable regardless of completions; latency is measured from the
+// SCHEDULED start, so queueing delay at saturation is visible — the
+// property that makes the latency/throughput knee of Figure 5 honest.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xsearch/internal/metrics"
+)
+
+// Target performs one request.
+type Target func(ctx context.Context) error
+
+// Config parameterizes one constant-rate run.
+type Config struct {
+	// Rate is the offered load in requests/second.
+	Rate float64
+	// Duration is how long to offer load.
+	Duration time.Duration
+	// Workers is the concurrency budget (like wrk2 connections).
+	// Zero means 64.
+	Workers int
+	// Timeout bounds one request. Zero means 10s.
+	Timeout time.Duration
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Offered is the configured arrival rate (req/s).
+	Offered float64
+	// Achieved is completions per second of wall time.
+	Achieved float64
+	// Completed and Errors count request outcomes.
+	Completed uint64
+	Errors    uint64
+	// Latency is the percentile summary (scheduled-start based).
+	Latency metrics.LatencySnapshot
+}
+
+// Run offers cfg.Rate requests/second for cfg.Duration against target.
+func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
+	if cfg.Rate <= 0 {
+		return Result{}, fmt.Errorf("workload: rate must be positive, got %v", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("workload: duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 64
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+
+	total := int(cfg.Rate * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+
+	hist := metrics.NewHistogram()
+	var completed, errs atomic.Uint64
+
+	queue := make(chan time.Time, total)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for scheduled := range queue {
+				reqCtx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+				err := target(reqCtx)
+				cancel()
+				// Coordinated-omission correction: latency from the
+				// scheduled arrival, not the dequeue.
+				hist.Record(time.Since(scheduled))
+				if err != nil {
+					errs.Add(1)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	// Arrival timetable: enqueue at fixed instants even when workers lag.
+	func() {
+		for i := 0; i < total; i++ {
+			scheduled := start.Add(time.Duration(i) * interval)
+			if wait := time.Until(scheduled); wait > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case queue <- scheduled:
+			}
+		}
+	}()
+	close(queue)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Offered:   cfg.Rate,
+		Completed: completed.Load(),
+		Errors:    errs.Load(),
+		Latency:   hist.Snapshot(),
+	}
+	if elapsed > 0 {
+		res.Achieved = float64(res.Completed) / elapsed.Seconds()
+	}
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("workload: interrupted: %w", err)
+	}
+	return res, nil
+}
+
+// SweepPoint is one rate of a sweep.
+type SweepPoint struct {
+	Rate   float64
+	Result Result
+}
+
+// Sweep runs target at each rate in order, reusing cfg for the remaining
+// parameters. It stops early (returning what it has) when a rate's p50
+// latency exceeds maxP50 — the "latency too high" cutoff the paper uses.
+func Sweep(ctx context.Context, rates []float64, cfg Config, maxP50 time.Duration, target Target) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, rate := range rates {
+		runCfg := cfg
+		runCfg.Rate = rate
+		res, err := Run(ctx, runCfg, target)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, SweepPoint{Rate: rate, Result: res})
+		if maxP50 > 0 && res.Latency.P50 > maxP50 {
+			break
+		}
+	}
+	return out, nil
+}

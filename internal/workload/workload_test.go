@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Config{Rate: 0, Duration: time.Second}, func(context.Context) error { return nil }); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Run(ctx, Config{Rate: 10, Duration: 0}, func(context.Context) error { return nil }); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRunCountsRequests(t *testing.T) {
+	var calls atomic.Uint64
+	res, err := Run(context.Background(), Config{
+		Rate:     200,
+		Duration: 500 * time.Millisecond,
+		Workers:  8,
+	}, func(context.Context) error {
+		calls.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(100)
+	if calls.Load() != want || res.Completed != want {
+		t.Errorf("calls=%d completed=%d want %d", calls.Load(), res.Completed, want)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+	if res.Latency.Count != want {
+		t.Errorf("latency count = %d", res.Latency.Count)
+	}
+	// Achieved should be near offered for a fast target.
+	if res.Achieved < 100 {
+		t.Errorf("achieved = %f", res.Achieved)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	res, err := Run(context.Background(), Config{
+		Rate:     100,
+		Duration: 200 * time.Millisecond,
+		Workers:  4,
+	}, func(context.Context) error { return boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 || res.Completed != 0 {
+		t.Errorf("errors=%d completed=%d", res.Errors, res.Completed)
+	}
+}
+
+// At overload the coordinated-omission-corrected latency must blow up well
+// beyond the service time, because it includes queueing from the scheduled
+// arrival instant.
+func TestOverloadLatencyIncludesQueueing(t *testing.T) {
+	serviceTime := 10 * time.Millisecond
+	// 1 worker at 10ms/req caps capacity at 100/s; offer 400/s.
+	res, err := Run(context.Background(), Config{
+		Rate:     400,
+		Duration: 400 * time.Millisecond,
+		Workers:  1,
+	}, func(context.Context) error {
+		time.Sleep(serviceTime)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.P99 < 5*serviceTime {
+		t.Errorf("p99 = %v, expected queueing blowup >> %v", res.Latency.P99, serviceTime)
+	}
+	if res.Achieved > 150 {
+		t.Errorf("achieved %f exceeds single-worker capacity", res.Achieved)
+	}
+}
+
+// Below saturation, latency should stay near the service time.
+func TestUnderloadLatencyNearServiceTime(t *testing.T) {
+	serviceTime := 5 * time.Millisecond
+	res, err := Run(context.Background(), Config{
+		Rate:     50,
+		Duration: 400 * time.Millisecond,
+		Workers:  32,
+	}, func(context.Context) error {
+		time.Sleep(serviceTime)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.P50 > 4*serviceTime {
+		t.Errorf("p50 = %v, want near %v", res.Latency.P50, serviceTime)
+	}
+}
+
+func TestRunRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := Run(ctx, Config{Rate: 10, Duration: 10 * time.Second}, func(context.Context) error {
+		return nil
+	})
+	if err == nil {
+		t.Error("cancelled run returned no error")
+	}
+}
+
+func TestSweepStopsAtLatencyCutoff(t *testing.T) {
+	// Capacity ~100/s with 1 worker; the sweep should stop once p50
+	// explodes past the cutoff.
+	pts, err := Sweep(context.Background(),
+		[]float64{20, 50, 1000, 4000},
+		Config{Duration: 300 * time.Millisecond, Workers: 1},
+		50*time.Millisecond,
+		func(context.Context) error {
+			time.Sleep(5 * time.Millisecond)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("sweep returned %d points", len(pts))
+	}
+	if len(pts) == 4 {
+		t.Error("sweep did not stop at cutoff")
+	}
+	for i, p := range pts {
+		if p.Result.Latency.Count == 0 {
+			t.Errorf("point %d empty", i)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package xsearch
+
+import (
+	"context"
+	"crypto/ed25519"
+	"net/http"
+
+	"xsearch/internal/attestation"
+	"xsearch/internal/broker"
+	"xsearch/internal/core"
+	"xsearch/internal/enclave"
+	"xsearch/internal/proxy"
+	"xsearch/internal/searchengine"
+)
+
+// Result is one filtered search hit returned to the user.
+type Result = core.Result
+
+// Measurement identifies an enclave build (MRENCLAVE).
+type Measurement = enclave.Measurement
+
+// Stats is a proxy's operational snapshot.
+type Stats = proxy.Stats
+
+// --- Proxy ---
+
+// Proxy is a running X-Search node.
+type Proxy struct {
+	inner *proxy.Proxy
+}
+
+// ProxyOption configures NewProxy.
+type ProxyOption interface {
+	applyProxy(*proxy.Config)
+}
+
+type proxyOptionFunc func(*proxy.Config)
+
+func (f proxyOptionFunc) applyProxy(c *proxy.Config) { f(c) }
+
+// WithEngineHost points the proxy at the search engine (host:port).
+func WithEngineHost(hostport string) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) { c.EngineHost = hostport })
+}
+
+// WithFakeQueries sets k, the number of real past queries OR-aggregated
+// with each original query (paper default: 3).
+func WithFakeQueries(k int) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) { c.K = k })
+}
+
+// WithHistoryCapacity bounds the in-enclave sliding window of past
+// queries (paper: ~1M fits the EPC).
+func WithHistoryCapacity(x int) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) { c.HistoryCapacity = x })
+}
+
+// WithResultsPerList bounds each sub-query's result list (paper: 20).
+func WithResultsPerList(n int) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) { c.ResultsPerList = n })
+}
+
+// WithEchoMode makes the proxy answer immediately after obfuscation
+// without contacting the engine — the paper's capacity-measurement mode.
+func WithEchoMode() ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) { c.EchoMode = true })
+}
+
+// WithProxySeed fixes the obfuscator's randomness (reproducible runs).
+func WithProxySeed(seed uint64) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) { c.Seed = seed })
+}
+
+// WithStatePersistence persists the past-query history across restarts as
+// an enclave-sealed blob at path. platformSeed simulates the physical
+// machine identity: restarts with the same seed can unseal, other machines
+// (and the host itself) cannot.
+func WithStatePersistence(path string, platformSeed []byte) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) {
+		c.StatePath = path
+		c.PlatformSeed = platformSeed
+	})
+}
+
+// WithEngineTLS makes the enclave speak HTTPS to the engine, terminating
+// TLS inside the enclave over the socket ocalls and pinning the given
+// PEM-encoded roots (part of the measured identity). This is the paper's
+// footnote-2 configuration.
+func WithEngineTLS(rootsPEM []byte) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) { c.EngineCertPEM = rootsPEM })
+}
+
+// NewProxy builds the enclave-hosted proxy.
+func NewProxy(opts ...ProxyOption) (*Proxy, error) {
+	var cfg proxy.Config
+	cfg.K = 3
+	for _, o := range opts {
+		o.applyProxy(&cfg)
+	}
+	p, err := proxy.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{inner: p}, nil
+}
+
+// Start serves the proxy's HTTP fronts on addr ("127.0.0.1:0" picks a
+// free port).
+func (p *Proxy) Start(addr string) error { return p.inner.Start(addr) }
+
+// Addr returns the bound address after Start.
+func (p *Proxy) Addr() string { return p.inner.Addr() }
+
+// URL returns the proxy base URL.
+func (p *Proxy) URL() string { return p.inner.URL() }
+
+// Shutdown stops the proxy and destroys its enclave.
+func (p *Proxy) Shutdown(ctx context.Context) error { return p.inner.Shutdown(ctx) }
+
+// Measurement returns the enclave identity clients should pin.
+func (p *Proxy) Measurement() Measurement { return p.inner.Measurement() }
+
+// AttestationKey returns the attestation service's report-signing key
+// clients pin (the IAS-certificate analogue).
+func (p *Proxy) AttestationKey() ed25519.PublicKey {
+	return p.inner.AttestationService().PublicKey()
+}
+
+// Stats returns operational counters and enclave resource accounting.
+func (p *Proxy) Stats() Stats { return p.inner.Stats() }
+
+// --- Client ---
+
+// Client is an attested X-Search client (the paper's query broker).
+type Client struct {
+	inner *broker.Broker
+}
+
+// ClientOption configures NewClient.
+type ClientOption interface {
+	applyClient(*broker.Config)
+}
+
+type clientOptionFunc func(*broker.Config)
+
+func (f clientOptionFunc) applyClient(c *broker.Config) { f(c) }
+
+// WithTrustedMeasurement pins an acceptable enclave build. At least one
+// measurement (or signer) is required.
+func WithTrustedMeasurement(m Measurement) ClientOption {
+	return clientOptionFunc(func(c *broker.Config) {
+		c.Policy.AcceptedMeasurements = append(c.Policy.AcceptedMeasurements, m)
+	})
+}
+
+// WithTrustedSigner accepts any enclave from the given vendor (MRSIGNER).
+func WithTrustedSigner(m Measurement) ClientOption {
+	return clientOptionFunc(func(c *broker.Config) {
+		c.Policy.AcceptedSigners = append(c.Policy.AcceptedSigners, m)
+	})
+}
+
+// WithAttestationKey pins the attestation service's signing key.
+func WithAttestationKey(key ed25519.PublicKey) ClientOption {
+	return clientOptionFunc(func(c *broker.Config) { c.ServiceKey = key })
+}
+
+// WithResultCount sets the per-query result budget (default 20).
+func WithResultCount(n int) ClientOption {
+	return clientOptionFunc(func(c *broker.Config) { c.Count = n })
+}
+
+// WithHTTPClient injects a custom transport (timeouts, latency models).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return clientOptionFunc(func(c *broker.Config) { c.HTTPClient = hc })
+}
+
+// NewClient builds a client of the proxy at proxyURL.
+func NewClient(proxyURL string, opts ...ClientOption) (*Client, error) {
+	cfg := broker.Config{ProxyURL: proxyURL}
+	for _, o := range opts {
+		o.applyClient(&cfg)
+	}
+	b, err := broker.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: b}, nil
+}
+
+// Connect attests the proxy enclave and establishes the encrypted channel.
+// It must be called before Search.
+func (c *Client) Connect(ctx context.Context) error { return c.inner.Connect(ctx) }
+
+// Connected reports whether an attested channel is established.
+func (c *Client) Connected() bool { return c.inner.Connected() }
+
+// Search sends one query through the attested tunnel and returns the
+// results filtered down to the original query.
+func (c *Client) Search(ctx context.Context, query string) ([]Result, error) {
+	return c.inner.Search(ctx, query)
+}
+
+// --- Engine ---
+
+// Engine is the simulated search engine substrate, exposed so examples
+// and deployments can run a full self-contained stack.
+type Engine struct {
+	engine *searchengine.Engine
+	server *searchengine.Server
+}
+
+// EngineOption configures NewEngine.
+type EngineOption interface {
+	applyEngine(*engineOptions)
+}
+
+type engineOptions struct {
+	docsPerTopic int
+	seed         uint64
+}
+
+type engineOptionFunc func(*engineOptions)
+
+func (f engineOptionFunc) applyEngine(o *engineOptions) { f(o) }
+
+// WithCorpusSize sets documents generated per topic (default 200).
+func WithCorpusSize(docsPerTopic int) EngineOption {
+	return engineOptionFunc(func(o *engineOptions) { o.docsPerTopic = docsPerTopic })
+}
+
+// WithEngineSeed fixes corpus generation.
+func WithEngineSeed(seed uint64) EngineOption {
+	return engineOptionFunc(func(o *engineOptions) { o.seed = seed })
+}
+
+// NewEngine builds an engine over a synthetic topical corpus.
+func NewEngine(opts ...EngineOption) *Engine {
+	o := engineOptions{docsPerTopic: 200, seed: 1}
+	for _, opt := range opts {
+		opt.applyEngine(&o)
+	}
+	eng := searchengine.NewEngine(searchengine.WithCorpus(
+		searchengine.GenerateCorpus(searchengine.CorpusConfig{
+			DocsPerTopic: o.docsPerTopic,
+			Seed:         o.seed,
+		})))
+	return &Engine{engine: eng, server: searchengine.NewServer(eng)}
+}
+
+// Start serves the engine's HTTP API on addr.
+func (e *Engine) Start(addr string) error { return e.server.Start(addr) }
+
+// Addr returns the bound address after Start.
+func (e *Engine) Addr() string { return e.server.Addr() }
+
+// URL returns the engine base URL.
+func (e *Engine) URL() string { return e.server.URL() }
+
+// Shutdown stops the engine.
+func (e *Engine) Shutdown(ctx context.Context) error { return e.server.Shutdown(ctx) }
+
+// QueryLog returns what the curious engine has recorded — useful for
+// demonstrating what an adversary sees with and without X-Search.
+func (e *Engine) QueryLog() []LoggedQuery {
+	raw := e.engine.QueryLog()
+	out := make([]LoggedQuery, len(raw))
+	for i, l := range raw {
+		out[i] = LoggedQuery{Source: l.Source, Query: l.Query}
+	}
+	return out
+}
+
+// LoggedQuery is one entry the curious engine recorded.
+type LoggedQuery struct {
+	Source string
+	Query  string
+}
+
+// Verify interface compliance of option implementations.
+var (
+	_ ProxyOption  = proxyOptionFunc(nil)
+	_ ClientOption = clientOptionFunc(nil)
+	_ EngineOption = engineOptionFunc(nil)
+	_              = attestation.Policy{}
+)
