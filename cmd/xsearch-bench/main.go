@@ -5,6 +5,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,10 +24,11 @@ func main() {
 
 func run() error {
 	var (
-		figs    = flag.String("figs", "1,3,4,5,6,7,ablations,anon", "comma-separated figures to run")
-		quick   = flag.Bool("quick", false, "scaled-down sizes (CI-friendly)")
-		seed    = flag.Uint64("seed", 1, "experiment seed")
-		useHTTP = flag.Bool("http", false, "Figure 5 over real loopback HTTP (bare-metal runs)")
+		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling", "comma-separated figures to run")
+		quick    = flag.Bool("quick", false, "scaled-down sizes (CI-friendly)")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		useHTTP  = flag.Bool("http", false, "Figure 5 over real loopback HTTP (bare-metal runs)")
+		baseline = flag.String("baseline", "", "write the scaling ablation's numbers to this JSON file (perf regression baseline)")
 	)
 	flag.Parse()
 
@@ -88,6 +90,11 @@ func run() error {
 	}
 	if want["anon"] {
 		if err := runAnonBench(fixture, *quick); err != nil {
+			return err
+		}
+	}
+	if want["scaling"] {
+		if err := runScaling(*quick, *seed, *baseline); err != nil {
 			return err
 		}
 	}
@@ -254,6 +261,77 @@ func runAblations(f *experiments.Fixture, quick bool) error {
 	fmt.Printf("# Ablation: enclave transition cost (3us per crossing, serial ecalls)\n")
 	fmt.Printf("with cost     %.0f req/s\n", withCost)
 	fmt.Printf("without cost  %.0f req/s\n\n", withoutCost)
+	return nil
+}
+
+// scalingBaseline is the schema of BENCH_baseline.json: the scaling
+// ablation's headline numbers, committed so future PRs have a perf
+// trajectory to compare against.
+type scalingBaseline struct {
+	GeneratedBy         string  `json:"generated_by"`
+	Queries             int     `json:"queries"`
+	Repeats             int     `json:"repeats"`
+	ColdNsPerQuery      int64   `json:"cold_ns_per_query"`
+	PooledNsPerQuery    int64   `json:"pooled_ns_per_query"`
+	CachedHitNsPerQuery int64   `json:"cached_hit_ns_per_query"`
+	ColdThroughputRPS   float64 `json:"cold_throughput_rps"`
+	PooledThroughputRPS float64 `json:"pooled_throughput_rps"`
+	CachedThroughputRPS float64 `json:"cached_throughput_rps"`
+	PoolReuseRatio      float64 `json:"pool_reuse_ratio"`
+	CacheHitRatio       float64 `json:"cache_hit_ratio"`
+	CachedSpeedupVsCold float64 `json:"cached_speedup_vs_cold"`
+}
+
+func runScaling(quick bool, seed uint64, baselinePath string) error {
+	cfg := experiments.DefaultConnScalingConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Queries, cfg.Repeats = 32, 3
+	}
+	res, err := experiments.RunConnScaling(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Scaling ablation: engine transport per proxy configuration\n")
+	fmt.Printf("# (%d distinct queries x %d passes, loopback engine)\n", cfg.Queries, cfg.Repeats)
+	fmt.Printf("%-14s  %-10s  %-12s  %-12s  %-12s  %-6s  %-6s\n",
+		"variant", "req/s", "mean", "first-pass", "repeat-pass", "reuse", "hits")
+	for _, v := range res.Variants {
+		fmt.Printf("%-14s  %-10.0f  %-12v  %-12v  %-12v  %-6.2f  %-6.2f\n",
+			v.Name, v.Throughput,
+			v.MeanLatency.Round(time.Microsecond),
+			v.FirstPassMean.Round(time.Microsecond),
+			v.RepeatPassMean.Round(time.Microsecond),
+			v.ReuseRatio, v.HitRatio)
+	}
+	fmt.Printf("# cached-hit latency %v vs cold %v: %.1fx speedup\n\n",
+		res.CachedHitLatency.Round(time.Microsecond),
+		res.ColdLatency.Round(time.Microsecond), res.CachedSpeedup)
+	if baselinePath == "" {
+		return nil
+	}
+	b := scalingBaseline{
+		GeneratedBy:         "cmd/xsearch-bench -figs scaling -baseline",
+		Queries:             cfg.Queries,
+		Repeats:             cfg.Repeats,
+		ColdNsPerQuery:      res.Variants[0].MeanLatency.Nanoseconds(),
+		PooledNsPerQuery:    res.Variants[1].MeanLatency.Nanoseconds(),
+		CachedHitNsPerQuery: res.CachedHitLatency.Nanoseconds(),
+		ColdThroughputRPS:   res.Variants[0].Throughput,
+		PooledThroughputRPS: res.Variants[1].Throughput,
+		CachedThroughputRPS: res.Variants[2].Throughput,
+		PoolReuseRatio:      res.Variants[1].ReuseRatio,
+		CacheHitRatio:       res.Variants[2].HitRatio,
+		CachedSpeedupVsCold: res.CachedSpeedup,
+	}
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(baselinePath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# baseline written to %s\n\n", baselinePath)
 	return nil
 }
 

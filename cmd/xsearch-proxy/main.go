@@ -24,12 +24,15 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8091", "listen address")
-		engine  = flag.String("engine", "127.0.0.1:8090", "search engine host:port")
-		k       = flag.Int("k", 3, "number of fake queries per request")
-		history = flag.Int("history", 1_000_000, "past-query window capacity")
-		perList = flag.Int("results", 20, "results per sub-query list")
-		echo    = flag.Bool("echo", false, "echo mode: skip the engine (capacity tests)")
+		addr       = flag.String("addr", "127.0.0.1:8091", "listen address")
+		engine     = flag.String("engine", "127.0.0.1:8090", "search engine host:port")
+		k          = flag.Int("k", 3, "number of fake queries per request")
+		history    = flag.Int("history", 1_000_000, "past-query window capacity")
+		perList    = flag.Int("results", 20, "results per sub-query list")
+		echo       = flag.Bool("echo", false, "echo mode: skip the engine (capacity tests)")
+		pool       = flag.Int("pool", 0, "idle engine connections kept alive in the enclave (0=default 8, negative=off)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "in-enclave result cache bound in bytes (0=off; charged to the EPC)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "result cache entry lifetime (0=default 60s)")
 	)
 	flag.Parse()
 
@@ -37,6 +40,13 @@ func run() error {
 		xsearch.WithFakeQueries(*k),
 		xsearch.WithHistoryCapacity(*history),
 		xsearch.WithResultsPerList(*perList),
+		xsearch.WithEnginePool(*pool),
+	}
+	if *cacheTTL != 0 && *cacheBytes == 0 {
+		return fmt.Errorf("-cache-ttl has no effect without -cache-bytes")
+	}
+	if *cacheBytes != 0 {
+		opts = append(opts, xsearch.WithResultCache(*cacheBytes, *cacheTTL))
 	}
 	if *echo {
 		opts = append(opts, xsearch.WithEchoMode())
@@ -64,5 +74,8 @@ func run() error {
 	st := proxy.Stats()
 	fmt.Printf("served %d requests, %d handshakes, %d errors; history %d queries / %d bytes\n",
 		st.Requests, st.Handshakes, st.Errors, st.HistoryLen, st.HistoryB)
+	fmt.Printf("pool: %.0f%% reuse (%d reused, %d dialled); cache: %.0f%% hits (%d hits, %d misses, %d bytes)\n",
+		st.PoolReuseRatio*100, st.PoolReuses, st.PoolDials,
+		st.CacheHitRatio*100, st.CacheHits, st.CacheMisses, st.CacheB)
 	return nil
 }

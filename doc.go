@@ -22,6 +22,30 @@
 //     inverted-index engine with Bing-compatible OR semantics and the
 //     honest-but-curious behaviour the adversary model assumes.
 //
+// # Scaling layer
+//
+// The proxy's hot path — the engine round trip of §6.3 — is amortized by
+// two in-enclave mechanisms, both living entirely inside the trusted
+// boundary:
+//
+//   - A connection pool (WithEnginePool, default size 8) keeps keep-alive
+//     engine connections — including enclave-terminated TLS sessions —
+//     alive across requests, health-checking each on checkout via the
+//     sock_check ocall and evicting FIFO on overflow or idle expiry.
+//   - A result cache (WithResultCache, off by default) serves repeated
+//     queries without an engine round trip. It is keyed on the ORIGINAL
+//     query (obfuscated queries differ every time by construction),
+//     bounded by bytes and TTL, and every byte it holds is charged to the
+//     EPC through the same env.Alloc/env.Free contract as the query
+//     history, so the paper's Figure 6 memory accounting stays honest.
+//     Obfuscation still runs before the cache lookup: the history grows
+//     identically with and without caching.
+//
+// Proxy.Stats reports both gauges (pool reuse ratio, cache hit ratio);
+// the scaling ablation in cmd/xsearch-bench (-figs scaling) measures the
+// cold/pooled/cached configurations side by side and can write
+// BENCH_baseline.json for perf-regression tracking.
+//
 // # Quick start
 //
 //	engine := xsearch.NewEngine()

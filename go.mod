@@ -1,0 +1,3 @@
+module xsearch
+
+go 1.24

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"xsearch/internal/dcnet"
@@ -105,11 +106,10 @@ func RunAnonBench(f *Fixture, cfg AnonBenchConfig) (*AnonBenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var di int
+	var di atomic.Uint64
 	dissentTarget := func(ctx context.Context) error {
-		q := queries[di%len(queries)]
-		di++
-		_, err := group.Exchange(di%cfg.GroupSize, []byte(q),
+		i, q := nextWorkItem(&di, queries)
+		_, err := group.Exchange(i%cfg.GroupSize, []byte(q),
 			func([]byte) ([]byte, error) { return nil, nil })
 		return err
 	}
@@ -130,10 +130,9 @@ func RunAnonBench(f *Fixture, cfg AnonBenchConfig) (*AnonBenchResult, error) {
 		return nil, err
 	}
 	defer ring.Close()
-	var ri int
+	var ri atomic.Uint64
 	racTarget := func(ctx context.Context) error {
-		q := queries[ri%len(queries)]
-		ri++
+		_, q := nextWorkItem(&ri, queries)
 		_, err := ring.Send([]byte(q), 30*time.Second)
 		return err
 	}
@@ -163,10 +162,9 @@ func RunAnonBench(f *Fixture, cfg AnonBenchConfig) (*AnonBenchResult, error) {
 		defer c.Close()
 		circuits <- c
 	}
-	var ti int
+	var ti atomic.Uint64
 	torTarget := func(ctx context.Context) error {
-		q := queries[ti%len(queries)]
-		ti++
+		_, q := nextWorkItem(&ti, queries)
 		c := <-circuits
 		defer func() { circuits <- c }()
 		_, err := c.Fetch([]byte(q), 30*time.Second)
@@ -184,10 +182,9 @@ func RunAnonBench(f *Fixture, cfg AnonBenchConfig) (*AnonBenchResult, error) {
 		return nil, err
 	}
 	defer xsProxy.Shutdown(context.Background()) //nolint:errcheck // teardown
-	var xi int
+	var xi atomic.Uint64
 	xsTarget := func(ctx context.Context) error {
-		q := queries[xi%len(queries)]
-		xi++
+		_, q := nextWorkItem(&xi, queries)
 		_, err := xsProxy.ServeQuery(ctx, q)
 		return err
 	}
@@ -207,4 +204,12 @@ func mkScaledLink(median time.Duration, scale float64, seed uint64) (*netsim.Lin
 		return nil, err
 	}
 	return netsim.NewLink(model, scale), nil
+}
+
+// nextWorkItem draws the next round-robin query for a concurrent workload
+// target: c is the target's own atomic cursor, shared by its worker
+// goroutines. Returns the zero-based draw index alongside the query.
+func nextWorkItem(c *atomic.Uint64, queries []string) (int, string) {
+	i := int(c.Add(1) - 1)
+	return i, queries[i%len(queries)]
 }

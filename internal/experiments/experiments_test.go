@@ -134,6 +134,9 @@ func TestFig5Shapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throughput sweep in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("wall-clock latency ordering is unreliable under the race detector")
+	}
 	f := smallFixture(t)
 	res, err := RunFig5(f, Fig5Config{
 		XSearchRates:     []float64{2000, 8000},
@@ -193,6 +196,9 @@ func TestFig6Shapes(t *testing.T) {
 func TestFig7Shapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end latency run in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock latency ordering is unreliable under the race detector")
 	}
 	f := smallFixture(t)
 	res, err := RunFig7(f, Fig7Config{
@@ -279,6 +285,9 @@ func TestAblationTransitionCost(t *testing.T) {
 func TestAnonBenchOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock knee ordering is unreliable under the race detector")
 	}
 	f := smallFixture(t)
 	res, err := RunAnonBench(f, AnonBenchConfig{

@@ -1,0 +1,12 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with -race. The
+// wall-clock shape tests (Fig5/Fig7/anonbench latency orderings) compare
+// time-compressed simulations whose constants assume uninstrumented
+// execution; the race detector's 5-20x CPU inflation — amplified by the
+// 1/Scale de-compression — pushes them outside their tolerance bands, so
+// they skip their assertions under -race (the race coverage itself still
+// comes from running the full pipelines).
+const raceEnabled = true

@@ -1,0 +1,163 @@
+package proxy
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"sync"
+	"time"
+
+	"xsearch/internal/enclave"
+	"xsearch/internal/metrics"
+)
+
+// engineConn is one live connection to the search engine, held inside the
+// enclave across requests. The descriptor is an opaque ocall handle; raw
+// is the ocall adapter, rw the enclave-side view (raw itself, or
+// crypto/tls layered over it when an engine CA is pinned), and br buffers
+// response parsing so leftover bytes of a pipelined read stay with the
+// connection.
+type engineConn struct {
+	fd     int64
+	raw    *ocallConn
+	rw     io.ReadWriter
+	br     *bufio.Reader
+	reused bool // checked out from the pool (vs freshly dialled)
+
+	idleSince time.Time
+}
+
+// close releases the untrusted socket behind the connection.
+func (c *engineConn) close(env enclave.Env) { ocallClose(env, c.fd) }
+
+// atBoundary reports whether the enclave-side stream sits exactly at a
+// response boundary: nothing buffered in the parser (bufio) NOR in the
+// ocall adapter below it — bufio's direct-read fast path can drain a
+// large body straight from the adapter, leaving pipelined smuggled bytes
+// only in raw.pending where br.Buffered() cannot see them. (Over TLS,
+// leftover ciphertext below the TLS layer also fails this check; bytes
+// held inside crypto/tls itself cannot be forged by the host, only by the
+// CA-pinned engine, and would desync the record stream loudly.)
+func (c *engineConn) atBoundary() bool {
+	return c.br.Buffered() == 0 && c.raw.buffered() == 0
+}
+
+// enginePool keeps engine connections alive across ecalls so the proxy's
+// hottest path — the engine round trip of §6.3 — skips TCP (and, with a
+// pinned engine CA, TLS) establishment on all but the first request.
+// Checkout prefers the most recently returned connection (most likely
+// still alive) and health-checks it through the sock_check ocall; eviction
+// is FIFO from the oldest end, both when the pool overflows and when a
+// connection sits idle past idleTTL. The pool itself lives in the trusted
+// state: the untrusted runtime only ever sees opaque descriptors.
+type enginePool struct {
+	mu   sync.Mutex
+	idle []*engineConn // oldest-returned first
+	max  int
+	// idleTTL bounds how long a connection may sit unused before checkout
+	// discards it (engines reap idle keep-alive connections server-side;
+	// better to pay a fresh dial than a guaranteed stale-use retry).
+	idleTTL time.Duration
+
+	// reuse counts checkouts served from the pool (hits) versus fresh
+	// dials (misses) — the reuse ratio surfaced in Stats.
+	reuse metrics.RatioCounter
+	// evicted counts connections dropped by FIFO overflow, idle expiry,
+	// or a failed health check.
+	evicted uint64
+}
+
+func newEnginePool(max int, idleTTL time.Duration) *enginePool {
+	return &enginePool{max: max, idleTTL: idleTTL}
+}
+
+// checkout returns a healthy pooled connection, or nil when the pool has
+// none (the caller then dials fresh and reports the miss via dialled).
+func (p *enginePool) checkout(env enclave.Env) *engineConn {
+	now := time.Now()
+	for {
+		var victim, candidate *engineConn
+		p.mu.Lock()
+		switch {
+		case len(p.idle) > 0 && p.idleTTL > 0 && now.Sub(p.idle[0].idleSince) > p.idleTTL:
+			// FIFO idle eviction: the oldest-returned connection expires
+			// first, so draining from the front finds them all.
+			victim = p.idle[0]
+			p.idle = p.idle[1:]
+			p.evicted++
+		case len(p.idle) > 0:
+			candidate = p.idle[len(p.idle)-1]
+			p.idle = p.idle[:len(p.idle)-1]
+		}
+		p.mu.Unlock()
+		if victim != nil {
+			victim.close(env)
+			continue
+		}
+		if candidate == nil {
+			return nil
+		}
+		if !ocallCheck(env, candidate.fd) {
+			// Dead (engine closed it, or leftover bytes desynced the HTTP
+			// framing): discard and try the next-freshest.
+			candidate.close(env)
+			p.mu.Lock()
+			p.evicted++
+			p.mu.Unlock()
+			continue
+		}
+		candidate.reused = true
+		p.reuse.Hit()
+		return candidate
+	}
+}
+
+// dialled records a checkout that had to fall through to a fresh dial.
+func (p *enginePool) dialled() { p.reuse.Miss() }
+
+// checkin returns a connection to the pool after a complete keep-alive
+// exchange, evicting the oldest resident (FIFO) when the pool is full.
+func (p *enginePool) checkin(env enclave.Env, c *engineConn) {
+	c.reused = false
+	c.idleSince = time.Now()
+	var victim *engineConn
+	p.mu.Lock()
+	if len(p.idle) >= p.max {
+		victim = p.idle[0]
+		p.idle = p.idle[1:]
+		p.evicted++
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+	if victim != nil {
+		victim.close(env)
+	}
+}
+
+// size returns the current number of idle pooled connections.
+func (p *enginePool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+// stats snapshots the pool's counters.
+func (p *enginePool) stats() (reuses, dials, evicted uint64) {
+	reuses, dials = p.reuse.Counts()
+	p.mu.Lock()
+	evicted = p.evicted
+	p.mu.Unlock()
+	return reuses, dials, evicted
+}
+
+// ocallCheck asks the untrusted runtime whether the socket is still usable
+// for a fresh request: open, with no unread bytes (leftover data means the
+// previous HTTP exchange desynced). The runtime can lie — a hostile host
+// saying "alive" for a dead socket just makes the next exchange fail and
+// retry, it never corrupts a response (framing errors surface as errors).
+func ocallCheck(env enclave.Env, fd int64) bool {
+	arg := make([]byte, 8)
+	binary.LittleEndian.PutUint64(arg, uint64(fd))
+	res, err := env.OCall("sock_check", arg)
+	return err == nil && len(res) == 1 && res[0] == 1
+}

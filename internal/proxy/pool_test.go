@@ -1,0 +1,378 @@
+package proxy
+
+import (
+	"bufio"
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubEnv satisfies enclave.Env for pool unit tests, routing ocalls to a
+// real connTable (and thus real loopback sockets) without building an
+// enclave.
+type stubEnv struct {
+	handlers map[string]func([]byte) ([]byte, error)
+}
+
+func newStubEnv(ct *connTable) *stubEnv { return &stubEnv{handlers: ct.handlers()} }
+
+func (s *stubEnv) OCall(name string, arg []byte) ([]byte, error) {
+	h, ok := s.handlers[name]
+	if !ok {
+		return nil, fmt.Errorf("stub: unknown ocall %q", name)
+	}
+	return h(arg)
+}
+func (s *stubEnv) Alloc(int64) error { return nil }
+func (s *stubEnv) Free(int64)        {}
+func (s *stubEnv) Read(buf []byte) error {
+	_, err := rand.Read(buf)
+	return err
+}
+
+// poolFixture is a loopback listener plus the runtime/env pair the pool
+// needs; accepted server-side conns are retained for the tests to kill.
+type poolFixture struct {
+	ln  net.Listener
+	ct  *connTable
+	env *stubEnv
+
+	mu       sync.Mutex
+	accepted []net.Conn
+}
+
+func newPoolFixture(t *testing.T) *poolFixture {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &poolFixture{ln: ln, ct: newConnTable(nil)}
+	f.env = newStubEnv(f.ct)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			f.mu.Lock()
+			f.accepted = append(f.accepted, conn)
+			f.mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		_ = ln.Close()
+		f.ct.closeAll()
+	})
+	return f
+}
+
+// dial opens a pooled-style connection through the socket ocalls.
+func (f *poolFixture) dial(t *testing.T) *engineConn {
+	t.Helper()
+	host, port, err := splitHostPort(f.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := ocallConnect(f.env, host, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := newOCallConn(f.env, fd)
+	return &engineConn{fd: fd, raw: raw, rw: raw, br: bufio.NewReader(raw)}
+}
+
+// fdClosed reports whether the runtime's socket table no longer holds fd.
+func (f *poolFixture) fdClosed(fd int64) bool {
+	f.ct.mu.Lock()
+	defer f.ct.mu.Unlock()
+	_, ok := f.ct.conns[fd]
+	return !ok
+}
+
+func TestPoolCheckoutEmpty(t *testing.T) {
+	f := newPoolFixture(t)
+	p := newEnginePool(2, time.Minute)
+	if c := p.checkout(f.env); c != nil {
+		t.Fatalf("empty pool returned %+v", c)
+	}
+	p.dialled()
+	if reuses, dials, _ := p.stats(); reuses != 0 || dials != 1 {
+		t.Errorf("stats = %d reuses / %d dials", reuses, dials)
+	}
+}
+
+func TestPoolCheckinCheckoutReuse(t *testing.T) {
+	f := newPoolFixture(t)
+	p := newEnginePool(2, time.Minute)
+	c := f.dial(t)
+	p.dialled()
+	p.checkin(f.env, c)
+	got := p.checkout(f.env)
+	if got == nil || got.fd != c.fd {
+		t.Fatalf("checkout = %+v, want fd %d", got, c.fd)
+	}
+	if !got.reused {
+		t.Error("checked-out connection not marked reused")
+	}
+	reuses, dials, evicted := p.stats()
+	if reuses != 1 || dials != 1 || evicted != 0 {
+		t.Errorf("stats = %d/%d/%d", reuses, dials, evicted)
+	}
+	if got := p.reuse.Ratio(); got != 0.5 {
+		t.Errorf("reuse ratio = %f", got)
+	}
+}
+
+// The pool prefers the freshest connection (LIFO) and evicts the oldest
+// (FIFO) when full.
+func TestPoolCapacityFIFOEviction(t *testing.T) {
+	f := newPoolFixture(t)
+	p := newEnginePool(2, time.Minute)
+	c1, c2, c3 := f.dial(t), f.dial(t), f.dial(t)
+	p.checkin(f.env, c1)
+	p.checkin(f.env, c2)
+	p.checkin(f.env, c3) // overflows: c1 (oldest) evicted
+	if p.size() != 2 {
+		t.Fatalf("pool size = %d", p.size())
+	}
+	if !f.fdClosed(c1.fd) {
+		t.Error("FIFO victim's socket still open in the runtime")
+	}
+	if f.fdClosed(c2.fd) || f.fdClosed(c3.fd) {
+		t.Error("surviving pooled sockets were closed")
+	}
+	if got := p.checkout(f.env); got == nil || got.fd != c3.fd {
+		t.Errorf("checkout = %+v, want freshest fd %d", got, c3.fd)
+	}
+	if _, _, evicted := p.stats(); evicted != 1 {
+		t.Errorf("evicted = %d", evicted)
+	}
+}
+
+func TestPoolIdleEviction(t *testing.T) {
+	f := newPoolFixture(t)
+	p := newEnginePool(4, 5*time.Millisecond)
+	c := f.dial(t)
+	p.checkin(f.env, c)
+	time.Sleep(20 * time.Millisecond)
+	if got := p.checkout(f.env); got != nil {
+		t.Fatalf("idle-expired connection returned: %+v", got)
+	}
+	if !f.fdClosed(c.fd) {
+		t.Error("idle-expired socket still open")
+	}
+	if _, _, evicted := p.stats(); evicted != 1 {
+		t.Errorf("evicted = %d", evicted)
+	}
+}
+
+// A pooled connection whose peer closed it must fail the checkout health
+// check and be discarded, not handed to a request.
+func TestPoolDropsDeadConnections(t *testing.T) {
+	f := newPoolFixture(t)
+	p := newEnginePool(2, time.Minute)
+	c := f.dial(t)
+	p.checkin(f.env, c)
+
+	// Kill the server side and wait for the FIN to land.
+	deadline := time.Now().Add(2 * time.Second)
+	f.mu.Lock()
+	for _, sc := range f.accepted {
+		_ = sc.Close()
+	}
+	f.mu.Unlock()
+	for {
+		if got := p.checkout(f.env); got == nil {
+			break // health check found it dead and dropped it
+		} else {
+			// FIN not yet visible: put it back and retry.
+			p.checkin(f.env, got)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead connection kept passing the health check")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !f.fdClosed(c.fd) {
+		t.Error("dead pooled socket not closed")
+	}
+}
+
+// Leftover unread bytes (a desynced HTTP exchange) must also fail the
+// health check: reusing such a connection would misframe the next
+// response.
+func TestPoolRejectsDesyncedConnection(t *testing.T) {
+	f := newPoolFixture(t)
+	p := newEnginePool(2, time.Minute)
+	c := f.dial(t)
+	p.checkin(f.env, c)
+
+	// The server writes stray bytes the client never consumed.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		f.mu.Lock()
+		n := len(f.accepted)
+		f.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never accepted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.mu.Lock()
+	_, err := f.accepted[0].Write([]byte("stray"))
+	f.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if got := p.checkout(f.env); got == nil {
+			break
+		} else {
+			p.checkin(f.env, got)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("desynced connection kept passing the health check")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPoolConcurrentCheckoutCheckin(t *testing.T) {
+	f := newPoolFixture(t)
+	p := newEnginePool(4, time.Minute)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := p.checkout(f.env)
+				if c == nil {
+					c = f.dial(t)
+					p.dialled()
+				}
+				p.checkin(f.env, c)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.size() > 4 {
+		t.Errorf("pool overflowed: %d idle", p.size())
+	}
+	reuses, dials, _ := p.stats()
+	if reuses+dials != 400 {
+		t.Errorf("checkouts = %d, want 400", reuses+dials)
+	}
+	if reuses == 0 {
+		t.Error("concurrent churn never reused a connection")
+	}
+}
+
+// --- end-to-end: pool and cache through the full proxy stack ---
+
+func TestPooledFetchReusesConnections(t *testing.T) {
+	st := newTestStack(t, nil) // pooling is on by default
+	for i := 0; i < 5; i++ {
+		plainSearch(t, st.proxy.URL(), fmt.Sprintf("chicken recipe %d", i))
+	}
+	s := st.proxy.Stats()
+	if s.PoolReuses == 0 {
+		t.Errorf("no pooled reuse across sequential queries: %+v", s)
+	}
+	if s.PoolReuseRatio <= 0 {
+		t.Errorf("reuse ratio = %f", s.PoolReuseRatio)
+	}
+	if s.PoolDials == 0 {
+		t.Error("first query cannot have been pooled")
+	}
+}
+
+func TestPoolDisabledDialsPerRequest(t *testing.T) {
+	st := newTestStack(t, func(c *Config) { c.PoolSize = -1 })
+	for i := 0; i < 3; i++ {
+		plainSearch(t, st.proxy.URL(), "chicken recipe")
+	}
+	s := st.proxy.Stats()
+	if s.PoolReuses != 0 || s.PoolDials != 0 || s.PoolIdle != 0 {
+		t.Errorf("disabled pool reported activity: %+v", s)
+	}
+}
+
+func TestCacheServesRepeatsWithoutEngine(t *testing.T) {
+	st := newTestStack(t, func(c *Config) { c.CacheBytes = 1 << 20 })
+	first := plainSearch(t, st.proxy.URL(), "chicken recipe dinner")
+	seen := len(st.engine.QueryLog())
+	second := plainSearch(t, st.proxy.URL(), "chicken recipe dinner")
+	if got := len(st.engine.QueryLog()); got != seen {
+		t.Errorf("engine saw %d queries after repeat, want %d (cache hit)", got, seen)
+	}
+	if len(first) != len(second) {
+		t.Errorf("cached results differ: %d vs %d", len(first), len(second))
+	}
+	s := st.proxy.Stats()
+	if s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Errorf("cache hits/misses = %d/%d", s.CacheHits, s.CacheMisses)
+	}
+	if s.CacheHitRatio != 0.5 {
+		t.Errorf("hit ratio = %f", s.CacheHitRatio)
+	}
+}
+
+// The cache's EPC contract: every cached byte is charged to the enclave
+// heap, so heap == history + cache exactly (nothing else allocates).
+func TestCacheChargedToEPC(t *testing.T) {
+	st := newTestStack(t, func(c *Config) { c.CacheBytes = 1 << 20 })
+	for i := 0; i < 4; i++ {
+		plainSearch(t, st.proxy.URL(), fmt.Sprintf("distinct cached query %d", i))
+	}
+	s := st.proxy.Stats()
+	if s.CacheB == 0 {
+		t.Fatal("cache stored nothing")
+	}
+	if s.Enclave.HeapBytes != s.HistoryB+s.CacheB {
+		t.Errorf("heap %d != history %d + cache %d",
+			s.Enclave.HeapBytes, s.HistoryB, s.CacheB)
+	}
+}
+
+func TestCacheExpiryRefetches(t *testing.T) {
+	st := newTestStack(t, func(c *Config) {
+		c.CacheBytes = 1 << 20
+		c.CacheTTL = 30 * time.Millisecond
+	})
+	plainSearch(t, st.proxy.URL(), "chicken recipe")
+	seen := len(st.engine.QueryLog())
+	time.Sleep(50 * time.Millisecond)
+	plainSearch(t, st.proxy.URL(), "chicken recipe")
+	if got := len(st.engine.QueryLog()); got == seen {
+		t.Error("expired entry served from cache")
+	}
+	s := st.proxy.Stats()
+	if s.CacheMisses != 2 {
+		t.Errorf("misses = %d, want 2 (second lookup expired)", s.CacheMisses)
+	}
+	// Lazy expiry freed the stale entry's bytes before re-inserting: the
+	// heap identity must still hold.
+	if s.Enclave.HeapBytes != s.HistoryB+s.CacheB {
+		t.Errorf("heap %d != history %d + cache %d after expiry",
+			s.Enclave.HeapBytes, s.HistoryB, s.CacheB)
+	}
+}
+
+// Different result counts must not share cache entries: a count-10 reply
+// served for a count-3 request would leak the wrong list length.
+func TestCacheKeyIncludesCount(t *testing.T) {
+	if cacheKey("q", 10) == cacheKey("q", 3) {
+		t.Error("cache key ignores result count")
+	}
+	if cacheKey("a", 1) == cacheKey("b", 1) {
+		t.Error("cache key ignores query")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package proxy
+
+import "net"
+
+// peekProbe has no non-consuming implementation off unix; probeConn falls
+// back to the deadline-read check.
+func peekProbe(net.Conn) (alive, handled bool) { return false, false }

@@ -1,0 +1,34 @@
+//go:build unix
+
+package proxy
+
+import (
+	"net"
+	"syscall"
+)
+
+// peekProbe is the non-consuming liveness check behind probeConn: a
+// MSG_PEEK|MSG_DONTWAIT recv on the raw descriptor. EAGAIN/EWOULDBLOCK
+// means the socket is open with nothing buffered (alive); 0 bytes means
+// EOF and buffered bytes mean a desynced stream (both dead). handled is
+// false when the connection exposes no raw descriptor, sending the caller
+// to the portable deadline-read fallback.
+func peekProbe(conn net.Conn) (alive, handled bool) {
+	sc, ok := conn.(interface {
+		SyscallConn() (syscall.RawConn, error)
+	})
+	if !ok {
+		return false, false
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return false, true
+	}
+	rerr := rc.Read(func(fd uintptr) bool {
+		var buf [1]byte
+		n, _, err := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		alive = n < 0 && (err == syscall.EAGAIN || err == syscall.EWOULDBLOCK)
+		return true // never block waiting for readability
+	})
+	return rerr == nil && alive, true
+}

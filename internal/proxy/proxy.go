@@ -42,6 +42,20 @@ type Config struct {
 	Seed uint64
 	// MaxSessions bounds concurrent secure channels (FIFO eviction).
 	MaxSessions int
+	// PoolSize bounds the enclave's pool of idle keep-alive connections
+	// to the engine. Zero means DefaultPoolSize; negative disables
+	// pooling (every request dials a fresh socket, the paper's original
+	// behaviour).
+	PoolSize int
+	// PoolIdleTimeout discards pooled connections idle longer than this
+	// on checkout (FIFO). Zero means DefaultPoolIdleTimeout.
+	PoolIdleTimeout time.Duration
+	// CacheBytes bounds the in-enclave obfuscated-result cache, charged
+	// against the EPC like the history window. Zero disables caching.
+	CacheBytes int64
+	// CacheTTL bounds cached-entry freshness. Zero means DefaultCacheTTL
+	// (only consulted when CacheBytes > 0).
+	CacheTTL time.Duration
 	// EngineLink injects WAN latency on the proxy <-> engine path
 	// (experiments); nil means none.
 	EngineLink *netsim.Link
@@ -99,6 +113,15 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 4096
 	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = DefaultPoolSize
+	}
+	if cfg.PoolIdleTimeout == 0 {
+		cfg.PoolIdleTimeout = DefaultPoolIdleTimeout
+	}
+	if cfg.CacheBytes > 0 && cfg.CacheTTL == 0 {
+		cfg.CacheTTL = DefaultCacheTTL
+	}
 	if !cfg.EchoMode && cfg.EngineHost == "" {
 		return nil, fmt.Errorf("proxy: EngineHost required unless EchoMode")
 	}
@@ -131,6 +154,16 @@ func New(cfg Config) (*Proxy, error) {
 		sessions:   make(map[string]*sessionState),
 		maxSess:    cfg.MaxSessions,
 	}
+	if cfg.PoolSize > 0 && !cfg.EchoMode {
+		trusted.pool = newEnginePool(cfg.PoolSize, cfg.PoolIdleTimeout)
+	}
+	if cfg.CacheBytes > 0 {
+		cache, err := core.NewResultCache(cfg.CacheBytes, cfg.CacheTTL)
+		if err != nil {
+			return nil, err
+		}
+		trusted.cache = cache
+	}
 	if len(cfg.EngineCertPEM) > 0 {
 		pool := x509.NewCertPool()
 		if !pool.AppendCertsFromPEM(cfg.EngineCertPEM) {
@@ -143,8 +176,9 @@ func New(cfg Config) (*Proxy, error) {
 	// The measured "code": version string plus configuration that changes
 	// behaviour. Different k, engine, or pinned engine CA => different
 	// MRENCLAVE, exactly what a client wants to attest.
-	ident := fmt.Sprintf("xsearch-proxy v1.0 k=%d history=%d engine=%s echo=%t",
-		cfg.K, cfg.HistoryCapacity, cfg.EngineHost, cfg.EchoMode)
+	ident := fmt.Sprintf("xsearch-proxy v1.1 k=%d history=%d engine=%s echo=%t pool=%d cache=%d/%s",
+		cfg.K, cfg.HistoryCapacity, cfg.EngineHost, cfg.EchoMode,
+		cfg.PoolSize, cfg.CacheBytes, cfg.CacheTTL)
 	if err := builder.AddData([]byte(ident)); err != nil {
 		return nil, err
 	}
@@ -254,6 +288,19 @@ func New(cfg Config) (*Proxy, error) {
 // VendorSigner is the MRSIGNER identity of the (fictional) X-Search vendor.
 var VendorSigner = enclave.Measurement{0x58, 0x53} // "XS"
 
+// Scaling-layer defaults (engine connection pool, result cache).
+const (
+	// DefaultPoolSize is the idle engine-connection bound when
+	// Config.PoolSize is zero.
+	DefaultPoolSize = 8
+	// DefaultPoolIdleTimeout is how long a pooled connection may idle
+	// before checkout discards it.
+	DefaultPoolIdleTimeout = 60 * time.Second
+	// DefaultCacheTTL bounds result-cache freshness when Config.CacheTTL
+	// is zero.
+	DefaultCacheTTL = 60 * time.Second
+)
+
 // Measurement returns the enclave's MRENCLAVE, which clients pin.
 func (p *Proxy) Measurement() enclave.Measurement { return p.encl.Measurement() }
 
@@ -303,7 +350,8 @@ func (p *Proxy) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// Stats reports request counters plus enclave resource accounting.
+// Stats reports request counters plus enclave resource accounting and the
+// scaling layer's gauges (connection reuse, cache effectiveness).
 type Stats struct {
 	Requests   uint64        `json:"requests"`
 	Handshakes uint64        `json:"handshakes"`
@@ -311,12 +359,25 @@ type Stats struct {
 	Enclave    enclave.Stats `json:"enclave"`
 	HistoryLen int           `json:"history_len"`
 	HistoryB   int64         `json:"history_bytes"`
+	// Engine connection pool: reuses/dials partition all checkouts, so
+	// PoolReuseRatio = reuses/(reuses+dials).
+	PoolIdle       int     `json:"pool_idle"`
+	PoolReuses     uint64  `json:"pool_reuses"`
+	PoolDials      uint64  `json:"pool_dials"`
+	PoolEvicted    uint64  `json:"pool_evicted"`
+	PoolReuseRatio float64 `json:"pool_reuse_ratio"`
+	// Result cache: hits/misses partition all cache lookups.
+	CacheLen      int     `json:"cache_len"`
+	CacheB        int64   `json:"cache_bytes"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
 }
 
 // Stats returns a snapshot.
 func (p *Proxy) Stats() Stats {
 	h := p.trusted.obfuscator.History()
-	return Stats{
+	s := Stats{
 		Requests:   p.requests.Load(),
 		Handshakes: p.handshakes.Load(),
 		Errors:     p.errors.Load(),
@@ -324,6 +385,24 @@ func (p *Proxy) Stats() Stats {
 		HistoryLen: h.Len(),
 		HistoryB:   h.Bytes(),
 	}
+	if pool := p.trusted.pool; pool != nil {
+		s.PoolIdle = pool.size()
+		s.PoolReuses, s.PoolDials, s.PoolEvicted = pool.stats()
+		// Derive the ratio from the snapshotted counts so the reported
+		// fields always satisfy their own identity under concurrency.
+		if total := s.PoolReuses + s.PoolDials; total > 0 {
+			s.PoolReuseRatio = float64(s.PoolReuses) / float64(total)
+		}
+	}
+	if cache := p.trusted.cache; cache != nil {
+		s.CacheLen = cache.Len()
+		s.CacheB = cache.Bytes()
+		s.CacheHits, s.CacheMisses = p.trusted.cacheHits.Counts()
+		if total := s.CacheHits + s.CacheMisses; total > 0 {
+			s.CacheHitRatio = float64(s.CacheHits) / float64(total)
+		}
+	}
+	return s
 }
 
 // ServeQuery runs one plain query through the full enclave pipeline

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -67,13 +68,16 @@ func (d *delayedConn) Read(p []byte) (int, error) {
 	return d.Conn.Read(p)
 }
 
-// register installs the four ocall handlers on the enclave.
+// register installs the socket ocall handlers on the enclave: the paper's
+// four (sock_connect/send/recv/close) plus sock_check, the liveness probe
+// backing the enclave's connection pool.
 func (ct *connTable) handlers() map[string]func([]byte) ([]byte, error) {
 	return map[string]func([]byte) ([]byte, error){
 		"sock_connect": ct.ocallConnect,
 		"send":         ct.ocallSend,
 		"recv":         ct.ocallRecv,
 		"close":        ct.ocallClose,
+		"sock_check":   ct.ocallCheck,
 	}
 }
 
@@ -171,6 +175,53 @@ func (ct *connTable) ocallClose(arg []byte) ([]byte, error) {
 		return nil, fmt.Errorf("proxy: close fd %d: %w", fd, err)
 	}
 	return nil, nil
+}
+
+// ocallCheck reports whether a pooled socket is still usable: open, with
+// no unread bytes waiting (data between requests means the previous HTTP
+// exchange left the stream desynced, or the server sent an early close).
+// Returns one byte: 1 = alive, 0 = dead. Never an error — the enclave
+// treats any failure as "dead" anyway.
+func (ct *connTable) ocallCheck(arg []byte) ([]byte, error) {
+	if len(arg) < 8 {
+		return nil, fmt.Errorf("proxy: check arg too short")
+	}
+	fd := int64(binary.LittleEndian.Uint64(arg))
+	conn, err := ct.lookup(fd)
+	if err != nil {
+		return []byte{0}, nil
+	}
+	if probeConn(conn) {
+		return []byte{1}, nil
+	}
+	return []byte{0}, nil
+}
+
+// probeConn checks socket liveness. The platform fast path (peekProbe,
+// unix only) peeks the kernel buffer without consuming stream bytes:
+// open-and-quiet means alive; EOF or buffered bytes (framing desync) mean
+// dead. Elsewhere — and for wrappers without syscall access — it falls
+// back to a 1-byte read under a short deadline; that read may consume a
+// byte, which is safe only because a "dead" verdict closes the connection.
+func probeConn(conn net.Conn) bool {
+	raw := conn
+	if d, ok := raw.(*delayedConn); ok {
+		raw = d.Conn
+	}
+	if alive, handled := peekProbe(raw); handled {
+		return alive
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(time.Millisecond)); err != nil {
+		return false
+	}
+	defer func() { _ = conn.SetReadDeadline(time.Time{}) }()
+	var buf [1]byte
+	n, err := conn.Read(buf[:])
+	if n > 0 {
+		return false
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // closeAll reaps any connections the enclave leaked.

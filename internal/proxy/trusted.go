@@ -18,6 +18,7 @@ import (
 
 	"xsearch/internal/core"
 	"xsearch/internal/enclave"
+	"xsearch/internal/metrics"
 	"xsearch/internal/seal"
 	"xsearch/internal/searchengine"
 	"xsearch/internal/securechannel"
@@ -39,6 +40,13 @@ type trustedState struct {
 	// after the enclave is built (the sealing key derives from the
 	// enclave identity).
 	sealer *seal.Sealer
+	// pool keeps engine connections alive across requests (nil when
+	// pooling is disabled); cache short-circuits repeat queries (nil when
+	// caching is disabled). Both live inside the trusted boundary and
+	// charge their footprint to the EPC.
+	pool      *enginePool
+	cache     *core.ResultCache
+	cacheHits metrics.RatioCounter
 
 	mu       sync.Mutex
 	sessions map[string]*sessionState
@@ -212,7 +220,10 @@ func (ts *trustedState) handleSecure(env enclave.Env, session string, record []b
 // searchAndFilter is the paper's Figure 2 pipeline: Algorithm 1 obfuscation
 // (which also stores the query in the history, charging the EPC), the
 // engine round trip through ocalls, then Algorithm 2 filtering and
-// redirect stripping.
+// redirect stripping. When the result cache is enabled, a fresh entry for
+// the ORIGINAL query short-circuits the engine round trip — obfuscation
+// still runs first, so the history (the fake-query source) grows exactly
+// as without the cache and the EPC charges stay identical on that path.
 func (ts *trustedState) searchAndFilter(env enclave.Env, query string, count int) ([]core.Result, error) {
 	oq, delta := ts.obfuscator.Obfuscate(query)
 	if delta > 0 {
@@ -228,6 +239,15 @@ func (ts *trustedState) searchAndFilter(env enclave.Env, query string, count int
 		// visible.
 		return []core.Result{}, nil
 	}
+	var key string
+	if ts.cache != nil {
+		key = cacheKey(query, count)
+		if cached, ok := ts.cache.Get(key, time.Now(), env.Free); ok {
+			ts.cacheHits.Hit()
+			return cached, nil
+		}
+		ts.cacheHits.Miss()
+	}
 	raw, err := ts.fetchResults(env, oq.Query(), count)
 	if err != nil {
 		return nil, err
@@ -236,15 +256,89 @@ func (ts *trustedState) searchAndFilter(env enclave.Env, query string, count int
 	for i := range filtered {
 		filtered[i].URL = core.StripRedirects(filtered[i].URL)
 	}
+	if ts.cache != nil {
+		// The cache mirrors its bytes onto the EPC under its own lock;
+		// when the charge fails (EPC exhausted) the entry is simply not
+		// stored and the query still succeeds.
+		ts.cache.Put(key, filtered, time.Now(), env.Alloc, env.Free)
+	}
 	return filtered, nil
 }
 
+// cacheKey identifies one cacheable response: the original query plus the
+// requested result count (different counts produce different lists).
+func cacheKey(query string, count int) string {
+	return query + "\x1f" + strconv.Itoa(count)
+}
+
 // fetchResults performs the engine round trip from inside the enclave,
-// using only the paper's four ocalls: sock_connect, send, recv, close.
-// With an engine CA configured (the paper's footnote 2), the enclave
-// terminates TLS itself over those same ocalls, so the untrusted host sees
-// only ciphertext between proxy and engine.
+// using only the paper's socket ocalls. With an engine CA configured (the
+// paper's footnote 2), the enclave terminates TLS itself over those same
+// ocalls, so the untrusted host sees only ciphertext between proxy and
+// engine. When pooling is enabled the exchange runs HTTP/1.1 keep-alive
+// over a pooled connection and returns it afterwards; a connection that
+// went stale between health check and use is retried once on a fresh dial.
 func (ts *trustedState) fetchResults(env enclave.Env, query string, count int) ([]core.Result, error) {
+	path := "/search?q=" + queryEscape(query) + "&count=" + strconv.Itoa(count)
+	for attempt := 0; ; attempt++ {
+		ec, err := ts.acquireEngineConn(env, attempt > 0)
+		if err != nil {
+			return nil, err
+		}
+		body, status, keepAlive, err := ts.roundTrip(ec, path)
+		if err != nil {
+			ec.close(env)
+			if ec.reused && attempt == 0 {
+				// The engine closed the pooled connection between the
+				// health check and our write/read: retry on a fresh dial.
+				continue
+			}
+			return nil, err
+		}
+		// Pool the connection only if the stream is exactly at a response
+		// boundary: leftover bytes buffered enclave-side (a hostile host
+		// pipelining a forged response behind a well-framed one) would be
+		// parsed as the NEXT query's response, and the socket-level
+		// sock_check probe cannot see enclave-side buffers.
+		if ts.pool != nil && keepAlive && ec.atBoundary() {
+			ts.pool.checkin(env, ec)
+		} else {
+			ec.close(env)
+		}
+		if status != 200 {
+			return nil, fmt.Errorf("proxy: engine status %d", status)
+		}
+		var engineResults []searchengine.Result
+		if err := json.Unmarshal(body, &engineResults); err != nil {
+			return nil, fmt.Errorf("proxy: engine response: %w", err)
+		}
+		results := make([]core.Result, len(engineResults))
+		for i, r := range engineResults {
+			results[i] = core.Result{URL: r.URL, Title: r.Title, Snippet: r.Snippet}
+		}
+		return results, nil
+	}
+}
+
+// acquireEngineConn returns a connection to the engine: a health-checked
+// pooled one when available, otherwise a fresh dial (forced when a pooled
+// connection just failed mid-exchange).
+func (ts *trustedState) acquireEngineConn(env enclave.Env, forceDial bool) (*engineConn, error) {
+	if ts.pool != nil && !forceDial {
+		if ec := ts.pool.checkout(env); ec != nil {
+			return ec, nil
+		}
+	}
+	ec, err := ts.dialEngine(env)
+	if err == nil && ts.pool != nil {
+		ts.pool.dialled()
+	}
+	return ec, err
+}
+
+// dialEngine opens a new connection through the sock_connect ocall,
+// layering TLS inside the enclave when an engine CA is pinned.
+func (ts *trustedState) dialEngine(env enclave.Env) (*engineConn, error) {
 	host, port, err := splitHostPort(ts.engineHost)
 	if err != nil {
 		return nil, err
@@ -253,74 +347,102 @@ func (ts *trustedState) fetchResults(env enclave.Env, query string, count int) (
 	if err != nil {
 		return nil, err
 	}
-	defer ocallClose(env, fd)
-
-	var conn io.ReadWriter = newOCallConn(env, fd)
+	raw := newOCallConn(env, fd)
+	var rw io.ReadWriter = raw
 	if ts.engineCAs != nil {
-		tlsConn := tls.Client(newOCallConn(env, fd), &tls.Config{
+		tlsConn := tls.Client(raw, &tls.Config{
 			RootCAs:    ts.engineCAs,
 			ServerName: host,
 		})
 		if err := tlsConn.Handshake(); err != nil {
+			ocallClose(env, fd)
 			return nil, fmt.Errorf("proxy: engine TLS: %w", err)
 		}
-		conn = tlsConn
+		rw = tlsConn
 	}
+	return &engineConn{fd: fd, raw: raw, rw: rw, br: bufio.NewReader(rw)}, nil
+}
 
-	path := "/search?q=" + queryEscape(query) + "&count=" + strconv.Itoa(count)
-	// HTTP/1.0 with Connection: close keeps framing trivial (no chunked
-	// encoding); the response parser still handles 1.1 servers that send
-	// chunked or Content-Length framing.
-	reqText := "GET " + path + " HTTP/1.0\r\nHost: " + ts.engineHost +
-		"\r\nConnection: close\r\n\r\n"
-	if _, err := conn.Write([]byte(reqText)); err != nil {
-		return nil, fmt.Errorf("proxy: send request: %w", err)
+// roundTrip writes one GET request and reads the framed response. The
+// returned error covers transport and framing failures only; HTTP error
+// statuses and body parsing are the caller's concern (the connection is
+// still in a known-good framing state for those).
+func (ts *trustedState) roundTrip(ec *engineConn, path string) (body []byte, status int, keepAlive bool, err error) {
+	connHeader := "keep-alive"
+	if ts.pool == nil {
+		connHeader = "close"
 	}
-	body, status, err := readHTTPResponse(conn)
-	if err != nil {
-		return nil, err
+	reqText := "GET " + path + " HTTP/1.1\r\nHost: " + ts.engineHost +
+		"\r\nConnection: " + connHeader + "\r\n\r\n"
+	if _, err := ec.rw.Write([]byte(reqText)); err != nil {
+		return nil, 0, false, fmt.Errorf("proxy: send request: %w", err)
 	}
-	if status != 200 {
-		return nil, fmt.Errorf("proxy: engine status %d", status)
+	return readHTTPResponse(ec.br)
+}
+
+// maxEngineResponse bounds how many body bytes the enclave accepts from
+// one engine response, and maxEngineHeaderBytes bounds everything
+// line-framed (status line, headers, chunk sizes, trailers). The response
+// arrives through the untrusted host's ocalls, so declared lengths and
+// line lengths are hostile input: nothing may be allocated on their
+// say-so beyond these caps. Real result lists are a few hundred KB at
+// most; real header sections are under a KB.
+const (
+	maxEngineResponse    = 8 << 20
+	maxEngineHeaderBytes = 64 << 10
+)
+
+// readLine reads one \n-terminated line, drawing every byte against the
+// shared per-response budget so a hostile host cannot stream an endless
+// (or endless-line) header section into enclave memory.
+func readLine(reader *bufio.Reader, budget *int) (string, error) {
+	var line []byte
+	for {
+		frag, err := reader.ReadSlice('\n')
+		*budget -= len(frag)
+		if *budget < 0 {
+			return "", fmt.Errorf("proxy: engine response headers exceed %d-byte cap", maxEngineHeaderBytes)
+		}
+		line = append(line, frag...)
+		switch err {
+		case nil:
+			return string(line), nil
+		case bufio.ErrBufferFull:
+			continue // long line: keep accumulating against the budget
+		default:
+			return "", err
+		}
 	}
-	var engineResults []searchengine.Result
-	if err := json.Unmarshal(body, &engineResults); err != nil {
-		return nil, fmt.Errorf("proxy: engine response: %w", err)
-	}
-	results := make([]core.Result, len(engineResults))
-	for i, r := range engineResults {
-		results[i] = core.Result{URL: r.URL, Title: r.Title, Snippet: r.Snippet}
-	}
-	return results, nil
 }
 
 // readHTTPResponse reads status line, headers and body from the (possibly
 // TLS-wrapped) connection, handling the three HTTP body framings: chunked,
-// Content-Length, and read-to-EOF.
-func readHTTPResponse(conn io.Reader) (body []byte, status int, err error) {
-	raw, err := io.ReadAll(conn)
-	if err != nil && len(raw) == 0 {
-		return nil, 0, fmt.Errorf("proxy: read response: %w", err)
-	}
-	reader := bufio.NewReader(bytes.NewReader(raw))
-	statusLine, err := reader.ReadString('\n')
+// Content-Length, and read-to-EOF. It reads exactly one response — it
+// never over-reads past a delimited body — caps the body at
+// maxEngineResponse, and reports whether the connection may carry another
+// request (delimited framing and no "Connection: close").
+func readHTTPResponse(reader *bufio.Reader) (body []byte, status int, keepAlive bool, err error) {
+	lineBudget := maxEngineHeaderBytes
+	statusLine, err := readLine(reader, &lineBudget)
 	if err != nil {
-		return nil, 0, fmt.Errorf("proxy: read status line: %w", err)
+		return nil, 0, false, fmt.Errorf("proxy: read status line: %w", err)
 	}
 	parts := strings.SplitN(statusLine, " ", 3)
 	if len(parts) < 2 {
-		return nil, 0, fmt.Errorf("proxy: malformed status line %q", statusLine)
+		return nil, 0, false, fmt.Errorf("proxy: malformed status line %q", statusLine)
 	}
-	status, err = strconv.Atoi(parts[1])
+	proto := parts[0]
+	status, err = strconv.Atoi(strings.TrimSpace(parts[1]))
 	if err != nil {
-		return nil, 0, fmt.Errorf("proxy: status code: %w", err)
+		return nil, 0, false, fmt.Errorf("proxy: status code: %w", err)
 	}
 	chunked := false
 	contentLength := -1
+	connClose, connKeep := false, false
 	for {
-		line, err := reader.ReadString('\n')
+		line, err := readLine(reader, &lineBudget)
 		if err != nil {
-			return nil, 0, fmt.Errorf("proxy: read headers: %w", err)
+			return nil, 0, false, fmt.Errorf("proxy: read headers: %w", err)
 		}
 		if line == "\r\n" || line == "\n" {
 			break
@@ -337,33 +459,57 @@ func readHTTPResponse(conn io.Reader) (body []byte, status int, err error) {
 			if n, err := strconv.Atoi(value); err == nil {
 				contentLength = n
 			}
+		case "connection":
+			switch strings.ToLower(value) {
+			case "close":
+				connClose = true
+			case "keep-alive":
+				connKeep = true
+			}
 		}
 	}
+	// Persistence per RFC 9112 §9.3: 1.1 defaults to keep-alive, 1.0 to
+	// close; only a delimited body leaves the stream reusable.
+	keepAlive = (proto == "HTTP/1.1" && !connClose) || (proto == "HTTP/1.0" && connKeep)
 	switch {
 	case chunked:
-		return readChunkedBody(reader, status)
+		body, err = readChunkedBody(reader, &lineBudget)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return body, status, keepAlive, nil
 	case contentLength >= 0:
-		out := make([]byte, contentLength)
-		if _, err := io.ReadFull(reader, out); err != nil {
-			return nil, 0, fmt.Errorf("proxy: read body: %w", err)
+		if contentLength > maxEngineResponse {
+			return nil, 0, false, fmt.Errorf("proxy: engine response %d bytes exceeds cap", contentLength)
 		}
-		return out, status, nil
+		body = make([]byte, contentLength)
+		if _, err := io.ReadFull(reader, body); err != nil {
+			return nil, 0, false, fmt.Errorf("proxy: read body: %w", err)
+		}
+		return body, status, keepAlive, nil
 	default:
+		// Undelimited body: read to EOF (capped); the connection is spent.
 		rest := new(bytes.Buffer)
-		if _, err := rest.ReadFrom(reader); err != nil {
-			return nil, 0, err
+		if _, err := rest.ReadFrom(io.LimitReader(reader, maxEngineResponse+1)); err != nil {
+			return nil, 0, false, err
 		}
-		return rest.Bytes(), status, nil
+		if rest.Len() > maxEngineResponse {
+			return nil, 0, false, fmt.Errorf("proxy: engine response exceeds %d-byte cap", maxEngineResponse)
+		}
+		return rest.Bytes(), status, false, nil
 	}
 }
 
-// readChunkedBody decodes HTTP/1.1 chunked transfer encoding.
-func readChunkedBody(reader *bufio.Reader, status int) ([]byte, int, error) {
+// readChunkedBody decodes HTTP/1.1 chunked transfer encoding, consuming
+// the terminating chunk's trailer section so a keep-alive connection is
+// left positioned at the next response. Chunk-size and trailer lines draw
+// on the shared header budget; chunk payloads on maxEngineResponse.
+func readChunkedBody(reader *bufio.Reader, lineBudget *int) ([]byte, error) {
 	var out bytes.Buffer
 	for {
-		sizeLine, err := reader.ReadString('\n')
+		sizeLine, err := readLine(reader, lineBudget)
 		if err != nil {
-			return nil, 0, fmt.Errorf("proxy: chunk size: %w", err)
+			return nil, fmt.Errorf("proxy: chunk size: %w", err)
 		}
 		sizeLine = strings.TrimSpace(sizeLine)
 		if idx := strings.IndexByte(sizeLine, ';'); idx >= 0 {
@@ -371,19 +517,31 @@ func readChunkedBody(reader *bufio.Reader, status int) ([]byte, int, error) {
 		}
 		size, err := strconv.ParseInt(sizeLine, 16, 32)
 		if err != nil {
-			return nil, 0, fmt.Errorf("proxy: chunk size %q: %w", sizeLine, err)
+			return nil, fmt.Errorf("proxy: chunk size %q: %w", sizeLine, err)
+		}
+		if size < 0 || int64(out.Len())+size > maxEngineResponse {
+			return nil, fmt.Errorf("proxy: chunked engine response exceeds %d-byte cap", maxEngineResponse)
 		}
 		if size == 0 {
-			return out.Bytes(), status, nil // trailers ignored
+			// Trailer section: lines until the blank terminator.
+			for {
+				line, err := readLine(reader, lineBudget)
+				if err != nil {
+					return nil, fmt.Errorf("proxy: chunk trailers: %w", err)
+				}
+				if line == "\r\n" || line == "\n" {
+					return out.Bytes(), nil
+				}
+			}
 		}
 		chunk := make([]byte, size)
 		if _, err := io.ReadFull(reader, chunk); err != nil {
-			return nil, 0, fmt.Errorf("proxy: chunk body: %w", err)
+			return nil, fmt.Errorf("proxy: chunk body: %w", err)
 		}
 		out.Write(chunk)
 		// Consume trailing CRLF.
 		if _, err := reader.Discard(2); err != nil {
-			return nil, 0, fmt.Errorf("proxy: chunk crlf: %w", err)
+			return nil, fmt.Errorf("proxy: chunk crlf: %w", err)
 		}
 	}
 }
@@ -475,6 +633,16 @@ func (c *ocallConn) Read(p []byte) (int, error) {
 	n := copy(p, c.pending)
 	c.pending = c.pending[n:]
 	return n, nil
+}
+
+// buffered reports bytes already received from the host but not yet read
+// — the layer below bufio, which the pool's response-boundary check must
+// also inspect (bufio's direct-read fast path can drain a large body
+// without ever filling its own buffer).
+func (c *ocallConn) buffered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
 }
 
 func (c *ocallConn) Write(p []byte) (int, error) {

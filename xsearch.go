@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/ed25519"
 	"net/http"
+	"time"
 
 	"xsearch/internal/attestation"
 	"xsearch/internal/broker"
@@ -88,6 +89,24 @@ func WithStatePersistence(path string, platformSeed []byte) ProxyOption {
 // footnote-2 configuration.
 func WithEngineTLS(rootsPEM []byte) ProxyOption {
 	return proxyOptionFunc(func(c *proxy.Config) { c.EngineCertPEM = rootsPEM })
+}
+
+// WithEnginePool bounds the enclave's pool of idle keep-alive connections
+// to the engine (default 8). Pass a negative size to disable pooling and
+// dial a fresh socket per request.
+func WithEnginePool(size int) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) { c.PoolSize = size })
+}
+
+// WithResultCache enables the in-enclave obfuscated-result cache: filtered
+// results are kept for repeat queries, bounded to maxBytes total (charged
+// against the EPC like the history window) and ttl freshness. A zero ttl
+// uses the default (60s).
+func WithResultCache(maxBytes int64, ttl time.Duration) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) {
+		c.CacheBytes = maxBytes
+		c.CacheTTL = ttl
+	})
 }
 
 // NewProxy builds the enclave-hosted proxy.
