@@ -300,6 +300,23 @@ func BenchmarkScalingAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkFanoutAblation regenerates the multi-engine comparison (the
+// coalescing and failover halves of BENCH_baseline.json) per iteration.
+// It only measures — the 2x coalescing floor is enforced by
+// TestRunFanoutDemonstratesScaling.
+func BenchmarkFanoutAblation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFanoutConfig()
+		cfg.CoalesceWorkers, cfg.CoalesceRequests = 8, 4
+		cfg.FailoverRequests = 48
+		cfg.Cooldown = 50 * time.Millisecond
+		if _, err := experiments.RunFanout(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAnonymityBaselines regenerates the extension comparison of the
 // four anonymity substrates (Dissent DC-net, RAC ring, Tor, X-Search).
 func BenchmarkAnonymityBaselines(b *testing.B) {

@@ -24,7 +24,7 @@ func main() {
 
 func run() error {
 	var (
-		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling", "comma-separated figures to run")
+		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout", "comma-separated figures to run")
 		quick    = flag.Bool("quick", false, "scaled-down sizes (CI-friendly)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		useHTTP  = flag.Bool("http", false, "Figure 5 over real loopback HTTP (bare-metal runs)")
@@ -93,10 +93,36 @@ func run() error {
 			return err
 		}
 	}
+	var base *scalingBaseline
+	if *baseline != "" {
+		base = &scalingBaseline{}
+		// Preload the existing baseline so running only one of the
+		// scaling/fanout figures refreshes its half without zeroing the
+		// other's committed numbers.
+		if raw, err := os.ReadFile(*baseline); err == nil {
+			_ = json.Unmarshal(raw, base)
+		}
+		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout -baseline"
+	}
 	if want["scaling"] {
-		if err := runScaling(*quick, *seed, *baseline); err != nil {
+		if err := runScaling(*quick, *seed, base); err != nil {
 			return err
 		}
+	}
+	if want["fanout"] {
+		if err := runFanout(*quick, base); err != nil {
+			return err
+		}
+	}
+	if base != nil {
+		raw, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baseline, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("# baseline written to %s\n\n", *baseline)
 	}
 	fmt.Printf("# total harness time: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
@@ -264,9 +290,9 @@ func runAblations(f *experiments.Fixture, quick bool) error {
 	return nil
 }
 
-// scalingBaseline is the schema of BENCH_baseline.json: the scaling
-// ablation's headline numbers, committed so future PRs have a perf
-// trajectory to compare against.
+// scalingBaseline is the schema of BENCH_baseline.json: the scaling and
+// fan-out ablations' headline numbers, committed so future PRs have a
+// perf trajectory to compare against.
 type scalingBaseline struct {
 	GeneratedBy         string  `json:"generated_by"`
 	Queries             int     `json:"queries"`
@@ -280,9 +306,20 @@ type scalingBaseline struct {
 	PoolReuseRatio      float64 `json:"pool_reuse_ratio"`
 	CacheHitRatio       float64 `json:"cache_hit_ratio"`
 	CachedSpeedupVsCold float64 `json:"cached_speedup_vs_cold"`
+	// Fan-out ablation: single-flight coalescing against a capacity-
+	// limited engine, and failover throughput across the three phases
+	// (both healthy / one dead / revived).
+	CoalesceBaselineRPS float64 `json:"coalesce_baseline_rps"`
+	CoalesceRPS         float64 `json:"coalesce_rps"`
+	CoalesceSpeedup     float64 `json:"coalesce_speedup"`
+	CoalesceRatio       float64 `json:"coalesce_ratio"`
+	FanoutHealthyRPS    float64 `json:"fanout_healthy_rps"`
+	FanoutDegradedRPS   float64 `json:"fanout_degraded_rps"`
+	FanoutRecoveredRPS  float64 `json:"fanout_recovered_rps"`
+	FanoutDegradedErrs  int     `json:"fanout_degraded_errors"`
 }
 
-func runScaling(quick bool, seed uint64, baselinePath string) error {
+func runScaling(quick bool, seed uint64, base *scalingBaseline) error {
 	cfg := experiments.DefaultConnScalingConfig()
 	cfg.Seed = seed
 	if quick {
@@ -307,31 +344,63 @@ func runScaling(quick bool, seed uint64, baselinePath string) error {
 	fmt.Printf("# cached-hit latency %v vs cold %v: %.1fx speedup\n\n",
 		res.CachedHitLatency.Round(time.Microsecond),
 		res.ColdLatency.Round(time.Microsecond), res.CachedSpeedup)
-	if baselinePath == "" {
-		return nil
+	if base != nil {
+		base.Queries = cfg.Queries
+		base.Repeats = cfg.Repeats
+		base.ColdNsPerQuery = res.Variants[0].MeanLatency.Nanoseconds()
+		base.PooledNsPerQuery = res.Variants[1].MeanLatency.Nanoseconds()
+		base.CachedHitNsPerQuery = res.CachedHitLatency.Nanoseconds()
+		base.ColdThroughputRPS = res.Variants[0].Throughput
+		base.PooledThroughputRPS = res.Variants[1].Throughput
+		base.CachedThroughputRPS = res.Variants[2].Throughput
+		base.PoolReuseRatio = res.Variants[1].ReuseRatio
+		base.CacheHitRatio = res.Variants[2].HitRatio
+		base.CachedSpeedupVsCold = res.CachedSpeedup
 	}
-	b := scalingBaseline{
-		GeneratedBy:         "cmd/xsearch-bench -figs scaling -baseline",
-		Queries:             cfg.Queries,
-		Repeats:             cfg.Repeats,
-		ColdNsPerQuery:      res.Variants[0].MeanLatency.Nanoseconds(),
-		PooledNsPerQuery:    res.Variants[1].MeanLatency.Nanoseconds(),
-		CachedHitNsPerQuery: res.CachedHitLatency.Nanoseconds(),
-		ColdThroughputRPS:   res.Variants[0].Throughput,
-		PooledThroughputRPS: res.Variants[1].Throughput,
-		CachedThroughputRPS: res.Variants[2].Throughput,
-		PoolReuseRatio:      res.Variants[1].ReuseRatio,
-		CacheHitRatio:       res.Variants[2].HitRatio,
-		CachedSpeedupVsCold: res.CachedSpeedup,
+	return nil
+}
+
+func runFanout(quick bool, base *scalingBaseline) error {
+	cfg := experiments.DefaultFanoutConfig()
+	if quick {
+		cfg.CoalesceWorkers, cfg.CoalesceRequests = 16, 6
+		cfg.FailoverRequests = 120
 	}
-	raw, err := json.MarshalIndent(b, "", "  ")
+	res, err := experiments.RunFanout(cfg)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(baselinePath, append(raw, '\n'), 0o644); err != nil {
-		return err
+	fmt.Printf("# Fan-out ablation A: single-flight coalescing, %d workers x %d identical\n",
+		cfg.CoalesceWorkers, cfg.CoalesceRequests)
+	fmt.Printf("# queries against a capacity-limited engine (%v serialized service time)\n", cfg.EngineService)
+	fmt.Printf("%-16s  %-10s  %-12s\n", "variant", "req/s", "engine trips")
+	fmt.Printf("%-16s  %-10.0f  %-12d\n", "no-coalesce", res.CoalesceBaselineRPS, res.EngineTripsBaseline)
+	fmt.Printf("%-16s  %-10.0f  %-12d\n", "coalesce", res.CoalesceRPS, res.EngineTripsCoalesce)
+	fmt.Printf("# coalescing: %.1fx throughput, %.0f%% of requests shared a flight\n\n",
+		res.CoalesceSpeedup, res.CoalesceRatio*100)
+
+	fmt.Printf("# Fan-out ablation B: two upstreams, one killed mid-run then revived\n")
+	fmt.Printf("# (breaker: %d failure(s) to open, %v cooldown; %d requests per phase)\n",
+		cfg.FailThreshold, cfg.Cooldown, cfg.FailoverRequests)
+	fmt.Printf("%-16s  %-10s  %-8s\n", "phase", "req/s", "errors")
+	fmt.Printf("%-16s  %-10.0f  %-8s\n", "both healthy", res.HealthyRPS,
+		fmt.Sprintf("A/B %.0f/%.0f%%", res.HealthyShareA*100, res.HealthyShareB*100))
+	fmt.Printf("%-16s  %-10.0f  %-8d\n", "one dead", res.DegradedRPS, res.DegradedErrors)
+	fmt.Printf("%-16s  %-10.0f  %-8s\n", "revived", res.RecoveredRPS,
+		fmt.Sprintf("B took %d", res.RevivedServed))
+	fmt.Printf("# failover held %d/%d requests through the dead upstream; breaker re-probe\n",
+		cfg.FailoverRequests-res.DegradedErrors, cfg.FailoverRequests)
+	fmt.Printf("# returned the revived upstream to rotation\n\n")
+	if base != nil {
+		base.CoalesceBaselineRPS = res.CoalesceBaselineRPS
+		base.CoalesceRPS = res.CoalesceRPS
+		base.CoalesceSpeedup = res.CoalesceSpeedup
+		base.CoalesceRatio = res.CoalesceRatio
+		base.FanoutHealthyRPS = res.HealthyRPS
+		base.FanoutDegradedRPS = res.DegradedRPS
+		base.FanoutRecoveredRPS = res.RecoveredRPS
+		base.FanoutDegradedErrs = res.DegradedErrors
 	}
-	fmt.Printf("# baseline written to %s\n\n", baselinePath)
 	return nil
 }
 

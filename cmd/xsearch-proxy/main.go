@@ -10,10 +10,37 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"xsearch"
 )
+
+// engineList collects repeated -engine flags: each occurrence is one
+// upstream, as "host:port" or "host:port*weight" (weight defaults to 1).
+type engineList []xsearch.EngineSpec
+
+func (e *engineList) String() string {
+	parts := make([]string, len(*e))
+	for i, s := range *e {
+		parts[i] = fmt.Sprintf("%s*%d", s.Host, s.Weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (e *engineList) Set(v string) error {
+	spec := xsearch.EngineSpec{Host: v, Weight: 1}
+	if host, w, ok := strings.Cut(v, "*"); ok {
+		weight, err := strconv.Atoi(w)
+		if err != nil || weight <= 0 {
+			return fmt.Errorf("bad engine weight %q (want host:port*N)", w)
+		}
+		spec.Host, spec.Weight = host, weight
+	}
+	*e = append(*e, spec)
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -23,16 +50,21 @@ func main() {
 }
 
 func run() error {
+	var engines engineList
+	flag.Var(&engines, "engine",
+		"search engine host:port, or host:port*weight; repeat for multi-engine fan-out (default 127.0.0.1:8090)")
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8091", "listen address")
-		engine     = flag.String("engine", "127.0.0.1:8090", "search engine host:port")
-		k          = flag.Int("k", 3, "number of fake queries per request")
-		history    = flag.Int("history", 1_000_000, "past-query window capacity")
-		perList    = flag.Int("results", 20, "results per sub-query list")
-		echo       = flag.Bool("echo", false, "echo mode: skip the engine (capacity tests)")
-		pool       = flag.Int("pool", 0, "idle engine connections kept alive in the enclave (0=default 8, negative=off)")
-		cacheBytes = flag.Int64("cache-bytes", 0, "in-enclave result cache bound in bytes (0=off; charged to the EPC)")
-		cacheTTL   = flag.Duration("cache-ttl", 0, "result cache entry lifetime (0=default 60s)")
+		addr        = flag.String("addr", "127.0.0.1:8091", "listen address")
+		k           = flag.Int("k", 3, "number of fake queries per request")
+		history     = flag.Int("history", 1_000_000, "past-query window capacity")
+		perList     = flag.Int("results", 20, "results per sub-query list")
+		echo        = flag.Bool("echo", false, "echo mode: skip the engine (capacity tests)")
+		pool        = flag.Int("pool", 0, "idle engine connections kept alive in the enclave, per upstream (0=default 8, negative=off)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "in-enclave result cache bound in bytes (0=off; charged to the EPC)")
+		cacheTTL    = flag.Duration("cache-ttl", 0, "result cache entry lifetime (0=default 60s)")
+		breakFails  = flag.Int("breaker-failures", 0, "consecutive failures that open an upstream's circuit breaker (0=default 3)")
+		breakerCool = flag.Duration("breaker-cooldown", 0, "how long an open breaker excludes its upstream (0=default 1s)")
+		noCoalesce  = flag.Bool("no-coalesce", false, "disable single-flight coalescing of concurrent identical queries")
 	)
 	flag.Parse()
 
@@ -41,6 +73,7 @@ func run() error {
 		xsearch.WithHistoryCapacity(*history),
 		xsearch.WithResultsPerList(*perList),
 		xsearch.WithEnginePool(*pool),
+		xsearch.WithUpstreamBreaker(*breakFails, *breakerCool),
 	}
 	if *cacheTTL != 0 && *cacheBytes == 0 {
 		return fmt.Errorf("-cache-ttl has no effect without -cache-bytes")
@@ -48,10 +81,19 @@ func run() error {
 	if *cacheBytes != 0 {
 		opts = append(opts, xsearch.WithResultCache(*cacheBytes, *cacheTTL))
 	}
-	if *echo {
+	if *noCoalesce {
+		opts = append(opts, xsearch.WithoutCoalescing())
+	}
+	switch {
+	case *echo:
+		if len(engines) > 0 {
+			return fmt.Errorf("-echo and -engine are mutually exclusive")
+		}
 		opts = append(opts, xsearch.WithEchoMode())
-	} else {
-		opts = append(opts, xsearch.WithEngineHost(*engine))
+	case len(engines) == 0:
+		opts = append(opts, xsearch.WithEngineHost("127.0.0.1:8090"))
+	default:
+		opts = append(opts, xsearch.WithEngines(engines...))
 	}
 	proxy, err := xsearch.NewProxy(opts...)
 	if err != nil {
@@ -63,6 +105,9 @@ func run() error {
 	m := proxy.Measurement()
 	fmt.Printf("x-search proxy listening on %s (k=%d, history=%d, echo=%t)\n",
 		proxy.Addr(), *k, *history, *echo)
+	if len(engines) > 0 {
+		fmt.Printf("engine upstreams    : %s\n", engines.String())
+	}
 	fmt.Printf("enclave measurement : %s\n", hex.EncodeToString(m[:]))
 	fmt.Printf("attestation key     : %s\n", hex.EncodeToString(proxy.AttestationKey()))
 	fmt.Printf("plain front         : curl '%s/search?q=chicken+recipe'\n", proxy.URL())
@@ -74,8 +119,13 @@ func run() error {
 	st := proxy.Stats()
 	fmt.Printf("served %d requests, %d handshakes, %d errors; history %d queries / %d bytes\n",
 		st.Requests, st.Handshakes, st.Errors, st.HistoryLen, st.HistoryB)
-	fmt.Printf("pool: %.0f%% reuse (%d reused, %d dialled); cache: %.0f%% hits (%d hits, %d misses, %d bytes)\n",
+	fmt.Printf("pool: %.0f%% reuse (%d reused, %d dialled); cache: %.0f%% hits (%d hits, %d misses, %d bytes); coalesced: %.0f%% (%d shared, %d led)\n",
 		st.PoolReuseRatio*100, st.PoolReuses, st.PoolDials,
-		st.CacheHitRatio*100, st.CacheHits, st.CacheMisses, st.CacheB)
+		st.CacheHitRatio*100, st.CacheHits, st.CacheMisses, st.CacheB,
+		st.CoalesceRatio*100, st.CoalesceShared, st.CoalesceLed)
+	for _, u := range st.Upstreams {
+		fmt.Printf("upstream %s (w=%d): served %d, failures %d, cooling=%t, reuse %.0f%%\n",
+			u.Host, u.Weight, u.Served, u.Failures, u.CoolingDown, u.PoolReuseRatio*100)
+	}
 	return nil
 }

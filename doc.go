@@ -14,10 +14,18 @@
 //   - The Proxy (NewProxy) runs on an untrusted host. Inside a (simulated)
 //     SGX enclave it decrypts each query, OR-aggregates it with k real past
 //     queries drawn from an in-enclave sliding-window history (Algorithm 1),
-//     forwards the obfuscated query to the engine, filters the merged
-//     results back down to those matching the original query (Algorithm 2),
-//     and returns them over the channel. A plain HTTP front
+//     forwards the obfuscated query to an engine upstream, filters the
+//     merged results back down to those matching the original query
+//     (Algorithm 2), and returns them over the channel. A plain HTTP front
 //     (GET /search?q=...) serves third-party clients such as curl.
+//   - The upstream registry (WithEngines) is the seam between the proxy
+//     and its engines: a set of EngineSpec upstreams, each with its own
+//     in-enclave connection pool, pinned TLS roots, fan-out weight, and
+//     circuit-breaker health state. Queries spread across healthy
+//     upstreams by weight (CYCLOSA-style load spreading); a failing
+//     upstream is failed over transparently and, once its breaker opens,
+//     costs one probe per cooldown instead of a stall per request.
+//     WithEngineHost/WithEngineTLS remain as single-upstream sugar.
 //   - The Engine (NewEngine) is the search engine substrate: a ranked
 //     inverted-index engine with Bing-compatible OR semantics and the
 //     honest-but-curious behaviour the adversary model assumes.
@@ -25,13 +33,14 @@
 // # Scaling layer
 //
 // The proxy's hot path — the engine round trip of §6.3 — is amortized by
-// two in-enclave mechanisms, both living entirely inside the trusted
+// four in-enclave mechanisms, all living entirely inside the trusted
 // boundary:
 //
-//   - A connection pool (WithEnginePool, default size 8) keeps keep-alive
-//     engine connections — including enclave-terminated TLS sessions —
-//     alive across requests, health-checking each on checkout via the
-//     sock_check ocall and evicting FIFO on overflow or idle expiry.
+//   - A per-upstream connection pool (WithEnginePool, default size 8 per
+//     upstream) keeps keep-alive engine connections — including
+//     enclave-terminated TLS sessions — alive across requests,
+//     health-checking each on checkout via the sock_check ocall and
+//     evicting FIFO on overflow or idle expiry.
 //   - A result cache (WithResultCache, off by default) serves repeated
 //     queries without an engine round trip. It is keyed on the ORIGINAL
 //     query (obfuscated queries differ every time by construction),
@@ -40,10 +49,20 @@
 //     history, so the paper's Figure 6 memory accounting stays honest.
 //     Obfuscation still runs before the cache lookup: the history grows
 //     identically with and without caching.
+//   - Single-flight coalescing (on by default, WithoutCoalescing to
+//     disable) collapses N concurrent identical original queries into one
+//     engine round trip: the first becomes the leader, the rest share its
+//     filtered result, and the cache entry is charged to the EPC exactly
+//     once. Obfuscation still runs per request, so the history grows
+//     identically with and without coalescing.
+//   - Multi-engine fan-out (WithEngines) spreads obfuscated queries
+//     across weighted upstreams with automatic failover and a
+//     circuit-breaker cooldown (WithUpstreamBreaker) around dead ones.
 //
-// Proxy.Stats reports both gauges (pool reuse ratio, cache hit ratio);
-// the scaling ablation in cmd/xsearch-bench (-figs scaling) measures the
-// cold/pooled/cached configurations side by side and can write
+// Proxy.Stats reports the gauges (per-upstream pool reuse and breaker
+// state in Stats.Upstreams, cache hit ratio, coalesce ratio); the scaling
+// and fanout ablations in cmd/xsearch-bench (-figs scaling,fanout)
+// measure the configurations side by side and can write
 // BENCH_baseline.json for perf-regression tracking.
 //
 // # Quick start

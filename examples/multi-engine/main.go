@@ -1,0 +1,134 @@
+// Multi-engine demonstrates the CYCLOSA-style upstream set live: one
+// proxy fans obfuscated queries out across two curious engines, so each
+// engine observes only a share of the (already-obfuscated) traffic. It
+// then kills one engine mid-run to show failover holding every request,
+// and revives it to show the circuit breaker's re-probe returning it to
+// rotation.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"xsearch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "multi-engine:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Two independent curious engines.
+	engineA := xsearch.NewEngine(xsearch.WithEngineSeed(1))
+	if err := engineA.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer func() { _ = engineA.Shutdown(context.Background()) }()
+	engineB := xsearch.NewEngine(xsearch.WithEngineSeed(2))
+	if err := engineB.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	addrB := engineB.Addr()
+
+	// One proxy fanning out across both, with a snappy breaker so the
+	// demo's failover phases are visible in seconds.
+	proxy, err := xsearch.NewProxy(
+		xsearch.WithEngines(
+			xsearch.EngineSpec{Host: engineA.Addr()},
+			xsearch.EngineSpec{Host: addrB},
+		),
+		xsearch.WithFakeQueries(2),
+		xsearch.WithUpstreamBreaker(1, 300*time.Millisecond),
+	)
+	if err != nil {
+		return err
+	}
+	if err := proxy.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer func() { _ = proxy.Shutdown(context.Background()) }()
+
+	client, err := xsearch.NewClient(proxy.URL(),
+		xsearch.WithTrustedMeasurement(proxy.Measurement()),
+		xsearch.WithAttestationKey(proxy.AttestationKey()))
+	if err != nil {
+		return err
+	}
+	if err := client.Connect(ctx); err != nil {
+		return err
+	}
+
+	queries := []string{
+		"mortgage rates", "garden roses", "playoff scores", "paris flights",
+		"chicken recipe", "knitting pattern", "used car dealer", "tax return help",
+		"guitar lessons", "weather tomorrow", "pizza near me", "divorce attorney",
+	}
+	search := func(phase string) error {
+		for _, q := range queries {
+			if _, err := client.Search(ctx, phase+" "+q); err != nil {
+				return fmt.Errorf("%s %q: %w", phase, q, err)
+			}
+		}
+		return nil
+	}
+
+	// Phase 1: both engines healthy — each sees only a share.
+	if err := search("healthy"); err != nil {
+		return err
+	}
+	a, b := len(engineA.QueryLog()), len(engineB.QueryLog())
+	fmt.Printf("phase 1 (both healthy): %d queries -> engine A saw %d, engine B saw %d\n",
+		len(queries), a, b)
+	fmt.Printf("  neither engine observes the full stream, and every observed\n")
+	fmt.Printf("  query is already OR-obfuscated, e.g.:\n    %q\n\n", lastQuery(engineA))
+
+	// Phase 2: kill engine B mid-run. Failover keeps every request alive;
+	// after one failure the breaker stops even trying B.
+	if err := engineB.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	if err := search("degraded"); err != nil {
+		return err
+	}
+	fmt.Printf("phase 2 (engine B killed): all %d queries still answered via engine A\n",
+		len(queries))
+	for _, u := range proxy.Stats().Upstreams {
+		fmt.Printf("  upstream %s: served %d, failures %d, cooling=%t\n",
+			u.Host, u.Served, u.Failures, u.CoolingDown)
+	}
+	fmt.Println()
+
+	// Phase 3: revive B on the same address; the breaker re-probes after
+	// its cooldown and B rejoins the rotation.
+	engineB2 := xsearch.NewEngine(xsearch.WithEngineSeed(2))
+	if err := engineB2.Start(addrB); err != nil {
+		return err
+	}
+	defer func() { _ = engineB2.Shutdown(context.Background()) }()
+	time.Sleep(500 * time.Millisecond) // let the cooldown lapse
+	if err := search("recovered"); err != nil {
+		return err
+	}
+	fmt.Printf("phase 3 (engine B revived): breaker re-probed, B took %d of the next %d\n",
+		len(engineB2.QueryLog()), len(queries))
+	fmt.Println("\na dead upstream costs one probe per cooldown, never a per-request stall;")
+	fmt.Println("a revived one rejoins automatically — no operator action, no restart.")
+	return nil
+}
+
+// lastQuery returns the most recent query an engine logged.
+func lastQuery(e *xsearch.Engine) string {
+	log := e.QueryLog()
+	if len(log) == 0 {
+		return ""
+	}
+	return log[len(log)-1].Query
+}

@@ -114,6 +114,100 @@ func TestProxyRestartPreservesHistory(t *testing.T) {
 	}
 }
 
+// A two-engine topology end to end: one proxy fans obfuscated queries out
+// across two curious engines. Each engine must observe only a share of the
+// traffic — never the whole stream — and every query it does see must be
+// obfuscated.
+func TestTwoEngineFanoutSharesTraffic(t *testing.T) {
+	mkEngine := func(seed uint64) *xsearch.Engine {
+		e := xsearch.NewEngine(xsearch.WithCorpusSize(10), xsearch.WithEngineSeed(seed))
+		if err := e.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = e.Shutdown(ctx)
+		})
+		return e
+	}
+	engA, engB := mkEngine(1), mkEngine(2)
+
+	p, err := xsearch.NewProxy(
+		xsearch.WithEngines(
+			xsearch.EngineSpec{Host: engA.Addr()},
+			xsearch.EngineSpec{Host: engB.Addr()},
+		),
+		xsearch.WithFakeQueries(2),
+		xsearch.WithProxySeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = p.Shutdown(ctx)
+	}()
+	c, err := xsearch.NewClient(p.URL(),
+		xsearch.WithTrustedMeasurement(p.Measurement()),
+		xsearch.WithAttestationKey(p.AttestationKey()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		"mortgage rates", "garden roses", "playoff scores", "paris flights",
+		"chicken recipe", "knitting pattern", "used car dealer", "divorce attorney",
+		"tax return help", "guitar lessons", "weather tomorrow", "pizza near me",
+	}
+	for _, q := range queries {
+		if _, err := c.Search(context.Background(), q); err != nil {
+			t.Fatalf("search %q: %v", q, err)
+		}
+	}
+
+	logA, logB := engA.QueryLog(), engB.QueryLog()
+	total := len(queries)
+	if len(logA)+len(logB) != total {
+		t.Fatalf("engines saw %d+%d queries, want %d total", len(logA), len(logB), total)
+	}
+	if len(logA) == 0 || len(logB) == 0 {
+		t.Errorf("an engine saw no traffic (%d vs %d): fan-out not spreading", len(logA), len(logB))
+	}
+	if len(logA) == total || len(logB) == total {
+		t.Error("one engine observed the full query stream")
+	}
+	// Each observed query must be the OR-aggregated obfuscation. Only the
+	// cold start is exempt: with an empty history there are no past
+	// queries to draw fakes from, so at most the first k queries may go
+	// out bare (exactly as in the paper's bootstrap).
+	bare := 0
+	for _, logged := range [][]xsearch.LoggedQuery{logA, logB} {
+		for _, l := range logged {
+			if !strings.Contains(l.Query, " OR ") {
+				bare++
+			}
+		}
+	}
+	if bare > 2 {
+		t.Errorf("%d queries reached the engines unobfuscated (only the <=k cold-start queries may)", bare)
+	}
+	// The proxy's own per-upstream accounting must agree with the logs.
+	st := p.Stats()
+	if len(st.Upstreams) != 2 {
+		t.Fatalf("stats report %d upstreams", len(st.Upstreams))
+	}
+	if got := st.Upstreams[0].Served + st.Upstreams[1].Served; got != uint64(total) {
+		t.Errorf("upstream stats served %d, want %d", got, total)
+	}
+}
+
 // Two independent clients of one proxy must each get correct, isolated
 // channels: records of one session never decrypt on the other.
 func TestTwoClientsIsolatedChannels(t *testing.T) {

@@ -1,0 +1,55 @@
+package core
+
+import "sync"
+
+// FlightGroup coalesces concurrent identical work into a single flight:
+// the first caller for a key becomes the leader and runs the function;
+// callers arriving for the same key while the leader is in flight block
+// and share its outcome instead of repeating the work. The proxy uses it
+// to collapse N concurrent identical original queries into one engine
+// round trip (the ROADMAP's single-flight scaling item).
+//
+// Unlike a cache, a flight holds no state once it lands: the results live
+// only for the duration of the leader's call, so nothing here is charged
+// to the EPC — the one place a coalesced result IS retained (the result
+// cache) charges it there, exactly once, from the leader's call.
+type FlightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{}
+	results []Result
+	err     error
+}
+
+// NewFlightGroup returns an empty group.
+func NewFlightGroup() *FlightGroup {
+	return &FlightGroup{flights: make(map[string]*flight)}
+}
+
+// Do returns the results of fn for key, running fn exactly once per
+// flight. shared reports whether this call piggybacked on another
+// caller's flight; when shared, the returned slice is the leader's —
+// callers must copy before mutating. The flight is forgotten as soon as
+// the leader's fn returns: later callers start a fresh flight (and, in
+// the proxy, typically hit the result cache instead).
+func (g *FlightGroup) Do(key string, fn func() ([]Result, error)) (results []Result, shared bool, err error) {
+	g.mu.Lock()
+	if f, inFlight := g.flights[key]; inFlight {
+		g.mu.Unlock()
+		<-f.done
+		return f.results, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.results, f.err = fn()
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.results, false, f.err
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Concurrent callers for one key must share the leader's single execution
+// of fn: every caller either leads a flight or shares one, and while the
+// first flight is parked in fn no second flight may start.
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := NewFlightGroup()
+	const waiters = 16
+	var calls atomic.Int64
+	release := make(chan struct{})
+	leaderIn := make(chan struct{}, waiters)
+
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results, shared, err := g.Do("key", func() ([]Result, error) {
+				leaderIn <- struct{}{}
+				calls.Add(1)
+				<-release
+				return []Result{{URL: "http://a", Title: "t"}}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if len(results) != 1 || results[0].URL != "http://a" {
+				t.Errorf("results = %+v", results)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Park the first leader inside fn, let the other goroutines join its
+	// flight, then land it. A straggler that arrives after the flight
+	// lands leads a fresh flight (counted, passes <-release immediately).
+	<-leaderIn
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got >= waiters {
+		t.Errorf("fn ran %d times for %d concurrent callers: nothing coalesced", got, waiters)
+	}
+	if got := sharedCount.Load(); got != waiters-calls.Load() {
+		t.Errorf("shared callers = %d, want %d (every caller leads or shares)", got, waiters-calls.Load())
+	}
+	if sharedCount.Load() == 0 {
+		t.Error("no caller shared the parked flight")
+	}
+}
+
+// Different keys must not serialize on each other.
+func TestFlightGroupKeysIndependent(t *testing.T) {
+	g := NewFlightGroup()
+	blockA := make(chan struct{})
+	enteredA := make(chan struct{})
+	go func() {
+		_, _, _ = g.Do("a", func() ([]Result, error) {
+			close(enteredA)
+			<-blockA
+			return nil, nil
+		})
+	}()
+	<-enteredA
+	done := make(chan struct{})
+	go func() {
+		_, shared, err := g.Do("b", func() ([]Result, error) { return nil, nil })
+		if shared || err != nil {
+			t.Errorf("key b: shared=%t err=%v", shared, err)
+		}
+		close(done)
+	}()
+	<-done // would deadlock if "b" waited on "a"
+	close(blockA)
+}
+
+// The leader's error is shared by every waiter, and a later call starts a
+// fresh flight (errors are not cached).
+func TestFlightGroupErrorSharedNotCached(t *testing.T) {
+	g := NewFlightGroup()
+	boom := errors.New("boom")
+	if _, shared, err := g.Do("k", func() ([]Result, error) { return nil, boom }); shared || !errors.Is(err, boom) {
+		t.Fatalf("shared=%t err=%v", shared, err)
+	}
+	if _, shared, err := g.Do("k", func() ([]Result, error) { return []Result{}, nil }); shared || err != nil {
+		t.Fatalf("second flight: shared=%t err=%v", shared, err)
+	}
+}

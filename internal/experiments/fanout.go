@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xsearch/internal/enclave"
+	"xsearch/internal/proxy"
+	"xsearch/internal/searchengine"
+)
+
+// FanoutConfig sizes the multi-engine ablation: the two scaling features
+// the upstream-set redesign delivers, measured end to end through the
+// enclave pipeline. The coalescing half drives a concurrent identical-
+// query storm at one capacity-limited engine, with and without single-
+// flight. The failover half fans out across two engines, kills one
+// mid-run, and revives it, measuring throughput in each phase.
+type FanoutConfig struct {
+	// CoalesceWorkers concurrent clients repeat the same query
+	// CoalesceRequests times each against a capacity-limited engine.
+	CoalesceWorkers  int
+	CoalesceRequests int
+	// EngineService is the capacity-limited engine's serialized
+	// per-request service time (its capacity is 1/EngineService).
+	EngineService time.Duration
+	// FailoverWorkers concurrent clients issue FailoverRequests distinct
+	// queries per phase (healthy / one-dead / revived).
+	FailoverWorkers  int
+	FailoverRequests int
+	// Cooldown and FailThreshold parameterize the upstream breaker.
+	Cooldown      time.Duration
+	FailThreshold int
+	// DocsPerTopic sizes the engine corpus; Seed fixes randomness.
+	DocsPerTopic int
+	Seed         uint64
+}
+
+// DefaultFanoutConfig is the full-size ablation.
+func DefaultFanoutConfig() FanoutConfig {
+	return FanoutConfig{
+		CoalesceWorkers:  32,
+		CoalesceRequests: 12,
+		EngineService:    2 * time.Millisecond,
+		FailoverWorkers:  8,
+		FailoverRequests: 240,
+		Cooldown:         150 * time.Millisecond,
+		FailThreshold:    1,
+		DocsPerTopic:     20,
+		Seed:             1,
+	}
+}
+
+// FanoutResult carries both halves' measurements.
+type FanoutResult struct {
+	// Coalescing: the identical-query storm with single-flight off (the
+	// PR 1 baseline) versus on, plus the proxy's own coalesce gauge.
+	CoalesceBaselineRPS float64
+	CoalesceRPS         float64
+	CoalesceSpeedup     float64
+	CoalesceRatio       float64
+	EngineTripsBaseline uint64
+	EngineTripsCoalesce uint64
+
+	// Failover: throughput with both upstreams healthy, with one killed
+	// mid-run (failover + breaker), and after reviving it (re-probe).
+	HealthyRPS   float64
+	DegradedRPS  float64
+	RecoveredRPS float64
+	// HealthyShareA/B are the engines' observed traffic shares in the
+	// healthy phase; RevivedServed counts requests the revived engine
+	// answered after its breaker re-probed.
+	HealthyShareA float64
+	HealthyShareB float64
+	RevivedServed uint64
+	// DegradedErrors counts failed requests while one upstream was dead
+	// (failover should hold this at zero).
+	DegradedErrors int
+}
+
+// RunFanout measures the upstream-set scaling features end to end.
+func RunFanout(cfg FanoutConfig) (*FanoutResult, error) {
+	if cfg.CoalesceWorkers <= 0 || cfg.FailoverWorkers <= 0 {
+		return nil, fmt.Errorf("fanout: need positive worker counts")
+	}
+	res := &FanoutResult{}
+	if err := runCoalesceAblation(cfg, res); err != nil {
+		return nil, fmt.Errorf("fanout: coalesce: %w", err)
+	}
+	if err := runFailoverAblation(cfg, res); err != nil {
+		return nil, fmt.Errorf("fanout: failover: %w", err)
+	}
+	return res, nil
+}
+
+// limitedEngineServer starts a searchengine whose request handling is
+// serialized with a fixed service time — the capacity-limited upstream the
+// CYCLOSA setting assumes (a real engine rate-limits long before the
+// proxy saturates). Returns the server and a round-trip counter.
+func limitedEngineServer(cfg FanoutConfig) (*searchengine.Server, *atomic.Uint64, error) {
+	engine := searchengine.NewEngine(searchengine.WithCorpus(
+		searchengine.GenerateCorpus(searchengine.CorpusConfig{
+			DocsPerTopic: cfg.DocsPerTopic,
+			Seed:         cfg.Seed,
+		})))
+	srv := searchengine.NewServer(engine)
+	trips := &atomic.Uint64{}
+	var mu sync.Mutex
+	srv.DelayFn = func() time.Duration {
+		trips.Add(1)
+		mu.Lock()
+		time.Sleep(cfg.EngineService)
+		mu.Unlock()
+		return 0
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, nil, err
+	}
+	return srv, trips, nil
+}
+
+// runCoalesceAblation measures the identical-query storm with coalescing
+// off, then on, against identically configured enclaves and engines.
+func runCoalesceAblation(cfg FanoutConfig, res *FanoutResult) error {
+	run := func(disable bool) (rps float64, trips uint64, ratio float64, err error) {
+		srv, counter, err := limitedEngineServer(cfg)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		p, err := proxy.New(proxy.Config{
+			K:                 2,
+			Engines:           []proxy.EngineSpec{{Host: srv.Addr()}},
+			Seed:              cfg.Seed,
+			DisableCoalescing: disable,
+			EnclaveConfig:     enclave.Config{TCSCount: cfg.CoalesceWorkers},
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = p.Shutdown(ctx)
+		}()
+		// Warm the history so obfuscation has fakes before measuring.
+		for i := 0; i < 3; i++ {
+			if _, err := p.ServeQuery(context.Background(), fmt.Sprintf("fanout warm %d", i)); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		warmTrips := counter.Load()
+		var wg sync.WaitGroup
+		workerErrs := make(chan error, cfg.CoalesceWorkers)
+		start := time.Now()
+		for w := 0; w < cfg.CoalesceWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < cfg.CoalesceRequests; i++ {
+					if _, err := p.ServeQuery(context.Background(), "the one hot query"); err != nil {
+						workerErrs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(workerErrs)
+		if err := <-workerErrs; err != nil {
+			return 0, 0, 0, err
+		}
+		total := cfg.CoalesceWorkers * cfg.CoalesceRequests
+		return float64(total) / elapsed.Seconds(), counter.Load() - warmTrips, p.Stats().CoalesceRatio, nil
+	}
+	var err error
+	if res.CoalesceBaselineRPS, res.EngineTripsBaseline, _, err = run(true); err != nil {
+		return err
+	}
+	if res.CoalesceRPS, res.EngineTripsCoalesce, res.CoalesceRatio, err = run(false); err != nil {
+		return err
+	}
+	if res.CoalesceBaselineRPS > 0 {
+		res.CoalesceSpeedup = res.CoalesceRPS / res.CoalesceBaselineRPS
+	}
+	return nil
+}
+
+// runFailoverAblation drives three phases through one proxy fanning out
+// over two engines: both healthy, one killed (failover + breaker), and
+// the dead one revived on the same address (breaker re-probe).
+func runFailoverAblation(cfg FanoutConfig, res *FanoutResult) error {
+	mkEngine := func(addr string, seed uint64) (*searchengine.Engine, *searchengine.Server, error) {
+		engine := searchengine.NewEngine(searchengine.WithCorpus(
+			searchengine.GenerateCorpus(searchengine.CorpusConfig{
+				DocsPerTopic: cfg.DocsPerTopic,
+				Seed:         seed,
+			})))
+		srv := searchengine.NewServer(engine)
+		if err := srv.Start(addr); err != nil {
+			return nil, nil, err
+		}
+		return engine, srv, nil
+	}
+	shutdown := func(srv *searchengine.Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	engA, srvA, err := mkEngine("127.0.0.1:0", cfg.Seed)
+	if err != nil {
+		return err
+	}
+	defer shutdown(srvA)
+	engB, srvB, err := mkEngine("127.0.0.1:0", cfg.Seed+1)
+	if err != nil {
+		return err
+	}
+	addrB := srvB.Addr()
+
+	p, err := proxy.New(proxy.Config{
+		K:                     2,
+		Engines:               []proxy.EngineSpec{{Host: srvA.Addr()}, {Host: addrB}},
+		Seed:                  cfg.Seed,
+		UpstreamFailThreshold: cfg.FailThreshold,
+		UpstreamCooldown:      cfg.Cooldown,
+		EnclaveConfig:         enclave.Config{TCSCount: cfg.FailoverWorkers},
+	})
+	if err != nil {
+		shutdown(srvB)
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = p.Shutdown(ctx)
+	}()
+
+	phase := func(label string) (rps float64, errors int) {
+		var wg sync.WaitGroup
+		var errCount atomic.Int64
+		perWorker := cfg.FailoverRequests / cfg.FailoverWorkers
+		start := time.Now()
+		for w := 0; w < cfg.FailoverWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					q := fmt.Sprintf("%s query w%d i%d", label, w, i)
+					if _, err := p.ServeQuery(context.Background(), q); err != nil {
+						errCount.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		total := perWorker * cfg.FailoverWorkers
+		return float64(total) / elapsed.Seconds(), int(errCount.Load())
+	}
+
+	// Phase 1: both upstreams healthy.
+	res.HealthyRPS, _ = phase("healthy")
+	seenA, seenB := len(engA.QueryLog()), len(engB.QueryLog())
+	if total := seenA + seenB; total > 0 {
+		res.HealthyShareA = float64(seenA) / float64(total)
+		res.HealthyShareB = float64(seenB) / float64(total)
+	}
+
+	// Phase 2: kill B mid-run. Failover must keep every request alive;
+	// the breaker keeps the dead upstream to one probe per cooldown.
+	shutdown(srvB)
+	res.DegradedRPS, res.DegradedErrors = phase("degraded")
+
+	// Phase 3: revive B on the same address; after one cooldown the
+	// breaker re-probes and traffic spreads again.
+	_, srvB2, err := mkEngine(addrB, cfg.Seed+1)
+	if err != nil {
+		return err
+	}
+	defer shutdown(srvB2)
+	time.Sleep(cfg.Cooldown + cfg.Cooldown/2)
+	res.RecoveredRPS, _ = phase("recovered")
+	for _, u := range p.Stats().Upstreams {
+		if u.Host == addrB {
+			res.RevivedServed = u.Served - uint64(seenB)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunFanoutValidation(t *testing.T) {
+	if _, err := RunFanout(FanoutConfig{CoalesceWorkers: 0, FailoverWorkers: 1}); err == nil {
+		t.Error("zero coalesce workers accepted")
+	}
+	if _, err := RunFanout(FanoutConfig{CoalesceWorkers: 1, FailoverWorkers: 0}); err == nil {
+		t.Error("zero failover workers accepted")
+	}
+}
+
+// The acceptance bar of the upstream-set redesign: coalescing must at
+// least double throughput on a concurrent identical-query workload
+// against a capacity-limited engine (measured ~15x on loopback; 2x keeps
+// the test robust on loaded CI machines), failover must hold every
+// request through a dead upstream, and the revived upstream must take
+// traffic again after the breaker re-probes.
+func TestRunFanoutDemonstratesScaling(t *testing.T) {
+	res, err := RunFanout(FanoutConfig{
+		CoalesceWorkers:  16,
+		CoalesceRequests: 6,
+		EngineService:    2 * time.Millisecond,
+		FailoverWorkers:  8,
+		FailoverRequests: 80,
+		Cooldown:         100 * time.Millisecond,
+		FailThreshold:    1,
+		DocsPerTopic:     10,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoalesceSpeedup < 2 {
+		t.Errorf("coalescing speedup %.1fx below the 2x acceptance floor (%.0f vs %.0f rps)",
+			res.CoalesceSpeedup, res.CoalesceRPS, res.CoalesceBaselineRPS)
+	}
+	if res.EngineTripsCoalesce >= res.EngineTripsBaseline {
+		t.Errorf("coalescing did not reduce engine round trips: %d vs %d",
+			res.EngineTripsCoalesce, res.EngineTripsBaseline)
+	}
+	if res.CoalesceRatio <= 0 {
+		t.Error("no request shared a flight")
+	}
+	if res.DegradedErrors != 0 {
+		t.Errorf("%d requests failed while one upstream was dead (failover must hold them all)",
+			res.DegradedErrors)
+	}
+	if res.HealthyShareA == 0 || res.HealthyShareB == 0 {
+		t.Errorf("healthy phase left an upstream idle: %.2f/%.2f",
+			res.HealthyShareA, res.HealthyShareB)
+	}
+	if res.DegradedRPS < res.HealthyRPS/4 {
+		t.Errorf("degraded throughput %.0f collapsed vs healthy %.0f (per-request stalls?)",
+			res.DegradedRPS, res.HealthyRPS)
+	}
+	if res.RevivedServed == 0 {
+		t.Error("revived upstream took no traffic after the breaker cooldown")
+	}
+}

@@ -2,7 +2,6 @@ package proxy
 
 import (
 	"context"
-	"crypto/x509"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,7 +26,16 @@ type Config struct {
 	// HistoryCapacity is the sliding-window bound x on stored past
 	// queries. Zero means 1,000,000 (which fits the EPC, Figure 6).
 	HistoryCapacity int
+	// Engines is the set of engine upstreams the enclave spreads
+	// obfuscated queries across (weighted fan-out with failover and a
+	// per-upstream circuit breaker). At least one upstream is required
+	// unless EchoMode; the legacy EngineHost/EngineCertPEM pair is sugar
+	// for a one-element set and must agree with Engines when both are set.
+	Engines []EngineSpec
 	// EngineHost is the host:port of the search engine.
+	//
+	// Deprecated: legacy single-upstream option, kept as sugar for a
+	// one-element Engines set. New configurations should set Engines.
 	EngineHost string
 	// ResultsPerList bounds each sub-query's result list (paper uses 20).
 	ResultsPerList int
@@ -37,6 +45,10 @@ type Config struct {
 	// EngineCertPEM, when set, makes the enclave speak HTTPS to the
 	// engine (paper footnote 2), pinning these PEM-encoded root
 	// certificates. The pins are part of the measured enclave identity.
+	//
+	// Deprecated: legacy single-upstream option, applied to the engine
+	// named by EngineHost. New configurations should set RootsPEM on the
+	// relevant EngineSpec in Engines.
 	EngineCertPEM []byte
 	// Seed fixes obfuscation randomness; zero draws a random seed.
 	Seed uint64
@@ -56,6 +68,16 @@ type Config struct {
 	// CacheTTL bounds cached-entry freshness. Zero means DefaultCacheTTL
 	// (only consulted when CacheBytes > 0).
 	CacheTTL time.Duration
+	// UpstreamFailThreshold is how many consecutive failures open an
+	// upstream's circuit breaker. Zero means DefaultUpstreamFailThreshold.
+	UpstreamFailThreshold int
+	// UpstreamCooldown is how long an open breaker excludes the upstream
+	// from selection before admitting a single probe request. Zero means
+	// DefaultUpstreamCooldown.
+	UpstreamCooldown time.Duration
+	// DisableCoalescing turns off single-flight coalescing of concurrent
+	// identical original queries (ablations; coalescing is on by default).
+	DisableCoalescing bool
 	// EngineLink injects WAN latency on the proxy <-> engine path
 	// (experiments); nil means none.
 	EngineLink *netsim.Link
@@ -122,8 +144,18 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.CacheBytes > 0 && cfg.CacheTTL == 0 {
 		cfg.CacheTTL = DefaultCacheTTL
 	}
-	if !cfg.EchoMode && cfg.EngineHost == "" {
-		return nil, fmt.Errorf("proxy: EngineHost required unless EchoMode")
+	if cfg.UpstreamFailThreshold <= 0 {
+		cfg.UpstreamFailThreshold = DefaultUpstreamFailThreshold
+	}
+	if cfg.UpstreamCooldown <= 0 {
+		cfg.UpstreamCooldown = DefaultUpstreamCooldown
+	}
+	engines, err := normalizeEngines(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.EchoMode && len(engines) == 0 {
+		return nil, fmt.Errorf("proxy: Engines (or EngineHost) required unless EchoMode")
 	}
 	platform := cfg.Platform
 	if platform == nil {
@@ -148,14 +180,20 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	trusted := &trustedState{
 		obfuscator: obfuscator,
-		engineHost: cfg.EngineHost,
 		perList:    cfg.ResultsPerList,
 		echoMode:   cfg.EchoMode,
 		sessions:   make(map[string]*sessionState),
 		maxSess:    cfg.MaxSessions,
 	}
-	if cfg.PoolSize > 0 && !cfg.EchoMode {
-		trusted.pool = newEnginePool(cfg.PoolSize, cfg.PoolIdleTimeout)
+	if !cfg.EchoMode {
+		registry, err := buildRegistry(engines, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		trusted.registry = registry
+		if !cfg.DisableCoalescing {
+			trusted.flights = core.NewFlightGroup()
+		}
 	}
 	if cfg.CacheBytes > 0 {
 		cache, err := core.NewResultCache(cfg.CacheBytes, cfg.CacheTTL)
@@ -164,25 +202,32 @@ func New(cfg Config) (*Proxy, error) {
 		}
 		trusted.cache = cache
 	}
-	if len(cfg.EngineCertPEM) > 0 {
-		pool := x509.NewCertPool()
-		if !pool.AppendCertsFromPEM(cfg.EngineCertPEM) {
-			return nil, fmt.Errorf("proxy: EngineCertPEM contains no certificates")
-		}
-		trusted.engineCAs = pool
-	}
 
 	builder := platform.NewBuilder(cfg.EnclaveConfig)
 	// The measured "code": version string plus configuration that changes
-	// behaviour. Different k, engine, or pinned engine CA => different
-	// MRENCLAVE, exactly what a client wants to attest.
-	ident := fmt.Sprintf("xsearch-proxy v1.1 k=%d history=%d engine=%s echo=%t pool=%d cache=%d/%s",
-		cfg.K, cfg.HistoryCapacity, cfg.EngineHost, cfg.EchoMode,
-		cfg.PoolSize, cfg.CacheBytes, cfg.CacheTTL)
+	// behaviour. Different k, upstream set (hosts, weights), or pinned
+	// engine CAs => different MRENCLAVE, exactly what a client wants to
+	// attest.
+	engineIdent := make([]string, len(engines))
+	for i, e := range engines {
+		engineIdent[i] = fmt.Sprintf("%s*%d", e.Host, e.Weight)
+	}
+	ident := fmt.Sprintf("xsearch-proxy v1.2 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s coalesce=%t breaker=%d/%s",
+		cfg.K, cfg.HistoryCapacity, strings.Join(engineIdent, " "), cfg.EchoMode,
+		cfg.PoolSize, cfg.CacheBytes, cfg.CacheTTL,
+		!cfg.DisableCoalescing, cfg.UpstreamFailThreshold, cfg.UpstreamCooldown)
 	if err := builder.AddData([]byte(ident)); err != nil {
 		return nil, err
 	}
-	if len(cfg.EngineCertPEM) > 0 {
+	for _, e := range engines {
+		if len(e.RootsPEM) > 0 {
+			if err := builder.AddData(e.RootsPEM); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(engines) == 0 && len(cfg.EngineCertPEM) > 0 {
+		// Hostless legacy pin (echo mode): still part of the measurement.
 		if err := builder.AddData(cfg.EngineCertPEM); err != nil {
 			return nil, err
 		}
@@ -288,7 +333,8 @@ func New(cfg Config) (*Proxy, error) {
 // VendorSigner is the MRSIGNER identity of the (fictional) X-Search vendor.
 var VendorSigner = enclave.Measurement{0x58, 0x53} // "XS"
 
-// Scaling-layer defaults (engine connection pool, result cache).
+// Scaling-layer defaults (engine connection pool, result cache, upstream
+// circuit breaker).
 const (
 	// DefaultPoolSize is the idle engine-connection bound when
 	// Config.PoolSize is zero.
@@ -299,6 +345,12 @@ const (
 	// DefaultCacheTTL bounds result-cache freshness when Config.CacheTTL
 	// is zero.
 	DefaultCacheTTL = 60 * time.Second
+	// DefaultUpstreamFailThreshold consecutive failures open an engine
+	// upstream's circuit breaker.
+	DefaultUpstreamFailThreshold = 3
+	// DefaultUpstreamCooldown is how long an open breaker excludes its
+	// upstream before admitting a probe request.
+	DefaultUpstreamCooldown = time.Second
 )
 
 // Measurement returns the enclave's MRENCLAVE, which clients pin.
@@ -359,8 +411,9 @@ type Stats struct {
 	Enclave    enclave.Stats `json:"enclave"`
 	HistoryLen int           `json:"history_len"`
 	HistoryB   int64         `json:"history_bytes"`
-	// Engine connection pool: reuses/dials partition all checkouts, so
-	// PoolReuseRatio = reuses/(reuses+dials).
+	// Engine connection pools, aggregated across every upstream:
+	// reuses/dials partition all checkouts, so PoolReuseRatio =
+	// reuses/(reuses+dials). Per-upstream breakdowns live in Upstreams.
 	PoolIdle       int     `json:"pool_idle"`
 	PoolReuses     uint64  `json:"pool_reuses"`
 	PoolDials      uint64  `json:"pool_dials"`
@@ -372,6 +425,16 @@ type Stats struct {
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// Single-flight coalescing: shared/led partition every engine-bound
+	// fetch (cache hits never reach a flight), so CoalesceRatio =
+	// shared/(shared+led) — the fraction of engine-bound requests that
+	// piggybacked on another request's round trip.
+	CoalesceShared uint64  `json:"coalesce_shared"`
+	CoalesceLed    uint64  `json:"coalesce_led"`
+	CoalesceRatio  float64 `json:"coalesce_ratio"`
+	// Upstreams is the per-engine-upstream breakdown: traffic share,
+	// failures, breaker state, and each upstream's pool gauges.
+	Upstreams []UpstreamStats `json:"upstreams,omitempty"`
 }
 
 // Stats returns a snapshot.
@@ -385,14 +448,26 @@ func (p *Proxy) Stats() Stats {
 		HistoryLen: h.Len(),
 		HistoryB:   h.Bytes(),
 	}
-	if pool := p.trusted.pool; pool != nil {
-		s.PoolIdle = pool.size()
-		s.PoolReuses, s.PoolDials, s.PoolEvicted = pool.stats()
-		// Derive the ratio from the snapshotted counts so the reported
+	if reg := p.trusted.registry; reg != nil {
+		now := time.Now()
+		s.Upstreams = make([]UpstreamStats, len(reg.ups))
+		for i, u := range reg.ups {
+			us := u.stats(now, reg.threshold)
+			s.Upstreams[i] = us
+			s.PoolIdle += us.PoolIdle
+			s.PoolReuses += us.PoolReuses
+			s.PoolDials += us.PoolDials
+			s.PoolEvicted += us.PoolEvicted
+		}
+		// Derive the ratios from the snapshotted counts so the reported
 		// fields always satisfy their own identity under concurrency.
 		if total := s.PoolReuses + s.PoolDials; total > 0 {
 			s.PoolReuseRatio = float64(s.PoolReuses) / float64(total)
 		}
+	}
+	s.CoalesceShared, s.CoalesceLed = p.trusted.coalesce.Counts()
+	if total := s.CoalesceShared + s.CoalesceLed; total > 0 {
+		s.CoalesceRatio = float64(s.CoalesceShared) / float64(total)
 	}
 	if cache := p.trusted.cache; cache != nil {
 		s.CacheLen = cache.Len()

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"bytes"
 	"crypto/tls"
-	"crypto/x509"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
@@ -30,23 +29,25 @@ import (
 // sealed records and obfuscated queries.
 type trustedState struct {
 	obfuscator *core.Obfuscator
-	engineHost string
 	perList    int
 	echoMode   bool
-	// engineCAs, when non-nil, makes the enclave speak TLS to the engine
-	// (the paper's footnote 2), verifying against these pinned roots.
-	engineCAs *x509.CertPool
+	// registry owns the engine upstreams: per-upstream connection pools,
+	// breaker health state, and the weighted fan-out order (nil only in
+	// echo mode). It lives inside the trusted boundary; each upstream's
+	// pinned roots are part of the measured identity.
+	registry *upstreamRegistry
 	// sealer encrypts the history for persistence across restarts; set
 	// after the enclave is built (the sealing key derives from the
 	// enclave identity).
 	sealer *seal.Sealer
-	// pool keeps engine connections alive across requests (nil when
-	// pooling is disabled); cache short-circuits repeat queries (nil when
-	// caching is disabled). Both live inside the trusted boundary and
-	// charge their footprint to the EPC.
-	pool      *enginePool
+	// cache short-circuits repeat queries (nil when caching is disabled);
+	// it lives inside the trusted boundary and charges its footprint to
+	// the EPC. flights coalesces concurrent identical original queries
+	// into one engine round trip (nil when coalescing is disabled).
 	cache     *core.ResultCache
 	cacheHits metrics.RatioCounter
+	flights   *core.FlightGroup
+	coalesce  metrics.RatioCounter
 
 	mu       sync.Mutex
 	sessions map[string]*sessionState
@@ -224,6 +225,10 @@ func (ts *trustedState) handleSecure(env enclave.Env, session string, record []b
 // the ORIGINAL query short-circuits the engine round trip — obfuscation
 // still runs first, so the history (the fake-query source) grows exactly
 // as without the cache and the EPC charges stay identical on that path.
+// Concurrent identical original queries are single-flighted: the first
+// becomes the leader and performs the engine round trip; the rest wait and
+// share its filtered result (and the cache, when enabled, is charged to
+// the EPC exactly once, by the leader).
 func (ts *trustedState) searchAndFilter(env enclave.Env, query string, count int) ([]core.Result, error) {
 	oq, delta := ts.obfuscator.Obfuscate(query)
 	if delta > 0 {
@@ -239,15 +244,42 @@ func (ts *trustedState) searchAndFilter(env enclave.Env, query string, count int
 		// visible.
 		return []core.Result{}, nil
 	}
-	var key string
+	key := cacheKey(query, count)
 	if ts.cache != nil {
-		key = cacheKey(query, count)
 		if cached, ok := ts.cache.Get(key, time.Now(), env.Free); ok {
 			ts.cacheHits.Hit()
 			return cached, nil
 		}
 		ts.cacheHits.Miss()
 	}
+	if ts.flights == nil {
+		return ts.fetchFilterStore(env, oq, key, count)
+	}
+	results, shared, err := ts.flights.Do(key, func() ([]core.Result, error) {
+		return ts.fetchFilterStore(env, oq, key, count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		// Another request's flight answered this one: no engine round
+		// trip, no second cache charge. Copy before returning — the
+		// leader's slice is shared across every waiter.
+		ts.coalesce.Hit()
+		out := make([]core.Result, len(results))
+		copy(out, results)
+		return out, nil
+	}
+	ts.coalesce.Miss()
+	return results, nil
+}
+
+// fetchFilterStore is the non-coalesced tail of the pipeline: the engine
+// round trip with the flight leader's obfuscated query, Algorithm 2
+// filtering (which reduces the answer to the ORIGINAL query's results, so
+// sharing across waiters is sound), redirect stripping, and the cache
+// store.
+func (ts *trustedState) fetchFilterStore(env enclave.Env, oq core.ObfuscatedQuery, key string, count int) ([]core.Result, error) {
 	raw, err := ts.fetchResults(env, oq.Query(), count)
 	if err != nil {
 		return nil, err
@@ -272,39 +304,33 @@ func cacheKey(query string, count int) string {
 }
 
 // fetchResults performs the engine round trip from inside the enclave,
-// using only the paper's socket ocalls. With an engine CA configured (the
-// paper's footnote 2), the enclave terminates TLS itself over those same
-// ocalls, so the untrusted host sees only ciphertext between proxy and
-// engine. When pooling is enabled the exchange runs HTTP/1.1 keep-alive
-// over a pooled connection and returns it afterwards; a connection that
-// went stale between health check and use is retried once on a fresh dial.
+// using only the paper's socket ocalls, spreading load across the upstream
+// set (CYCLOSA-style fan-out). Each request walks the registry's weighted
+// preference order: a cooling-down upstream is skipped for free, a failed
+// dial or exchange trips that upstream's breaker and fails over to the
+// next, and only when every upstream is exhausted does the request fail.
+// An engine error status (5xx) counts against the upstream and fails over;
+// any other non-200 is returned as-is (the upstream itself is healthy).
 func (ts *trustedState) fetchResults(env enclave.Env, query string, count int) ([]core.Result, error) {
 	path := "/search?q=" + queryEscape(query) + "&count=" + strconv.Itoa(count)
-	for attempt := 0; ; attempt++ {
-		ec, err := ts.acquireEngineConn(env, attempt > 0)
+	var lastErr error
+	for _, u := range ts.registry.order() {
+		if !u.acquire(time.Now(), ts.registry.threshold) {
+			continue
+		}
+		body, status, err := ts.fetchFromUpstream(env, u, path)
 		if err != nil {
-			return nil, err
+			u.reportFailure(time.Now(), ts.registry.threshold, ts.registry.cooldown)
+			lastErr = fmt.Errorf("proxy: engine %s: %w", u.host, err)
+			continue
 		}
-		body, status, keepAlive, err := ts.roundTrip(ec, path)
-		if err != nil {
-			ec.close(env)
-			if ec.reused && attempt == 0 {
-				// The engine closed the pooled connection between the
-				// health check and our write/read: retry on a fresh dial.
-				continue
-			}
-			return nil, err
+		if status >= 500 {
+			u.reportFailure(time.Now(), ts.registry.threshold, ts.registry.cooldown)
+			lastErr = fmt.Errorf("proxy: engine %s status %d", u.host, status)
+			continue
 		}
-		// Pool the connection only if the stream is exactly at a response
-		// boundary: leftover bytes buffered enclave-side (a hostile host
-		// pipelining a forged response behind a well-framed one) would be
-		// parsed as the NEXT query's response, and the socket-level
-		// sock_check probe cannot see enclave-side buffers.
-		if ts.pool != nil && keepAlive && ec.atBoundary() {
-			ts.pool.checkin(env, ec)
-		} else {
-			ec.close(env)
-		}
+		u.reportSuccess()
+		u.served.Add(1)
 		if status != 200 {
 			return nil, fmt.Errorf("proxy: engine status %d", status)
 		}
@@ -318,28 +344,69 @@ func (ts *trustedState) fetchResults(env enclave.Env, query string, count int) (
 		}
 		return results, nil
 	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("proxy: no engine upstream available (all cooling down)")
+	}
+	return nil, lastErr
 }
 
-// acquireEngineConn returns a connection to the engine: a health-checked
+// fetchFromUpstream runs one HTTP exchange against upstream u. With an
+// engine CA pinned for u (the paper's footnote 2), the enclave terminates
+// TLS itself over the socket ocalls, so the untrusted host sees only
+// ciphertext between proxy and engine. When pooling is enabled the
+// exchange runs HTTP/1.1 keep-alive over u's pooled connection and returns
+// it afterwards; a connection that went stale between health check and use
+// is retried once on a fresh dial.
+func (ts *trustedState) fetchFromUpstream(env enclave.Env, u *upstream, path string) (body []byte, status int, err error) {
+	for attempt := 0; ; attempt++ {
+		ec, err := ts.acquireUpstreamConn(env, u, attempt > 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		body, status, keepAlive, err := ts.roundTrip(ec, u, path)
+		if err != nil {
+			ec.close(env)
+			if ec.reused && attempt == 0 {
+				// The engine closed the pooled connection between the
+				// health check and our write/read: retry on a fresh dial.
+				continue
+			}
+			return nil, 0, err
+		}
+		// Pool the connection only if the stream is exactly at a response
+		// boundary: leftover bytes buffered enclave-side (a hostile host
+		// pipelining a forged response behind a well-framed one) would be
+		// parsed as the NEXT query's response, and the socket-level
+		// sock_check probe cannot see enclave-side buffers.
+		if u.pool != nil && keepAlive && ec.atBoundary() {
+			u.pool.checkin(env, ec)
+		} else {
+			ec.close(env)
+		}
+		return body, status, nil
+	}
+}
+
+// acquireUpstreamConn returns a connection to upstream u: a health-checked
 // pooled one when available, otherwise a fresh dial (forced when a pooled
 // connection just failed mid-exchange).
-func (ts *trustedState) acquireEngineConn(env enclave.Env, forceDial bool) (*engineConn, error) {
-	if ts.pool != nil && !forceDial {
-		if ec := ts.pool.checkout(env); ec != nil {
+func (ts *trustedState) acquireUpstreamConn(env enclave.Env, u *upstream, forceDial bool) (*engineConn, error) {
+	if u.pool != nil && !forceDial {
+		if ec := u.pool.checkout(env); ec != nil {
 			return ec, nil
 		}
 	}
-	ec, err := ts.dialEngine(env)
-	if err == nil && ts.pool != nil {
-		ts.pool.dialled()
+	ec, err := ts.dialUpstream(env, u)
+	if err == nil && u.pool != nil {
+		u.pool.dialled()
 	}
 	return ec, err
 }
 
-// dialEngine opens a new connection through the sock_connect ocall,
-// layering TLS inside the enclave when an engine CA is pinned.
-func (ts *trustedState) dialEngine(env enclave.Env) (*engineConn, error) {
-	host, port, err := splitHostPort(ts.engineHost)
+// dialUpstream opens a new connection to u through the sock_connect ocall,
+// layering TLS inside the enclave when u pins an engine CA.
+func (ts *trustedState) dialUpstream(env enclave.Env, u *upstream) (*engineConn, error) {
+	host, port, err := splitHostPort(u.host)
 	if err != nil {
 		return nil, err
 	}
@@ -349,9 +416,9 @@ func (ts *trustedState) dialEngine(env enclave.Env) (*engineConn, error) {
 	}
 	raw := newOCallConn(env, fd)
 	var rw io.ReadWriter = raw
-	if ts.engineCAs != nil {
+	if u.cas != nil {
 		tlsConn := tls.Client(raw, &tls.Config{
-			RootCAs:    ts.engineCAs,
+			RootCAs:    u.cas,
 			ServerName: host,
 		})
 		if err := tlsConn.Handshake(); err != nil {
@@ -367,12 +434,12 @@ func (ts *trustedState) dialEngine(env enclave.Env) (*engineConn, error) {
 // returned error covers transport and framing failures only; HTTP error
 // statuses and body parsing are the caller's concern (the connection is
 // still in a known-good framing state for those).
-func (ts *trustedState) roundTrip(ec *engineConn, path string) (body []byte, status int, keepAlive bool, err error) {
+func (ts *trustedState) roundTrip(ec *engineConn, u *upstream, path string) (body []byte, status int, keepAlive bool, err error) {
 	connHeader := "keep-alive"
-	if ts.pool == nil {
+	if u.pool == nil {
 		connHeader = "close"
 	}
-	reqText := "GET " + path + " HTTP/1.1\r\nHost: " + ts.engineHost +
+	reqText := "GET " + path + " HTTP/1.1\r\nHost: " + u.host +
 		"\r\nConnection: " + connHeader + "\r\n\r\n"
 	if _, err := ec.rw.Write([]byte(reqText)); err != nil {
 		return nil, 0, false, fmt.Errorf("proxy: send request: %w", err)

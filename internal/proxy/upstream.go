@@ -1,0 +1,262 @@
+package proxy
+
+import (
+	"crypto/x509"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EngineSpec describes one engine upstream in the proxy's upstream set:
+// where to reach it, how to authenticate it, and how much of the
+// obfuscated traffic it should carry. The zero Weight means 1; the zero
+// MaxConns inherits Config.PoolSize.
+type EngineSpec struct {
+	// Host is the engine's host:port.
+	Host string
+	// RootsPEM, when set, makes the enclave speak TLS to this upstream,
+	// pinning these PEM-encoded roots (part of the measured identity).
+	RootsPEM []byte
+	// Weight is the upstream's relative share of the fan-out (CYCLOSA-style
+	// load spreading). Zero means 1.
+	Weight int
+	// MaxConns bounds this upstream's idle keep-alive pool. Zero inherits
+	// the proxy-wide Config.PoolSize.
+	MaxConns int
+}
+
+// upstream is the in-enclave state of one engine upstream: its address and
+// pinned roots, its private connection pool, its circuit-breaker health
+// state, and its traffic counters. All of it lives inside the trusted
+// boundary; the untrusted runtime only ever sees opaque socket handles.
+type upstream struct {
+	host   string
+	cas    *x509.CertPool // nil => plain TCP
+	weight int
+	pool   *enginePool // nil when pooling is disabled
+
+	// served counts requests this upstream answered (any HTTP status).
+	served atomic.Uint64
+
+	// Breaker state. After threshold consecutive failures the upstream is
+	// "open": excluded from selection until openUntil, after which exactly
+	// one request is admitted as a probe (half-open). A success closes the
+	// breaker; a failure re-opens it for another cooldown.
+	mu          sync.Mutex
+	consecFails int
+	failures    uint64 // total, for Stats
+	openUntil   time.Time
+	probing     bool
+}
+
+// acquire reports whether the upstream may serve a request at time now.
+// In the open state only one probe may be in flight at a time; acquire
+// claims it, and the subsequent reportSuccess/reportFailure releases it.
+func (u *upstream) acquire(now time.Time, threshold int) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.consecFails < threshold {
+		return true
+	}
+	if u.probing || now.Before(u.openUntil) {
+		return false
+	}
+	u.probing = true
+	return true
+}
+
+// reportSuccess closes the breaker: the upstream answered an exchange.
+func (u *upstream) reportSuccess() {
+	u.mu.Lock()
+	u.consecFails = 0
+	u.probing = false
+	u.mu.Unlock()
+}
+
+// reportFailure records a failed dial or exchange, (re-)opening the
+// breaker for cooldown once the consecutive-failure threshold is reached.
+func (u *upstream) reportFailure(now time.Time, threshold int, cooldown time.Duration) {
+	u.mu.Lock()
+	u.consecFails++
+	u.failures++
+	u.probing = false
+	if u.consecFails >= threshold {
+		u.openUntil = now.Add(cooldown)
+	}
+	u.mu.Unlock()
+}
+
+// coolingDown reports whether the breaker currently excludes the upstream
+// (open and still inside the cooldown window).
+func (u *upstream) coolingDown(now time.Time, threshold int) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.consecFails >= threshold && now.Before(u.openUntil)
+}
+
+// upstreamRegistry owns the proxy's engine upstreams: weighted selection
+// across the healthy ones, failover order for the rest, and the breaker
+// parameters. Selection walks a weighted ring — an upstream with weight w
+// occupies w consecutive slots — so over time shares match weights without
+// per-request randomness (the obfuscator owns all enclave randomness).
+type upstreamRegistry struct {
+	ups         []*upstream
+	totalWeight int
+	pos         atomic.Uint64
+
+	threshold int
+	cooldown  time.Duration
+}
+
+func newUpstreamRegistry(ups []*upstream, threshold int, cooldown time.Duration) *upstreamRegistry {
+	total := 0
+	for _, u := range ups {
+		total += u.weight
+	}
+	return &upstreamRegistry{ups: ups, totalWeight: total, threshold: threshold, cooldown: cooldown}
+}
+
+// order returns every upstream in this request's preference order: the
+// weighted-ring pick first, the others following in ring order as failover
+// candidates. The caller still gates each candidate through acquire, so a
+// cooling-down upstream costs nothing and a probe-eligible one costs at
+// most one request.
+func (r *upstreamRegistry) order() []*upstream {
+	n := len(r.ups)
+	if n == 1 {
+		return r.ups
+	}
+	slot := int(r.pos.Add(1)-1) % r.totalWeight
+	start := 0
+	for i, u := range r.ups {
+		if slot < u.weight {
+			start = i
+			break
+		}
+		slot -= u.weight
+	}
+	out := make([]*upstream, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.ups[(start+i)%n])
+	}
+	return out
+}
+
+// UpstreamStats is one upstream's slice of Proxy.Stats: traffic share,
+// failure and breaker state, and its private pool's gauges.
+type UpstreamStats struct {
+	Host   string `json:"host"`
+	Weight int    `json:"weight"`
+	// Served counts requests this upstream answered; Failures counts
+	// failed dials/exchanges; CoolingDown reports an open breaker still
+	// inside its cooldown window.
+	Served      uint64 `json:"served"`
+	Failures    uint64 `json:"failures"`
+	CoolingDown bool   `json:"cooling_down"`
+	// Pool gauges, scoped to this upstream's keep-alive pool.
+	PoolIdle       int     `json:"pool_idle"`
+	PoolReuses     uint64  `json:"pool_reuses"`
+	PoolDials      uint64  `json:"pool_dials"`
+	PoolEvicted    uint64  `json:"pool_evicted"`
+	PoolReuseRatio float64 `json:"pool_reuse_ratio"`
+}
+
+// stats snapshots one upstream.
+func (u *upstream) stats(now time.Time, threshold int) UpstreamStats {
+	u.mu.Lock()
+	failures := u.failures
+	cooling := u.consecFails >= threshold && now.Before(u.openUntil)
+	u.mu.Unlock()
+	s := UpstreamStats{
+		Host:        u.host,
+		Weight:      u.weight,
+		Served:      u.served.Load(),
+		Failures:    failures,
+		CoolingDown: cooling,
+	}
+	if u.pool != nil {
+		s.PoolIdle = u.pool.size()
+		s.PoolReuses, s.PoolDials, s.PoolEvicted = u.pool.stats()
+		if total := s.PoolReuses + s.PoolDials; total > 0 {
+			s.PoolReuseRatio = float64(s.PoolReuses) / float64(total)
+		}
+	}
+	return s
+}
+
+// normalizeEngines resolves the configured upstream set: the legacy
+// single-engine fields (EngineHost/EngineCertPEM) act as sugar for a
+// one-element set, and setting both ways is an error unless they agree
+// exactly — a config that names two different sources of truth must not
+// silently prefer one.
+func normalizeEngines(cfg *Config) ([]EngineSpec, error) {
+	// Copy before filling defaults: callers may reuse one spec slice
+	// across proxies with different PoolSize etc.
+	engines := append([]EngineSpec(nil), cfg.Engines...)
+	if cfg.EngineHost != "" {
+		legacy := EngineSpec{Host: cfg.EngineHost, RootsPEM: cfg.EngineCertPEM}
+		switch {
+		case len(engines) == 0:
+			engines = []EngineSpec{legacy}
+		case len(engines) == 1 && engines[0].Host == legacy.Host && string(engines[0].RootsPEM) == string(legacy.RootsPEM):
+			// Redundant but consistent: allow it.
+		default:
+			return nil, fmt.Errorf("proxy: Engines and legacy EngineHost/EngineCertPEM disagree (set one, or make them identical)")
+		}
+	} else if len(cfg.EngineCertPEM) > 0 {
+		if len(engines) > 0 {
+			return nil, fmt.Errorf("proxy: EngineCertPEM is the legacy single-engine option; set RootsPEM per EngineSpec instead")
+		}
+		// Hostless legacy pin (echo-mode configs): no upstream to attach
+		// it to, but it is still validated here and measured by New.
+		if !x509.NewCertPool().AppendCertsFromPEM(cfg.EngineCertPEM) {
+			return nil, fmt.Errorf("proxy: EngineCertPEM contains no certificates")
+		}
+	}
+	seen := make(map[string]bool, len(engines))
+	for i := range engines {
+		e := &engines[i]
+		if e.Host == "" {
+			return nil, fmt.Errorf("proxy: engine %d has no host", i)
+		}
+		if _, _, err := splitHostPort(e.Host); err != nil {
+			return nil, err
+		}
+		if seen[e.Host] {
+			return nil, fmt.Errorf("proxy: duplicate engine upstream %s", e.Host)
+		}
+		seen[e.Host] = true
+		if e.Weight < 0 {
+			return nil, fmt.Errorf("proxy: engine %s has negative weight", e.Host)
+		}
+		if e.Weight == 0 {
+			e.Weight = 1
+		}
+		if e.MaxConns == 0 {
+			e.MaxConns = cfg.PoolSize
+		}
+	}
+	return engines, nil
+}
+
+// buildRegistry constructs the in-enclave upstream registry from the
+// normalized spec set.
+func buildRegistry(engines []EngineSpec, cfg *Config) (*upstreamRegistry, error) {
+	ups := make([]*upstream, len(engines))
+	for i, e := range engines {
+		u := &upstream{host: e.Host, weight: e.Weight}
+		if len(e.RootsPEM) > 0 {
+			pool := x509.NewCertPool()
+			if !pool.AppendCertsFromPEM(e.RootsPEM) {
+				return nil, fmt.Errorf("proxy: engine %s RootsPEM contains no certificates", e.Host)
+			}
+			u.cas = pool
+		}
+		if e.MaxConns > 0 {
+			u.pool = newEnginePool(e.MaxConns, cfg.PoolIdleTimeout)
+		}
+		ups[i] = u
+	}
+	return newUpstreamRegistry(ups, cfg.UpstreamFailThreshold, cfg.UpstreamCooldown), nil
+}

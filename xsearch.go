@@ -23,6 +23,15 @@ type Measurement = enclave.Measurement
 // Stats is a proxy's operational snapshot.
 type Stats = proxy.Stats
 
+// UpstreamStats is one engine upstream's slice of Stats.
+type UpstreamStats = proxy.UpstreamStats
+
+// EngineSpec describes one engine upstream for WithEngines: address,
+// optional pinned TLS roots, fan-out weight (zero means 1), and an
+// optional per-upstream idle-connection bound (zero inherits the proxy's
+// pool size).
+type EngineSpec = proxy.EngineSpec
+
 // --- Proxy ---
 
 // Proxy is a running X-Search node.
@@ -39,9 +48,37 @@ type proxyOptionFunc func(*proxy.Config)
 
 func (f proxyOptionFunc) applyProxy(c *proxy.Config) { f(c) }
 
-// WithEngineHost points the proxy at the search engine (host:port).
+// WithEngines points the proxy at a set of engine upstreams. The enclave
+// spreads obfuscated queries across them by weight (CYCLOSA-style load
+// spreading), fails over to the next upstream when one refuses or breaks
+// mid-exchange, and excludes an upstream behind a circuit breaker after
+// repeated failures — a dead engine costs one probe per cooldown instead
+// of a timeout per request. Each upstream gets its own in-enclave
+// keep-alive pool; the upstream set (hosts, weights, pinned roots) is part
+// of the measured enclave identity.
+func WithEngines(specs ...EngineSpec) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) { c.Engines = append(c.Engines, specs...) })
+}
+
+// WithEngineHost points the proxy at a single search engine (host:port).
+// It is sugar for WithEngines(EngineSpec{Host: hostport}): combining it
+// with WithEngines is an error unless both name the same upstream.
+//
+// Deprecated: new code should use WithEngines, which also accepts
+// per-upstream weights, TLS roots, and pool bounds.
 func WithEngineHost(hostport string) ProxyOption {
 	return proxyOptionFunc(func(c *proxy.Config) { c.EngineHost = hostport })
+}
+
+// WithUpstreamBreaker tunes the per-upstream circuit breaker: threshold
+// consecutive failures open it, and an open breaker excludes its upstream
+// from fan-out for cooldown before admitting a single probe request.
+// Zero values keep the defaults (3 failures, 1s).
+func WithUpstreamBreaker(threshold int, cooldown time.Duration) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) {
+		c.UpstreamFailThreshold = threshold
+		c.UpstreamCooldown = cooldown
+	})
 }
 
 // WithFakeQueries sets k, the number of real past queries OR-aggregated
@@ -83,10 +120,13 @@ func WithStatePersistence(path string, platformSeed []byte) ProxyOption {
 	})
 }
 
-// WithEngineTLS makes the enclave speak HTTPS to the engine, terminating
-// TLS inside the enclave over the socket ocalls and pinning the given
-// PEM-encoded roots (part of the measured identity). This is the paper's
-// footnote-2 configuration.
+// WithEngineTLS makes the enclave speak HTTPS to the engine named by
+// WithEngineHost, terminating TLS inside the enclave over the socket
+// ocalls and pinning the given PEM-encoded roots (part of the measured
+// identity). This is the paper's footnote-2 configuration.
+//
+// Deprecated: new code should set RootsPEM on the relevant EngineSpec in
+// WithEngines; combining this with WithEngines is an error.
 func WithEngineTLS(rootsPEM []byte) ProxyOption {
 	return proxyOptionFunc(func(c *proxy.Config) { c.EngineCertPEM = rootsPEM })
 }
@@ -96,6 +136,13 @@ func WithEngineTLS(rootsPEM []byte) ProxyOption {
 // dial a fresh socket per request.
 func WithEnginePool(size int) ProxyOption {
 	return proxyOptionFunc(func(c *proxy.Config) { c.PoolSize = size })
+}
+
+// WithoutCoalescing disables single-flight coalescing of concurrent
+// identical original queries (on by default: N concurrent identical
+// queries cost one engine round trip). Mainly useful for ablations.
+func WithoutCoalescing() ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) { c.DisableCoalescing = true })
 }
 
 // WithResultCache enables the in-enclave obfuscated-result cache: filtered
