@@ -24,7 +24,7 @@ func main() {
 
 func run() error {
 	var (
-		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout", "comma-separated figures to run")
+		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet", "comma-separated figures to run")
 		quick    = flag.Bool("quick", false, "scaled-down sizes (CI-friendly)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		useHTTP  = flag.Bool("http", false, "Figure 5 over real loopback HTTP (bare-metal runs)")
@@ -102,7 +102,7 @@ func run() error {
 		if raw, err := os.ReadFile(*baseline); err == nil {
 			_ = json.Unmarshal(raw, base)
 		}
-		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout -baseline"
+		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet -baseline"
 	}
 	if want["scaling"] {
 		if err := runScaling(*quick, *seed, base); err != nil {
@@ -111,6 +111,11 @@ func run() error {
 	}
 	if want["fanout"] {
 		if err := runFanout(*quick, base); err != nil {
+			return err
+		}
+	}
+	if want["fleet"] {
+		if err := runFleetFig(*quick, *seed, base); err != nil {
 			return err
 		}
 	}
@@ -317,6 +322,17 @@ type scalingBaseline struct {
 	FanoutDegradedRPS   float64 `json:"fanout_degraded_rps"`
 	FanoutRecoveredRPS  float64 `json:"fanout_recovered_rps"`
 	FanoutDegradedErrs  int     `json:"fanout_degraded_errors"`
+	// Fleet ablation: throughput at 1/2/4 shards behind the session-
+	// routing gateway, the 4-vs-1 speedup, and the kill-one-shard
+	// availability run (errors must stay zero and the per-shard EPC
+	// invariant heap == history + cache must hold).
+	Fleet1ShardRPS   float64 `json:"fleet_1shard_rps"`
+	Fleet2ShardRPS   float64 `json:"fleet_2shard_rps"`
+	Fleet4ShardRPS   float64 `json:"fleet_4shard_rps"`
+	FleetSpeedup     float64 `json:"fleet_speedup"`
+	FleetKillRPS     float64 `json:"fleet_kill_rps"`
+	FleetKillErrors  int     `json:"fleet_kill_errors"`
+	FleetInvariantOK bool    `json:"fleet_epc_invariant_ok"`
 }
 
 func runScaling(quick bool, seed uint64, base *scalingBaseline) error {
@@ -400,6 +416,59 @@ func runFanout(quick bool, base *scalingBaseline) error {
 		base.FanoutDegradedRPS = res.DegradedRPS
 		base.FanoutRecoveredRPS = res.RecoveredRPS
 		base.FanoutDegradedErrs = res.DegradedErrors
+	}
+	return nil
+}
+
+func runFleetFig(quick bool, seed uint64, base *scalingBaseline) error {
+	cfg := experiments.DefaultFleetConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Requests, cfg.KillRequests = 240, 240
+	}
+	res, err := experiments.RunFleet(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Fleet ablation A: throughput vs shard count (%d workers, %d requests,\n",
+		cfg.Workers, cfg.Requests)
+	fmt.Printf("# %v engine service time, %d enclave threads per shard)\n",
+		cfg.EngineService, cfg.TCSPerShard)
+	fmt.Printf("%-8s  %-10s  %-10s  %-12s\n", "shards", "req/s", "speedup", "epc invariant")
+	invariantOK := true
+	for _, pt := range res.Points {
+		speedup := 1.0
+		if base := res.Points[0].Throughput; base > 0 {
+			speedup = pt.Throughput / base
+		}
+		fmt.Printf("%-8d  %-10.0f  %-10.2f  %-12t\n", pt.Shards, pt.Throughput, speedup, pt.InvariantOK)
+		invariantOK = invariantOK && pt.InvariantOK
+	}
+	fmt.Printf("# %d shards deliver %.1fx the single-enclave throughput\n\n",
+		res.Points[len(res.Points)-1].Shards, res.Speedup)
+
+	fmt.Printf("# Fleet ablation B: shard %d of %d killed mid-run (no drain, no warning)\n",
+		res.KilledShard, cfg.KillShards)
+	fmt.Printf("%-10s  %-10s  %-8s  %-12s\n", "requests", "req/s", "failed", "epc invariant")
+	fmt.Printf("%-10d  %-10.0f  %-8d  %-12t\n", res.KillTotal, res.KillRPS, res.KillErrors, res.KillInvariantOK)
+	fmt.Printf("# gateway failover held %d/%d requests through the crash\n\n",
+		res.KillTotal-res.KillErrors, res.KillTotal)
+	invariantOK = invariantOK && res.KillInvariantOK
+	if base != nil {
+		for _, pt := range res.Points {
+			switch pt.Shards {
+			case 1:
+				base.Fleet1ShardRPS = pt.Throughput
+			case 2:
+				base.Fleet2ShardRPS = pt.Throughput
+			case 4:
+				base.Fleet4ShardRPS = pt.Throughput
+			}
+		}
+		base.FleetSpeedup = res.Speedup
+		base.FleetKillRPS = res.KillRPS
+		base.FleetKillErrors = res.KillErrors
+		base.FleetInvariantOK = invariantOK
 	}
 	return nil
 }

@@ -65,6 +65,9 @@ func run() error {
 		breakFails  = flag.Int("breaker-failures", 0, "consecutive failures that open an upstream's circuit breaker (0=default 3)")
 		breakerCool = flag.Duration("breaker-cooldown", 0, "how long an open breaker excludes its upstream (0=default 1s)")
 		noCoalesce  = flag.Bool("no-coalesce", false, "disable single-flight coalescing of concurrent identical queries")
+		shards      = flag.Int("shards", 1, "proxy-enclave shards behind a session-routing gateway (1=single node)")
+		upstreamRPS = flag.Float64("upstream-rps", 0, "per-upstream token-bucket rate limit in req/s (0=unlimited)")
+		upstreamBst = flag.Int("upstream-burst", 0, "per-upstream token-bucket burst depth (0=ceil(rps))")
 	)
 	flag.Parse()
 
@@ -84,6 +87,9 @@ func run() error {
 	if *noCoalesce {
 		opts = append(opts, xsearch.WithoutCoalescing())
 	}
+	if *upstreamRPS > 0 {
+		opts = append(opts, xsearch.WithUpstreamRateLimit(*upstreamRPS, *upstreamBst))
+	}
 	switch {
 	case *echo:
 		if len(engines) > 0 {
@@ -94,6 +100,9 @@ func run() error {
 		opts = append(opts, xsearch.WithEngineHost("127.0.0.1:8090"))
 	default:
 		opts = append(opts, xsearch.WithEngines(engines...))
+	}
+	if *shards > 1 {
+		return runFleet(*shards, *addr, *k, *history, opts)
 	}
 	proxy, err := xsearch.NewProxy(opts...)
 	if err != nil {
@@ -124,8 +133,48 @@ func run() error {
 		st.CacheHitRatio*100, st.CacheHits, st.CacheMisses, st.CacheB,
 		st.CoalesceRatio*100, st.CoalesceShared, st.CoalesceLed)
 	for _, u := range st.Upstreams {
-		fmt.Printf("upstream %s (w=%d): served %d, failures %d, cooling=%t, reuse %.0f%%\n",
-			u.Host, u.Weight, u.Served, u.Failures, u.CoolingDown, u.PoolReuseRatio*100)
+		fmt.Printf("upstream %s (w=%d): served %d, failures %d, rate-limited %d, cooling=%t, reuse %.0f%%\n",
+			u.Host, u.Weight, u.Served, u.Failures, u.RateLimited, u.CoolingDown, u.PoolReuseRatio*100)
+	}
+	return nil
+}
+
+// runFleet serves a sharded fleet behind the session-routing gateway: the
+// same HTTP surface as a single node, with every proxy option applied to
+// each shard.
+func runFleet(shards int, addr string, k, history int, opts []xsearch.ProxyOption) error {
+	f, err := xsearch.NewFleet(
+		xsearch.WithShardCount(shards),
+		xsearch.WithShardConfig(opts...),
+	)
+	if err != nil {
+		return err
+	}
+	if err := f.Start(addr); err != nil {
+		return err
+	}
+	m := f.Measurement()
+	fmt.Printf("x-search fleet gateway listening on %s (%d shards, k=%d, history=%d per shard)\n",
+		f.Addr(), shards, k, history)
+	fmt.Printf("enclave measurement : %s (all shards)\n", hex.EncodeToString(m[:]))
+	fmt.Printf("attestation key     : %s\n", hex.EncodeToString(f.AttestationKey()))
+	fmt.Printf("plain front         : curl '%s/search?q=chicken+recipe'\n", f.URL())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	st := f.Stats()
+	fmt.Printf("gateway: %d plain, %d secure, %d handshakes, %d failovers, %d sessions lost, %d drains\n",
+		st.PlainRouted, st.SecureRouted, st.Handshakes, st.Failovers, st.SessionsLost, st.Drains)
+	for _, ss := range st.Shards {
+		fmt.Printf("shard %d: alive=%t sessions=%d requests=%d history=%d/%dB heap=%dB\n",
+			ss.Index, ss.Alive, ss.Sessions, ss.Proxy.Requests,
+			ss.Proxy.HistoryLen, ss.Proxy.HistoryB, ss.Proxy.Enclave.HeapBytes)
+	}
+	for _, u := range st.Upstreams {
+		fmt.Printf("upstream %s: served %d, failures %d, rate-limited %d (fleet-wide)\n",
+			u.Host, u.Served, u.Failures, u.RateLimited)
 	}
 	return nil
 }

@@ -29,6 +29,10 @@
 //   - The Engine (NewEngine) is the search engine substrate: a ranked
 //     inverted-index engine with Bing-compatible OR semantics and the
 //     honest-but-curious behaviour the adversary model assumes.
+//   - The Fleet (NewFleet) stacks a session-routing gateway above N
+//     independent proxy-enclave shards, lifting the single-enclave EPC and
+//     single-host core bounds. It serves the same HTTP surface as one
+//     Proxy, so brokers point at a fleet unchanged.
 //
 // # Scaling layer
 //
@@ -57,13 +61,37 @@
 //     identically with and without coalescing.
 //   - Multi-engine fan-out (WithEngines) spreads obfuscated queries
 //     across weighted upstreams with automatic failover and a
-//     circuit-breaker cooldown (WithUpstreamBreaker) around dead ones.
+//     circuit-breaker cooldown (WithUpstreamBreaker) around dead ones,
+//     plus an optional per-upstream token bucket
+//     (WithUpstreamRateLimit) so no node exceeds its quota against a
+//     shared engine.
 //
-// Proxy.Stats reports the gauges (per-upstream pool reuse and breaker
-// state in Stats.Upstreams, cache hit ratio, coalesce ratio); the scaling
-// and fanout ablations in cmd/xsearch-bench (-figs scaling,fanout)
-// measure the configurations side by side and can write
-// BENCH_baseline.json for perf-regression tracking.
+// # Fleet layer
+//
+// Above the single node, NewFleet shards the whole system: N independent
+// proxy enclaves — each with its own (simulated) SGX platform, EPC
+// budget, history window, and full scaling-layer configuration
+// (WithShardConfig) — behind a gateway that routes by rendezvous (HRW)
+// hashing. Each attested session is pinned to one shard, so a user's
+// obfuscation always draws fakes from the same in-enclave history window
+// and Algorithm 1's k-anonymity semantics hold per shard; plain queries
+// hash on the query text, keeping per-shard caches and coalescing
+// effective fleet-wide. The gateway health-checks shards, fails work over
+// to the next-ranked live shard on a crash (sessions on the dead shard
+// re-attest transparently), and on a planned drain (DrainShard) migrates
+// the departing shard's history window to its successor as a sealed blob
+// — the untrusted host moves opaque bytes; only the successor's enclave,
+// holding the fleet's provisioned sealing root, can open them. Throughput
+// scales near-linearly with shards while the per-shard EPC invariant
+// (heap == history + cache) keeps holding.
+//
+// Proxy.Stats reports the node gauges (per-upstream pool reuse, breaker
+// and rate-limit state in Stats.Upstreams — sorted by host for stable
+// diffs — cache hit ratio, coalesce ratio) and Fleet.Stats aggregates
+// them across shards next to the gateway's routing counters; the scaling,
+// fanout, and fleet ablations in cmd/xsearch-bench (-figs
+// scaling,fanout,fleet) measure the configurations side by side and can
+// write BENCH_baseline.json for perf-regression tracking.
 //
 // # Quick start
 //

@@ -31,6 +31,19 @@ type History struct {
 	bytes int64
 }
 
+// HistoryCost returns the accounted byte cost of storing the given
+// queries, an upper bound on the Add delta of inserting them (evictions
+// only subtract). Callers that must charge the EPC before mutating the
+// window (e.g. a sealed-handoff merge) pre-charge this bound and refund
+// the difference.
+func HistoryCost(queries []string) int64 {
+	var n int64
+	for _, q := range queries {
+		n += int64(len(q)) + perQueryOverhead
+	}
+	return n
+}
+
 // NewHistory creates a history bounded to capacity queries.
 func NewHistory(capacity int) (*History, error) {
 	if capacity <= 0 {

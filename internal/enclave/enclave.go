@@ -376,6 +376,15 @@ func (e *Enclave) payTransition() {
 	}
 }
 
+// Destroyed reports whether the enclave has been torn down. The untrusted
+// runtime uses it as a liveness probe: a destroyed enclave rejects every
+// ecall with ErrDestroyed and never comes back.
+func (e *Enclave) Destroyed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.destroyed
+}
+
 // Destroy tears the enclave down (EREMOVE), releasing its EPC.
 func (e *Enclave) Destroy() {
 	e.mu.Lock()

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xsearch/internal/enclave"
+	"xsearch/internal/fleet"
+	"xsearch/internal/proxy"
+	"xsearch/internal/searchengine"
+)
+
+// FleetConfig sizes the sharded-fleet ablation. The throughput half
+// measures the same workload at increasing shard counts against one
+// shared engine: each shard's enclave has few worker threads (TCS) and
+// the engine answers with a realistic per-request latency, so a single
+// enclave is concurrency-bound — the §6.3 situation the fleet exists to
+// escape — and added shards buy near-linear throughput until the engine
+// or host saturates. The availability half drives a shard-killed-mid-run
+// phase and counts failed requests (the gateway must hold zero), checking
+// the per-shard EPC invariant (heap == history + cache) at every phase
+// boundary.
+type FleetConfig struct {
+	// ShardCounts are the fleet sizes to measure (e.g. 1, 2, 4).
+	ShardCounts []int
+	// Workers concurrent clients issue Requests distinct queries per
+	// throughput run.
+	Workers  int
+	Requests int
+	// EngineService is the engine's per-request service latency (applied
+	// concurrently — the engine itself is not the bottleneck).
+	EngineService time.Duration
+	// TCSPerShard bounds each shard enclave's concurrent ecalls, the
+	// single-enclave concurrency limit the fleet shards around.
+	TCSPerShard int
+	// KillShards is the fleet size for the availability run; KillRequests
+	// the number of requests driven while one shard is killed mid-run.
+	KillShards   int
+	KillRequests int
+	// DocsPerTopic sizes the engine corpus; Seed fixes randomness.
+	DocsPerTopic int
+	Seed         uint64
+}
+
+// DefaultFleetConfig is the full-size ablation.
+func DefaultFleetConfig() FleetConfig {
+	return FleetConfig{
+		ShardCounts:   []int{1, 2, 4},
+		Workers:       16,
+		Requests:      600,
+		EngineService: 3 * time.Millisecond,
+		TCSPerShard:   2,
+		KillShards:    4,
+		KillRequests:  600,
+		DocsPerTopic:  20,
+		Seed:          1,
+	}
+}
+
+// FleetPoint is one fleet size's throughput measurement.
+type FleetPoint struct {
+	Shards     int
+	Throughput float64
+	// InvariantOK reports whether every live shard satisfied
+	// heap == history + cache after the run.
+	InvariantOK bool
+}
+
+// FleetResult carries the ablation's measurements.
+type FleetResult struct {
+	Points []FleetPoint
+	// Speedup is the largest fleet's throughput over the single shard's.
+	Speedup float64
+	// Availability run: requests driven, requests failed (want zero), and
+	// throughput while a quarter of the fleet died mid-run.
+	KillTotal   int
+	KillErrors  int
+	KillRPS     float64
+	KilledShard int
+	// KillInvariantOK reports the EPC invariant across surviving shards
+	// after the kill run.
+	KillInvariantOK bool
+}
+
+// RunFleet measures fleet scaling and availability end to end.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	if len(cfg.ShardCounts) == 0 || cfg.Workers <= 0 || cfg.Requests <= 0 {
+		return nil, fmt.Errorf("fleet: need shard counts, workers, and requests")
+	}
+	res := &FleetResult{}
+	for _, n := range cfg.ShardCounts {
+		pt, err := runFleetThroughput(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %d shards: %w", n, err)
+		}
+		res.Points = append(res.Points, *pt)
+	}
+	if base := res.Points[0].Throughput; base > 0 {
+		res.Speedup = res.Points[len(res.Points)-1].Throughput / base
+	}
+	if err := runFleetKill(cfg, res); err != nil {
+		return nil, fmt.Errorf("fleet: availability: %w", err)
+	}
+	return res, nil
+}
+
+// slowEngine starts a searchengine whose every request takes service time
+// (concurrently — modelling a remote engine's response latency, not a
+// capacity limit).
+func slowEngine(cfg FleetConfig) (*searchengine.Server, error) {
+	engine := searchengine.NewEngine(searchengine.WithCorpus(
+		searchengine.GenerateCorpus(searchengine.CorpusConfig{
+			DocsPerTopic: cfg.DocsPerTopic,
+			Seed:         cfg.Seed,
+		})))
+	srv := searchengine.NewServer(engine)
+	srv.DelayFn = func() time.Duration { return cfg.EngineService }
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// newBenchFleet builds an n-shard fleet against the given engine with the
+// ablation's concurrency-bound shard enclaves.
+func newBenchFleet(cfg FleetConfig, n int, engineAddr string) (*fleet.Gateway, error) {
+	return fleet.New(fleet.Config{
+		Shards: n,
+		ShardConfig: proxy.Config{
+			K:             2,
+			Engines:       []proxy.EngineSpec{{Host: engineAddr}},
+			Seed:          cfg.Seed,
+			EnclaveConfig: enclave.Config{TCSCount: cfg.TCSPerShard},
+		},
+		HealthInterval: 25 * time.Millisecond,
+	})
+}
+
+// fleetInvariantOK checks heap == history + cache on every live shard.
+func fleetInvariantOK(g *fleet.Gateway) bool {
+	for _, ss := range g.Stats().Shards {
+		if !ss.Alive {
+			continue
+		}
+		if ss.Proxy.Enclave.HeapBytes != ss.Proxy.HistoryB+ss.Proxy.CacheB {
+			return false
+		}
+	}
+	return true
+}
+
+// driveFleet issues total distinct queries from workers concurrent
+// clients, returning elapsed time and the error count. onIndex, when
+// non-nil, observes each request index as it is issued (the kill run uses
+// it to trigger the crash at a known point in the load without touching
+// the measured path).
+func driveFleet(g *fleet.Gateway, workers, total int, label string, onIndex func(int64)) (time.Duration, int) {
+	var next, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(total) {
+					return
+				}
+				if onIndex != nil {
+					onIndex(i)
+				}
+				q := fmt.Sprintf("%s query %d", label, i)
+				if _, err := g.ServeQuery(context.Background(), q); err != nil {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start), int(errs.Load())
+}
+
+func runFleetThroughput(cfg FleetConfig, n int) (*FleetPoint, error) {
+	srv, err := slowEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	g, err := newBenchFleet(cfg, n, srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = g.Shutdown(ctx)
+	}()
+	// Warm the histories so obfuscation has fakes on every shard.
+	for i := 0; i < 2*n; i++ {
+		if _, err := g.ServeQuery(context.Background(), fmt.Sprintf("fleet warm %d", i)); err != nil {
+			return nil, err
+		}
+	}
+	elapsed, errs := driveFleet(g, cfg.Workers, cfg.Requests, fmt.Sprintf("s%d", n), nil)
+	if errs > 0 {
+		return nil, fmt.Errorf("%d requests failed with every shard healthy", errs)
+	}
+	return &FleetPoint{
+		Shards:      n,
+		Throughput:  float64(cfg.Requests) / elapsed.Seconds(),
+		InvariantOK: fleetInvariantOK(g),
+	}, nil
+}
+
+// runFleetKill drives the availability phase: a full fleet serving load
+// when one shard is killed (no drain, no warning) a third of the way in.
+// The gateway's failover must hold every request.
+func runFleetKill(cfg FleetConfig, res *FleetResult) error {
+	srv, err := slowEngine(cfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	g, err := newBenchFleet(cfg, cfg.KillShards, srv.Addr())
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = g.Shutdown(ctx)
+	}()
+	for i := 0; i < 2*cfg.KillShards; i++ {
+		if _, err := g.ServeQuery(context.Background(), fmt.Sprintf("kill warm %d", i)); err != nil {
+			return err
+		}
+	}
+	res.KilledShard = cfg.KillShards - 1
+	killAfter := int64(cfg.KillRequests / 3)
+	var killOnce sync.Once
+	var killErr error
+	// Crash the shard under full load, a third of the way into the run,
+	// triggered from the issue path itself so nothing polls the gateway
+	// while throughput is being measured.
+	onIndex := func(i int64) {
+		if i == killAfter {
+			killOnce.Do(func() { killErr = g.Kill(context.Background(), res.KilledShard) })
+		}
+	}
+	elapsed, errs := driveFleet(g, cfg.Workers, cfg.KillRequests, "kill", onIndex)
+	if killErr != nil {
+		return killErr
+	}
+	res.KillTotal = cfg.KillRequests
+	res.KillErrors = errs
+	res.KillRPS = float64(cfg.KillRequests) / elapsed.Seconds()
+	res.KillInvariantOK = fleetInvariantOK(g)
+	return nil
+}

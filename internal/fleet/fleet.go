@@ -1,0 +1,384 @@
+// Package fleet implements the enclave fleet layer: a session-routing
+// Gateway fronting N independent proxy-enclave shards, each a full
+// X-Search node with its own (simulated) SGX platform, history window,
+// result cache, connection pools, and upstream registry.
+//
+// The paper's §6.3 throughput is bounded by one enclave's EPC and one
+// host's cores; the fleet lifts both bounds the way CYCLOSA
+// (arXiv:1805.01548) and Wally (arXiv:2406.06761) scale private search:
+// by sharding state across many trusted nodes. Each client session is
+// pinned to one shard by rendezvous (HRW) hashing of its session identity
+// — the client's channel-establishment offer, the one stable public value
+// a session has before the enclave mints its session ID — so a user's
+// obfuscation always draws fakes from the same in-enclave history window
+// and Algorithm 1's k-anonymity argument holds per shard. Plain
+// (curl-style) queries hash on the query itself, which also keeps each
+// shard's result cache and single-flight coalescing effective across the
+// fleet.
+//
+// The gateway health-checks shards and, when one dies, fails new work over
+// to the next-highest-ranked live shard; sessions on the dead shard are
+// dropped and the client broker transparently re-attests (its normal
+// response to session loss), landing on a live shard. On a planned
+// Drain, the departing shard's history window is handed to its successor
+// as a sealed blob: the enclave seals it under the fleet's shared sealing
+// root (MRSIGNER policy), the untrusted gateway moves the opaque bytes,
+// and the successor's enclave unseals and merges them — the privacy state
+// never exists in plaintext outside a trusted boundary. The shared root
+// models SGX fleet key provisioning (a migration key provisioned to every
+// attested fleet enclave); on real hardware the same handoff runs over an
+// attested enclave-to-enclave channel.
+package fleet
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xsearch/internal/attestation"
+	"xsearch/internal/enclave"
+	"xsearch/internal/proxy"
+)
+
+// Errors the gateway returns to its callers.
+var (
+	// ErrNoLiveShard means every shard is dead or draining.
+	ErrNoLiveShard = errors.New("fleet: no live shard available")
+	// ErrUnknownSession means the gateway has no routing entry for the
+	// session (never seen, evicted, or lost with its shard). Clients
+	// re-attest, exactly as for a proxy restart.
+	ErrUnknownSession = errors.New("fleet: unknown session")
+	// ErrShardDown means the session's pinned shard died; the channel
+	// state died with its enclave. Clients re-attest.
+	ErrShardDown = errors.New("fleet: session's shard is down; re-attest")
+)
+
+// DefaultHealthInterval is how often the gateway probes shard liveness
+// when Config.HealthInterval is zero.
+const DefaultHealthInterval = 100 * time.Millisecond
+
+// Config parameterizes a fleet.
+type Config struct {
+	// Shards is the number of proxy-enclave shards (at least 1).
+	Shards int
+	// ShardConfig is the template every shard is built from — a full
+	// proxy.Config, so pools, caches, coalescing, rate limits, and the
+	// upstream registry all compose per shard. The fleet derives what must
+	// differ per shard: a dedicated platform (own EPC) sharing the fleet
+	// sealing root, a distinct obfuscation seed (template seed + index,
+	// when set), and a per-shard StatePath suffix (when set). The
+	// AttestationService is shared across shards so clients pin one
+	// service key for the whole fleet.
+	ShardConfig proxy.Config
+	// MigrationSeed derives the fleet-wide sealing root every shard
+	// platform shares, enabling sealed shard handoff. Nil falls back to
+	// ShardConfig.PlatformSeed, then to a random per-fleet seed (handoff
+	// works within the fleet's lifetime but sealed state does not survive
+	// the process).
+	MigrationSeed []byte
+	// HealthInterval is the gateway's shard liveness probe period. Zero
+	// means DefaultHealthInterval.
+	HealthInterval time.Duration
+	// MaxSessions bounds the gateway's session-routing table (FIFO
+	// eviction, like the per-shard session tables). Zero means
+	// Shards * 4096.
+	MaxSessions int
+}
+
+// shard is one proxy-enclave node plus the gateway's view of it.
+type shard struct {
+	index int
+	name  string // stable HRW identity
+	proxy *proxy.Proxy
+
+	alive    atomic.Bool
+	draining atomic.Bool
+}
+
+// live reports ground-truth liveness: the gateway's view (alive flag) AND
+// the enclave's own state — a shard whose enclave died a moment ago is
+// dead even before the health probe or a request failure updates the flag.
+func (s *shard) live() bool { return s.alive.Load() && s.proxy.Healthy() }
+
+// available reports whether new work may be routed to the shard. Draining
+// shards keep serving their established sessions but take nothing new.
+func (s *shard) available() bool { return s.live() && !s.draining.Load() }
+
+// Gateway fronts the shard fleet: it routes sessions and plain queries by
+// rendezvous hashing, probes shard health, fails over on death, and
+// orchestrates sealed history handoff on drain.
+type Gateway struct {
+	cfg     Config
+	shards  []*shard
+	service *attestation.Service
+
+	httpFront
+
+	mu       sync.Mutex
+	sessions map[string]int // session id -> shard index
+	order    []string       // FIFO insertion order for eviction
+
+	stopHealth chan struct{}
+	healthDone chan struct{}
+	stopOnce   sync.Once
+
+	// Routing counters (see Stats for semantics).
+	plainRouted  atomic.Uint64
+	secureRouted atomic.Uint64
+	handshakes   atomic.Uint64
+	failovers    atomic.Uint64
+	sessionsLost atomic.Uint64
+	drains       atomic.Uint64
+	migratedQ    atomic.Uint64
+	migratedB    atomic.Int64
+	gwErrors     atomic.Uint64
+}
+
+// New builds the fleet: Shards proxy nodes from the shared template, one
+// attestation service, and the routing gateway (health loop running, HTTP
+// front not yet started).
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("fleet: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.ShardConfig.Platform != nil && cfg.Shards > 1 {
+		// A shared platform would make every shard draw from ONE EPC —
+		// the exact bound sharding exists to lift — and double-count it in
+		// the aggregate stats. The fleet derives per-shard platforms; use
+		// MigrationSeed to control the shared sealing root.
+		return nil, fmt.Errorf("fleet: ShardConfig.Platform must be nil for a multi-shard fleet (each shard gets its own platform; set MigrationSeed for the shared sealing root)")
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = DefaultHealthInterval
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = cfg.Shards * 4096
+	}
+	migSeed := cfg.MigrationSeed
+	if migSeed == nil {
+		migSeed = cfg.ShardConfig.PlatformSeed
+	}
+	if migSeed == nil {
+		migSeed = make([]byte, 32)
+		if _, err := rand.Read(migSeed); err != nil {
+			return nil, fmt.Errorf("fleet: migration seed: %w", err)
+		}
+	}
+	service := cfg.ShardConfig.AttestationService
+	if service == nil {
+		var err error
+		service, err = attestation.NewService()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: attestation service: %w", err)
+		}
+	}
+
+	g := &Gateway{
+		cfg:        cfg,
+		service:    service,
+		sessions:   make(map[string]int),
+		stopHealth: make(chan struct{}),
+		healthDone: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sc := cfg.ShardConfig
+		sc.AttestationService = service
+		sc.QuotingEnclave = nil // each shard enrolls its own QE with the shared service
+		if sc.Platform == nil {
+			// Every shard gets its own platform (its own EPC and cores —
+			// the point of sharding) but all derive the same fuse key, the
+			// fleet's provisioned migration sealing root.
+			sc.Platform = enclave.NewPlatform(enclave.WithFuseSeed(migSeed))
+		}
+		if sc.Seed != 0 {
+			// Distinct but reproducible obfuscation randomness per shard.
+			sc.Seed += uint64(i)
+		}
+		if sc.StatePath != "" {
+			sc.StatePath = fmt.Sprintf("%s-shard%d", cfg.ShardConfig.StatePath, i)
+		}
+		p, err := proxy.New(sc)
+		if err != nil {
+			for _, sh := range g.shards {
+				_ = sh.proxy.Shutdown(context.Background())
+			}
+			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		sh := &shard{index: i, name: fmt.Sprintf("shard-%d", i), proxy: p}
+		sh.alive.Store(true)
+		g.shards = append(g.shards, sh)
+	}
+	g.initHTTP()
+	go g.healthLoop()
+	return g, nil
+}
+
+// healthLoop probes each shard's enclave liveness every HealthInterval,
+// retiring dead shards (and their routed sessions) so requests stop being
+// offered to them even between request-path failures.
+func (g *Gateway) healthLoop() {
+	defer close(g.healthDone)
+	ticker := time.NewTicker(g.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stopHealth:
+			return
+		case <-ticker.C:
+			for _, sh := range g.shards {
+				if sh.alive.Load() && !sh.proxy.Healthy() {
+					g.noteDead(sh)
+				}
+			}
+		}
+	}
+}
+
+// noteDead retires a shard the moment its death is observed (health probe
+// or request-path error): no further routing, and its sessions are dropped
+// so brokers re-attest instead of timing out against a dead enclave.
+func (g *Gateway) noteDead(sh *shard) {
+	if sh.alive.CompareAndSwap(true, false) {
+		g.dropShardSessions(sh.index)
+	}
+}
+
+// ShardCount returns the configured number of shards (live or not).
+func (g *Gateway) ShardCount() int { return len(g.shards) }
+
+// Shard returns shard i's proxy node, for per-shard inspection (stats,
+// measurement) by operators, examples, and the bench harness.
+func (g *Gateway) Shard(i int) (*proxy.Proxy, error) {
+	if i < 0 || i >= len(g.shards) {
+		return nil, fmt.Errorf("fleet: shard %d out of range [0,%d)", i, len(g.shards))
+	}
+	return g.shards[i].proxy, nil
+}
+
+// Measurement returns the enclave identity clients pin. Every shard is
+// built from the same measured template, so all shards share one
+// MRENCLAVE; shard 0 speaks for the fleet.
+func (g *Gateway) Measurement() enclave.Measurement { return g.shards[0].proxy.Measurement() }
+
+// AttestationService returns the fleet-shared verification service.
+func (g *Gateway) AttestationService() *attestation.Service { return g.service }
+
+// Kill simulates a shard crash: the shard's enclave is destroyed with no
+// drain, no handoff, and no sealed-state persistence, exactly as a host
+// failure would. The gateway is NOT pre-warned — it discovers the death
+// through request failures and the health probe, which is what the
+// availability experiments exercise.
+func (g *Gateway) Kill(_ context.Context, i int) error {
+	if i < 0 || i >= len(g.shards) {
+		return fmt.Errorf("fleet: shard %d out of range [0,%d)", i, len(g.shards))
+	}
+	sh := g.shards[i]
+	if !sh.live() {
+		return fmt.Errorf("fleet: shard %d already dead", i)
+	}
+	sh.proxy.Crash()
+	return nil
+}
+
+// DrainReport describes a completed planned drain.
+type DrainReport struct {
+	// Shard and Successor are the drained shard and the shard that
+	// received its history window.
+	Shard     int `json:"shard"`
+	Successor int `json:"successor"`
+	// MigratedQueries and MigratedBytes are what the sealed handoff
+	// carried (bytes is the successor's net EPC delta).
+	MigratedQueries int   `json:"migrated_queries"`
+	MigratedBytes   int64 `json:"migrated_bytes"`
+	// SessionsLost is how many routed sessions died with the shard; their
+	// brokers re-attest onto live shards.
+	SessionsLost int `json:"sessions_lost"`
+}
+
+// Drain removes shard i from the fleet in an orderly way: stop routing new
+// work to it, seal its history window inside its enclave, hand the opaque
+// blob to the successor shard (the drained shard's next-highest HRW rank
+// among live shards), merge it there, then destroy the drained enclave.
+// The departing shard's established sessions keep being served until the
+// final destroy; the few queries they add after the snapshot fall outside
+// the migrated window, the same bounded loss as the sliding window's own
+// FIFO eviction. Their brokers then re-attest onto live shards.
+func (g *Gateway) Drain(ctx context.Context, i int) (*DrainReport, error) {
+	if i < 0 || i >= len(g.shards) {
+		return nil, fmt.Errorf("fleet: shard %d out of range [0,%d)", i, len(g.shards))
+	}
+	sh := g.shards[i]
+	if !sh.live() {
+		return nil, fmt.Errorf("fleet: shard %d is dead; drain needs a live shard", i)
+	}
+	if !sh.draining.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("fleet: shard %d already draining", i)
+	}
+	succ := g.successor(sh)
+	if succ == nil {
+		sh.draining.Store(false)
+		return nil, fmt.Errorf("fleet: no live successor for shard %d: %w", i, ErrNoLiveShard)
+	}
+	blob, err := sh.proxy.SnapshotHistory(ctx)
+	if err != nil {
+		sh.draining.Store(false)
+		return nil, fmt.Errorf("fleet: snapshot shard %d: %w", i, err)
+	}
+	added, bytes, err := succ.proxy.MergeHistory(ctx, blob)
+	if err != nil {
+		sh.draining.Store(false)
+		return nil, fmt.Errorf("fleet: merge into shard %d: %w", succ.index, err)
+	}
+	sh.alive.Store(false)
+	_ = sh.proxy.Shutdown(ctx)
+	lost := g.dropShardSessions(i)
+	g.drains.Add(1)
+	g.migratedQ.Add(uint64(added))
+	g.migratedB.Add(bytes)
+	return &DrainReport{
+		Shard:           i,
+		Successor:       succ.index,
+		MigratedQueries: added,
+		MigratedBytes:   bytes,
+		SessionsLost:    lost,
+	}, nil
+}
+
+// successor picks the shard that inherits a draining shard's history: the
+// top-ranked available shard under the drained shard's own HRW key, so
+// repeated drains of the same shard name always pick the same inheritor
+// while the rest of the fleet re-ranks automatically as shards die.
+func (g *Gateway) successor(sh *shard) *shard {
+	for _, cand := range g.rank("drain:" + sh.name) {
+		if cand.index != sh.index && cand.available() {
+			return cand
+		}
+	}
+	return nil
+}
+
+// Shutdown stops the health loop and HTTP front and destroys every live
+// shard (persisting per-shard sealed state where configured).
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.stopOnce.Do(func() { close(g.stopHealth) })
+	<-g.healthDone
+	var err error
+	if g.http != nil {
+		err = g.http.Shutdown(ctx)
+	}
+	for _, sh := range g.shards {
+		// Only orderly-shutdown shards that are actually still serving: a
+		// crashed shard whose flag the health loop has not yet cleared has
+		// nothing left to persist and would only report spurious errors.
+		if sh.alive.CompareAndSwap(true, false) && sh.proxy.Healthy() {
+			if serr := sh.proxy.Shutdown(ctx); serr != nil && err == nil {
+				err = serr
+			}
+		}
+	}
+	return err
+}

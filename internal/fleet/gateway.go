@@ -1,0 +1,358 @@
+package fleet
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"xsearch/internal/core"
+	"xsearch/internal/proxy"
+)
+
+// --- rendezvous (HRW) routing ---
+
+// hrwScore ranks one shard for one routing key. Rendezvous hashing gives
+// every (key, shard) pair an independent score; the key routes to its
+// highest-scoring live shard, and when that shard dies the key falls to
+// its next-highest — only the dead shard's keys move, with no ring state
+// to rebalance.
+func hrwScore(key, node string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(node))
+	return h.Sum64()
+}
+
+// rank returns every shard ordered by descending HRW score for key: the
+// preferred shard first, the failover candidates after. Callers still gate
+// each candidate on availability.
+func (g *Gateway) rank(key string) []*shard {
+	out := make([]*shard, len(g.shards))
+	copy(out, g.shards)
+	if len(out) == 1 {
+		return out
+	}
+	score := make(map[*shard]uint64, len(out))
+	for _, sh := range out {
+		score[sh] = hrwScore(key, sh.name)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return score[out[i]] > score[out[j]] })
+	return out
+}
+
+// sessionKey derives the HRW routing key of a new session from the
+// client's channel offer — the one stable public value a session has
+// before the enclave mints its ID. Hashing it (rather than using it raw)
+// keeps key length bounded.
+func sessionKey(offer json.RawMessage) string {
+	sum := sha256.Sum256(offer)
+	return "session:" + string(sum[:])
+}
+
+// --- session-routing table ---
+
+// remember pins session to shard idx, evicting the oldest pin when the
+// table is full (mirroring the per-shard session tables' FIFO policy).
+func (g *Gateway) remember(session string, idx int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for len(g.sessions) >= g.cfg.MaxSessions && len(g.order) > 0 {
+		oldest := g.order[0]
+		g.order = g.order[1:]
+		delete(g.sessions, oldest)
+	}
+	g.sessions[session] = idx
+	g.order = append(g.order, session)
+}
+
+// lookup resolves a session to its pinned shard.
+func (g *Gateway) lookup(session string) (*shard, bool) {
+	g.mu.Lock()
+	idx, ok := g.sessions[session]
+	g.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return g.shards[idx], true
+}
+
+// forget drops one session pin (its order entry is skipped at eviction).
+func (g *Gateway) forget(session string) {
+	g.mu.Lock()
+	delete(g.sessions, session)
+	g.mu.Unlock()
+}
+
+// dropShardSessions removes every session pinned to shard idx, returning
+// how many were lost (their brokers re-attest onto live shards).
+func (g *Gateway) dropShardSessions(idx int) int {
+	g.mu.Lock()
+	n := 0
+	for s, i := range g.sessions {
+		if i == idx {
+			delete(g.sessions, s)
+			n++
+		}
+	}
+	g.mu.Unlock()
+	g.sessionsLost.Add(uint64(n))
+	return n
+}
+
+// ShardOf reports which shard a session is currently pinned to.
+func (g *Gateway) ShardOf(session string) (int, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	idx, ok := g.sessions[session]
+	return idx, ok
+}
+
+// --- request routing ---
+
+// ServeQuery runs one plain query on the fleet, bypassing the HTTP front
+// (the §6.3-style capacity path). The query routes to its HRW shard —
+// identical queries always hit the same shard, so per-shard caches and
+// single-flight coalescing stay effective fleet-wide — and fails over down
+// the rank order when a shard turns out to be dead.
+func (g *Gateway) ServeQuery(ctx context.Context, query string) ([]core.Result, error) {
+	g.plainRouted.Add(1)
+	var lastErr error
+	deviated := false
+	// deviate counts this request as failed-over exactly once: the moment
+	// it first routes past (or retries off) an unavailable shard.
+	deviate := func() {
+		if !deviated {
+			deviated = true
+			g.failovers.Add(1)
+		}
+	}
+	for _, sh := range g.rank("q:" + query) {
+		if !sh.available() {
+			if !sh.draining.Load() {
+				deviate()
+			}
+			continue
+		}
+		results, err := sh.proxy.ServeQuery(ctx, query)
+		if err == nil {
+			return results, nil
+		}
+		lastErr = err
+		if sh.proxy.Healthy() {
+			// The shard is fine; the failure is the request's own (engine
+			// down, bad query). Retrying siblings would only triple it.
+			g.gwErrors.Add(1)
+			return nil, err
+		}
+		g.noteDead(sh)
+		deviate()
+	}
+	if lastErr == nil {
+		lastErr = ErrNoLiveShard
+	}
+	g.gwErrors.Add(1)
+	return nil, lastErr
+}
+
+// Handshake establishes an attested session on the offer's HRW shard and
+// pins the resulting session ID to it, failing over down the rank order if
+// the preferred shard is dead.
+func (g *Gateway) Handshake(ctx context.Context, offer json.RawMessage, nonce []byte) (*proxy.HandshakeResponse, error) {
+	g.handshakes.Add(1)
+	key := sessionKey(offer)
+	var lastErr error
+	deviated := false
+	deviate := func() {
+		if !deviated {
+			deviated = true
+			g.failovers.Add(1)
+		}
+	}
+	for _, sh := range g.rank(key) {
+		if !sh.available() {
+			if !sh.draining.Load() {
+				deviate()
+			}
+			continue
+		}
+		resp, err := sh.proxy.Handshake(ctx, offer, nonce)
+		if err == nil {
+			g.remember(resp.Session, sh.index)
+			return resp, nil
+		}
+		lastErr = err
+		if sh.proxy.Healthy() {
+			g.gwErrors.Add(1)
+			return nil, err
+		}
+		g.noteDead(sh)
+		deviate()
+	}
+	if lastErr == nil {
+		lastErr = ErrNoLiveShard
+	}
+	g.gwErrors.Add(1)
+	return nil, lastErr
+}
+
+// Secure routes one sealed record to the session's pinned shard. The
+// channel keys live only inside that shard's enclave, so there is no
+// failing over a secure request: if the shard is gone the session is gone,
+// and the error tells the broker to re-attest (its normal recovery).
+// Draining shards still serve their established sessions.
+func (g *Gateway) Secure(ctx context.Context, session string, record []byte) ([]byte, error) {
+	g.secureRouted.Add(1)
+	sh, ok := g.lookup(session)
+	if !ok {
+		g.gwErrors.Add(1)
+		return nil, ErrUnknownSession
+	}
+	if !sh.live() {
+		// noteDead drops the shard's pins only on the first observation;
+		// forget covers the case where the shard was already retired but
+		// this pin was re-added by a racing handshake.
+		g.noteDead(sh)
+		g.forget(session)
+		g.gwErrors.Add(1)
+		return nil, ErrShardDown
+	}
+	reply, err := sh.proxy.Secure(ctx, session, record)
+	if err != nil {
+		if !sh.proxy.Healthy() {
+			g.noteDead(sh)
+			g.forget(session)
+			g.gwErrors.Add(1)
+			return nil, ErrShardDown
+		}
+		g.gwErrors.Add(1)
+		return nil, err
+	}
+	return reply, nil
+}
+
+// --- HTTP front ---
+
+// httpFront is the gateway's HTTP server state. The endpoint surface is
+// exactly the proxy's (/search, /handshake, /secure, /stats, /healthz), so
+// brokers and curl users point at a fleet the same way they point at a
+// single node.
+type httpFront struct {
+	http *http.Server
+	ln   net.Listener
+}
+
+func (g *Gateway) initHTTP() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", g.handlePlainSearch)
+	mux.HandleFunc("/handshake", g.handleHandshake)
+	mux.HandleFunc("/secure", g.handleSecure)
+	mux.HandleFunc("/stats", g.handleStats)
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	g.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+}
+
+// Start serves the gateway front on addr ("127.0.0.1:0" picks a port).
+func (g *Gateway) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fleet: listen %s: %w", addr, err)
+	}
+	g.ln = ln
+	go func() { _ = g.http.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound address after Start.
+func (g *Gateway) Addr() string {
+	if g.ln == nil {
+		return ""
+	}
+	return g.ln.Addr().String()
+}
+
+// URL returns the gateway base URL.
+func (g *Gateway) URL() string { return "http://" + g.Addr() }
+
+func (g *Gateway) handlePlainSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	results, err := g.ServeQuery(r.Context(), q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if results == nil {
+		results = []core.Result{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(results)
+}
+
+func (g *Gateway) handleHandshake(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var body struct {
+		Offer json.RawMessage `json:"offer"`
+		Nonce []byte          `json:"nonce"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad handshake body", http.StatusBadRequest)
+		return
+	}
+	resp, err := g.Handshake(r.Context(), body.Offer, body.Nonce)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (g *Gateway) handleSecure(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var body proxy.SecureEnvelope
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad secure body", http.StatusBadRequest)
+		return
+	}
+	record, err := g.Secure(r.Context(), body.Session, body.Record)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(proxy.SecureEnvelope{Session: body.Session, Record: record})
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(g.Stats())
+}
+
+// handleHealthz reports fleet liveness: OK while at least one shard can
+// take new work.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	for _, sh := range g.shards {
+		if sh.available() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+	}
+	http.Error(w, ErrNoLiveShard.Error(), http.StatusServiceUnavailable)
+}

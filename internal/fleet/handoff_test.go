@@ -1,0 +1,194 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	mrand "math/rand/v2"
+	"testing"
+	"time"
+
+	"xsearch/internal/attestation"
+	"xsearch/internal/broker"
+	"xsearch/internal/core"
+	"xsearch/internal/dataset"
+	"xsearch/internal/enclave"
+	"xsearch/internal/proxy"
+	"xsearch/internal/simattack"
+)
+
+// requireInvariant asserts the per-shard EPC identity the whole memory
+// story rests on: enclave heap == history bytes + cache bytes.
+func requireInvariant(t *testing.T, label string, ps proxy.Stats) {
+	t.Helper()
+	if ps.Enclave.HeapBytes != ps.HistoryB+ps.CacheB {
+		t.Fatalf("%s: EPC invariant broken: heap=%d history=%d cache=%d",
+			label, ps.Enclave.HeapBytes, ps.HistoryB, ps.CacheB)
+	}
+}
+
+// TestDrainSealedHandoff covers the planned-drain path end to end: a shard
+// drained mid-session hands its history window to its successor as a
+// sealed blob, the heap == history + cache invariant holds on both shards
+// before the drain and on the successor after it, the drained sessions
+// recover by re-attesting, and SimAttack re-identification does not
+// improve after the migration (the merged fake pool is no easier to
+// attack than the successor's own).
+func TestDrainSealedHandoff(t *testing.T) {
+	genCfg := dataset.DefaultGeneratorConfig()
+	genCfg.Users, genCfg.MeanQueries, genCfg.Seed = 40, 60, 3
+	gen, err := dataset.NewGenerator(genCfg)
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	log := gen.Generate()
+	train, test, err := log.Split(0.5)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	attack, err := simattack.New(train, simattack.DefaultAlpha)
+	if err != nil {
+		t.Fatalf("simattack: %v", err)
+	}
+
+	g, err := New(Config{
+		Shards:         2,
+		ShardConfig:    proxy.Config{K: 3, EchoMode: true, Seed: 9},
+		HealthInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = g.Shutdown(ctx)
+	}()
+	if err := g.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	ctx := context.Background()
+
+	// Fill the shard histories with real past queries through the plain
+	// front, mirroring the HRW routing so the test knows each enclave's
+	// exact window contents without ever opening the sealed blob.
+	trainQueries := train.Queries()
+	if len(trainQueries) > 1200 {
+		trainQueries = trainQueries[:1200]
+	}
+	mirrors := make([][]string, 2)
+	for _, q := range trainQueries {
+		idx := g.rank("q:" + q)[0].index
+		if _, err := g.ServeQuery(ctx, q); err != nil {
+			t.Fatalf("fill query: %v", err)
+		}
+		mirrors[idx] = append(mirrors[idx], q)
+	}
+	if len(mirrors[0]) == 0 || len(mirrors[1]) == 0 {
+		t.Fatalf("degenerate routing: mirror sizes %d/%d", len(mirrors[0]), len(mirrors[1]))
+	}
+
+	// Establish live sessions on both shards — the drain happens
+	// mid-session.
+	var brokers []*broker.Broker
+	covered := func() bool {
+		st := g.Stats()
+		return st.Shards[0].Sessions > 0 && st.Shards[1].Sessions > 0
+	}
+	for i := 0; i < 64 && !covered(); i++ {
+		b, err := broker.New(broker.Config{
+			ProxyURL:   g.URL(),
+			ServiceKey: g.AttestationService().PublicKey(),
+			Policy: attestation.Policy{
+				AcceptedMeasurements: []enclave.Measurement{g.Measurement()},
+			},
+		})
+		if err != nil {
+			t.Fatalf("broker.New: %v", err)
+		}
+		if err := b.Connect(ctx); err != nil {
+			t.Fatalf("Connect: %v", err)
+		}
+		brokers = append(brokers, b)
+	}
+	if !covered() {
+		t.Fatalf("sessions never covered both shards: %+v", g.Stats().Shards)
+	}
+
+	pre := g.Stats()
+	for i, ss := range pre.Shards {
+		requireInvariant(t, fmt.Sprintf("pre-drain shard %d", i), ss.Proxy)
+		if ss.Proxy.HistoryLen != len(mirrors[i]) {
+			t.Fatalf("shard %d history %d != mirror %d", i, ss.Proxy.HistoryLen, len(mirrors[i]))
+		}
+	}
+
+	// Re-identification with the successor's own fake pool, before the
+	// migration changes it.
+	testLog := &dataset.Log{Records: test.Records}
+	if len(testLog.Records) > 150 {
+		testLog.Records = testLog.Records[:150]
+	}
+	rate := func(pool []string) float64 {
+		h, err := core.NewHistory(len(pool) + 1)
+		if err != nil {
+			t.Fatalf("history: %v", err)
+		}
+		for _, q := range pool {
+			h.Add(q)
+		}
+		rng := mrand.New(mrand.NewPCG(11, 17))
+		return attack.EvaluateObfuscated(testLog, func(rec dataset.Record) simattack.Obfuscation {
+			fakes := h.Sample(3, rng.IntN)
+			pos := rng.IntN(len(fakes) + 1)
+			subs := make([]string, 0, len(fakes)+1)
+			subs = append(subs, fakes[:pos]...)
+			subs = append(subs, rec.Query)
+			subs = append(subs, fakes[pos:]...)
+			return simattack.Obfuscation{Subqueries: subs, OriginalIndex: pos}
+		})
+	}
+	preRate := rate(mirrors[1])
+
+	rep, err := g.Drain(ctx, 0)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if rep.Successor != 1 {
+		t.Fatalf("successor = %d, want 1 (only live shard)", rep.Successor)
+	}
+	if rep.MigratedQueries != len(mirrors[0]) {
+		t.Fatalf("migrated %d queries, want %d", rep.MigratedQueries, len(mirrors[0]))
+	}
+	if rep.MigratedBytes <= 0 {
+		t.Fatalf("migrated %d bytes", rep.MigratedBytes)
+	}
+
+	post := g.Stats()
+	if post.Shards[0].Alive {
+		t.Fatal("drained shard still alive")
+	}
+	succ := post.Shards[1].Proxy
+	requireInvariant(t, "post-drain successor", succ)
+	if want := len(mirrors[0]) + len(mirrors[1]); succ.HistoryLen != want {
+		t.Fatalf("successor history %d, want %d (own + migrated)", succ.HistoryLen, want)
+	}
+	if post.Drains != 1 || post.MigratedQueries != uint64(len(mirrors[0])) {
+		t.Fatalf("drain counters wrong: %+v", post)
+	}
+
+	// Mid-session recovery: every broker — including those whose shard
+	// just drained away — keeps working by re-attesting onto the survivor.
+	for i, b := range brokers {
+		if _, err := b.Search(ctx, fmt.Sprintf("post-drain search %d", i)); err != nil {
+			t.Fatalf("post-drain search %d: %v", i, err)
+		}
+	}
+
+	// The migrated pool is the successor's own plus the drained shard's —
+	// a strictly larger, more diverse fake source. Re-identification must
+	// not improve (small tolerance for sampling noise).
+	postRate := rate(append(append([]string{}, mirrors[1]...), mirrors[0]...))
+	if postRate > preRate+0.05 {
+		t.Fatalf("re-identification improved after migration: pre=%.3f post=%.3f", preRate, postRate)
+	}
+}

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"sort"
+
+	"xsearch/internal/proxy"
+)
+
+// ShardStats is one shard's slice of the fleet snapshot.
+type ShardStats struct {
+	Index    int  `json:"index"`
+	Alive    bool `json:"alive"`
+	Draining bool `json:"draining"`
+	// Sessions counts the sessions the gateway currently pins to this
+	// shard.
+	Sessions int `json:"sessions"`
+	// Proxy is the shard's full node snapshot (per-shard EPC heap, history
+	// bytes, cache/coalesce/pool gauges, upstream breakdown). Zero for a
+	// dead shard — its enclave, and everything the gauges measured, is
+	// gone.
+	Proxy proxy.Stats `json:"proxy"`
+}
+
+// Stats is the fleet-wide operational snapshot: gateway routing counters,
+// each shard's node snapshot, and cross-shard aggregates.
+type Stats struct {
+	Shards []ShardStats `json:"shards"`
+	// AliveShards counts shards still able to serve.
+	AliveShards int `json:"alive_shards"`
+	// SessionsActive is the gateway routing table's size.
+	SessionsActive int `json:"sessions_active"`
+
+	// Gateway routing counters. PlainRouted/SecureRouted/Handshakes count
+	// requests entering each route; Failovers counts requests re-routed
+	// past a dead shard; SessionsLost counts session pins dropped because
+	// their shard died or drained; Errors counts requests the gateway
+	// answered with an error.
+	PlainRouted  uint64 `json:"plain_routed"`
+	SecureRouted uint64 `json:"secure_routed"`
+	Handshakes   uint64 `json:"handshakes"`
+	Failovers    uint64 `json:"failovers"`
+	SessionsLost uint64 `json:"sessions_lost"`
+	Errors       uint64 `json:"errors"`
+	// Drain bookkeeping: completed drains and what their sealed handoffs
+	// carried.
+	Drains          uint64 `json:"drains"`
+	MigratedQueries uint64 `json:"migrated_queries"`
+	MigratedBytes   int64  `json:"migrated_bytes"`
+
+	// Aggregates over live shards.
+	Requests    uint64 `json:"requests"`
+	HistoryLen  int    `json:"history_len"`
+	HistoryB    int64  `json:"history_bytes"`
+	CacheB      int64  `json:"cache_bytes"`
+	EnclaveHeap int64  `json:"enclave_heap_bytes"`
+	EPCUsed     int64  `json:"epc_used_bytes"`
+	// Upstreams merges the per-shard upstream breakdowns by host (sorted),
+	// showing each engine's fleet-wide traffic share — the view that makes
+	// per-upstream rate limits auditable.
+	Upstreams []proxy.UpstreamStats `json:"upstreams,omitempty"`
+}
+
+// Stats returns the fleet snapshot.
+func (g *Gateway) Stats() Stats {
+	s := Stats{
+		PlainRouted:     g.plainRouted.Load(),
+		SecureRouted:    g.secureRouted.Load(),
+		Handshakes:      g.handshakes.Load(),
+		Failovers:       g.failovers.Load(),
+		SessionsLost:    g.sessionsLost.Load(),
+		Errors:          g.gwErrors.Load(),
+		Drains:          g.drains.Load(),
+		MigratedQueries: g.migratedQ.Load(),
+		MigratedBytes:   g.migratedB.Load(),
+	}
+	perShard := make(map[int]int)
+	g.mu.Lock()
+	s.SessionsActive = len(g.sessions)
+	for _, idx := range g.sessions {
+		perShard[idx]++
+	}
+	g.mu.Unlock()
+
+	merged := make(map[string]proxy.UpstreamStats)
+	for _, sh := range g.shards {
+		ss := ShardStats{
+			Index:    sh.index,
+			Alive:    sh.live(),
+			Draining: sh.draining.Load(),
+			Sessions: perShard[sh.index],
+		}
+		if ss.Alive {
+			ss.Proxy = sh.proxy.Stats()
+			s.AliveShards++
+			s.Requests += ss.Proxy.Requests
+			s.HistoryLen += ss.Proxy.HistoryLen
+			s.HistoryB += ss.Proxy.HistoryB
+			s.CacheB += ss.Proxy.CacheB
+			s.EnclaveHeap += ss.Proxy.Enclave.HeapBytes
+			s.EPCUsed += ss.Proxy.Enclave.EPCUsed
+			for _, u := range ss.Proxy.Upstreams {
+				m := merged[u.Host]
+				m.Host, m.Weight = u.Host, u.Weight
+				m.Served += u.Served
+				m.Failures += u.Failures
+				m.RateLimited += u.RateLimited
+				m.CoolingDown = m.CoolingDown || u.CoolingDown
+				m.PoolIdle += u.PoolIdle
+				m.PoolReuses += u.PoolReuses
+				m.PoolDials += u.PoolDials
+				m.PoolEvicted += u.PoolEvicted
+				merged[u.Host] = m
+			}
+		}
+		s.Shards = append(s.Shards, ss)
+	}
+	for _, m := range merged {
+		if total := m.PoolReuses + m.PoolDials; total > 0 {
+			m.PoolReuseRatio = float64(m.PoolReuses) / float64(total)
+		}
+		s.Upstreams = append(s.Upstreams, m)
+	}
+	sort.Slice(s.Upstreams, func(i, j int) bool { return s.Upstreams[i].Host < s.Upstreams[j].Host })
+	return s
+}

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -78,6 +80,17 @@ type Config struct {
 	// DisableCoalescing turns off single-flight coalescing of concurrent
 	// identical original queries (ablations; coalescing is on by default).
 	DisableCoalescing bool
+	// UpstreamRateLimit caps the sustained request rate this proxy sends to
+	// EACH engine upstream (token bucket, requests/second). Zero means
+	// unlimited. In a sharded fleet it keeps one hot shard from starving a
+	// shared engine: an upstream with no tokens is skipped like a
+	// cooling-down one, spilling the request to the next upstream.
+	UpstreamRateLimit float64
+	// UpstreamRateBurst is the token bucket depth (how far above the
+	// sustained rate a short burst may go). Zero means
+	// max(1, ceil(UpstreamRateLimit)); only consulted when
+	// UpstreamRateLimit > 0.
+	UpstreamRateBurst int
 	// EngineLink injects WAN latency on the proxy <-> engine path
 	// (experiments); nil means none.
 	EngineLink *netsim.Link
@@ -150,6 +163,15 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.UpstreamCooldown <= 0 {
 		cfg.UpstreamCooldown = DefaultUpstreamCooldown
 	}
+	if cfg.UpstreamRateLimit < 0 {
+		return nil, fmt.Errorf("proxy: negative upstream rate limit")
+	}
+	if cfg.UpstreamRateLimit > 0 && cfg.UpstreamRateBurst <= 0 {
+		cfg.UpstreamRateBurst = int(math.Ceil(cfg.UpstreamRateLimit))
+		if cfg.UpstreamRateBurst < 1 {
+			cfg.UpstreamRateBurst = 1
+		}
+	}
 	engines, err := normalizeEngines(&cfg)
 	if err != nil {
 		return nil, err
@@ -212,10 +234,11 @@ func New(cfg Config) (*Proxy, error) {
 	for i, e := range engines {
 		engineIdent[i] = fmt.Sprintf("%s*%d", e.Host, e.Weight)
 	}
-	ident := fmt.Sprintf("xsearch-proxy v1.2 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s coalesce=%t breaker=%d/%s",
+	ident := fmt.Sprintf("xsearch-proxy v1.3 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s coalesce=%t breaker=%d/%s rate=%g/%d",
 		cfg.K, cfg.HistoryCapacity, strings.Join(engineIdent, " "), cfg.EchoMode,
 		cfg.PoolSize, cfg.CacheBytes, cfg.CacheTTL,
-		!cfg.DisableCoalescing, cfg.UpstreamFailThreshold, cfg.UpstreamCooldown)
+		!cfg.DisableCoalescing, cfg.UpstreamFailThreshold, cfg.UpstreamCooldown,
+		cfg.UpstreamRateLimit, cfg.UpstreamRateBurst)
 	if err := builder.AddData([]byte(ident)); err != nil {
 		return nil, err
 	}
@@ -247,6 +270,9 @@ func New(cfg Config) (*Proxy, error) {
 		return nil, err
 	}
 	if err := builder.RegisterECall("snapshot", trusted.handleSnapshot); err != nil {
+		return nil, err
+	}
+	if err := builder.RegisterECall("merge", trusted.handleMerge); err != nil {
 		return nil, err
 	}
 	encl, err := builder.Build()
@@ -402,6 +428,95 @@ func (p *Proxy) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// Crash simulates abrupt host failure: the enclave is destroyed and its
+// engine connections dropped with NO orderly teardown — no history
+// snapshot, no sealed-state persistence, no graceful HTTP drain. Fleet
+// availability experiments use it; operators should use Shutdown.
+func (p *Proxy) Crash() {
+	p.conns.closeAll()
+	p.encl.Destroy()
+}
+
+// Healthy reports whether the proxy's enclave is still able to serve: a
+// destroyed enclave (crash, Shutdown, fleet drain) rejects every ecall and
+// never recovers, so a false result is permanent. Fleet gateways use it as
+// the shard liveness probe.
+func (p *Proxy) Healthy() bool { return !p.encl.Destroyed() }
+
+// Handshake establishes an attested secure channel without going through
+// the HTTP front: the enclave completes the channel offer, the quoting
+// enclave quotes the report binding the channel key, and the attestation
+// service verifies the quote against the caller's nonce. Fleet gateways
+// call it directly to route handshakes to a shard.
+func (p *Proxy) Handshake(ctx context.Context, offer json.RawMessage, nonce []byte) (*HandshakeResponse, error) {
+	p.handshakes.Add(1)
+	reply, err := p.ecall(ctx, envelope{Type: typeHandshake, Offer: offer})
+	if err != nil {
+		p.errors.Add(1)
+		return nil, err
+	}
+	// Produce the quote for the enclave-bound report data and have the
+	// attestation service verify it (both steps are untrusted plumbing;
+	// the client re-verifies everything).
+	var reportData [64]byte
+	copy(reportData[:], reply.ReportData)
+	quote := p.qe.Quote(p.encl.Report(reportData))
+	vr, err := p.service.Verify(quote, nonce)
+	if err != nil {
+		p.errors.Add(1)
+		return nil, fmt.Errorf("attestation: %w", err)
+	}
+	vrJSON, err := json.Marshal(vr)
+	if err != nil {
+		p.errors.Add(1)
+		return nil, err
+	}
+	return &HandshakeResponse{
+		Offer:              reply.Offer,
+		Session:            reply.Session,
+		VerificationReport: vrJSON,
+	}, nil
+}
+
+// Secure serves one sealed query record on an established session and
+// returns the sealed response record. Fleet gateways call it directly to
+// route a pinned session's traffic to its shard.
+func (p *Proxy) Secure(ctx context.Context, session string, record []byte) ([]byte, error) {
+	p.requests.Add(1)
+	reply, err := p.ecall(ctx, envelope{Type: typeSecure, Session: session, Record: record})
+	if err != nil {
+		p.errors.Add(1)
+		return nil, err
+	}
+	return reply.Record, nil
+}
+
+// SnapshotHistory returns the query history as an enclave-sealed blob
+// (MRSIGNER policy): the host can store or forward it but never read it.
+// A fleet drain hands this blob to the successor shard's MergeHistory, so
+// the privacy state survives re-sharding without leaving a trusted
+// boundary in plaintext.
+func (p *Proxy) SnapshotHistory(ctx context.Context) ([]byte, error) {
+	return p.encl.ECall(ctx, "snapshot", nil)
+}
+
+// MergeHistory unseals a history blob produced by SnapshotHistory on a
+// same-vendor enclave sharing this platform's sealing root and appends its
+// queries to the local window (oldest first, FIFO eviction applies),
+// charging the EPC for the growth. It returns how many queries arrived and
+// the net byte delta.
+func (p *Proxy) MergeHistory(ctx context.Context, blob []byte) (added int, bytes int64, err error) {
+	out, err := p.encl.ECall(ctx, "merge", blob)
+	if err != nil {
+		return 0, 0, err
+	}
+	var rep mergeReply
+	if err := json.Unmarshal(out, &rep); err != nil {
+		return 0, 0, fmt.Errorf("proxy: merge reply: %w", err)
+	}
+	return rep.Added, rep.Bytes, nil
+}
+
 // Stats reports request counters plus enclave resource accounting and the
 // scaling layer's gauges (connection reuse, cache effectiveness).
 type Stats struct {
@@ -432,8 +547,13 @@ type Stats struct {
 	CoalesceShared uint64  `json:"coalesce_shared"`
 	CoalesceLed    uint64  `json:"coalesce_led"`
 	CoalesceRatio  float64 `json:"coalesce_ratio"`
+	// RateLimited counts engine-bound attempts the per-upstream token
+	// bucket turned away, summed across upstreams (zero when rate limiting
+	// is disabled).
+	RateLimited uint64 `json:"rate_limited"`
 	// Upstreams is the per-engine-upstream breakdown: traffic share,
-	// failures, breaker state, and each upstream's pool gauges.
+	// failures, breaker state, and each upstream's pool gauges. Sorted by
+	// host so snapshots diff cleanly regardless of configuration order.
 	Upstreams []UpstreamStats `json:"upstreams,omitempty"`
 }
 
@@ -458,7 +578,11 @@ func (p *Proxy) Stats() Stats {
 			s.PoolReuses += us.PoolReuses
 			s.PoolDials += us.PoolDials
 			s.PoolEvicted += us.PoolEvicted
+			s.RateLimited += us.RateLimited
 		}
+		sort.Slice(s.Upstreams, func(i, j int) bool {
+			return s.Upstreams[i].Host < s.Upstreams[j].Host
+		})
 		// Derive the ratios from the snapshotted counts so the reported
 		// fields always satisfy their own identity under concurrency.
 		if total := s.PoolReuses + s.PoolDials; total > 0 {
@@ -542,7 +666,6 @@ func (p *Proxy) handleHandshake(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	p.handshakes.Add(1)
 	var body struct {
 		Offer json.RawMessage `json:"offer"`
 		Nonce []byte          `json:"nonce"`
@@ -552,36 +675,13 @@ func (p *Proxy) handleHandshake(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad handshake body", http.StatusBadRequest)
 		return
 	}
-	reply, err := p.ecall(r.Context(), envelope{Type: typeHandshake, Offer: body.Offer})
+	resp, err := p.Handshake(r.Context(), body.Offer, body.Nonce)
 	if err != nil {
-		p.errors.Add(1)
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	// Produce the quote for the enclave-bound report data and have the
-	// attestation service verify it (both steps are untrusted plumbing;
-	// the client re-verifies everything).
-	var reportData [64]byte
-	copy(reportData[:], reply.ReportData)
-	quote := p.qe.Quote(p.encl.Report(reportData))
-	vr, err := p.service.Verify(quote, body.Nonce)
-	if err != nil {
-		p.errors.Add(1)
-		http.Error(w, fmt.Sprintf("attestation: %v", err), http.StatusBadGateway)
-		return
-	}
-	vrJSON, err := json.Marshal(vr)
-	if err != nil {
-		p.errors.Add(1)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(HandshakeResponse{
-		Offer:              reply.Offer,
-		Session:            reply.Session,
-		VerificationReport: vrJSON,
-	})
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // handleSecure serves POST /secure: one sealed query record in, one sealed
@@ -591,25 +691,19 @@ func (p *Proxy) handleSecure(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	p.requests.Add(1)
 	var body SecureEnvelope
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		p.errors.Add(1)
 		http.Error(w, "bad secure body", http.StatusBadRequest)
 		return
 	}
-	reply, err := p.ecall(r.Context(), envelope{
-		Type:    typeSecure,
-		Session: body.Session,
-		Record:  body.Record,
-	})
+	record, err := p.Secure(r.Context(), body.Session, body.Record)
 	if err != nil {
-		p.errors.Add(1)
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(SecureEnvelope{Session: body.Session, Record: reply.Record})
+	_ = json.NewEncoder(w).Encode(SecureEnvelope{Session: body.Session, Record: record})
 }
 
 // handleStats serves GET /stats (operational, non-sensitive aggregates).

@@ -1,0 +1,173 @@
+package proxy
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"xsearch/internal/searchengine"
+)
+
+func TestTokenBucketRefills(t *testing.T) {
+	start := time.Unix(1000, 0)
+	b := newTokenBucket(10, 2, start) // 10/s, burst 2
+	if !b.allow(start) || !b.allow(start) {
+		t.Fatal("burst tokens should be spendable immediately")
+	}
+	if b.allow(start) {
+		t.Fatal("third token should not exist at t=0")
+	}
+	// 100ms refills exactly one token at 10/s.
+	if !b.allow(start.Add(100 * time.Millisecond)) {
+		t.Fatal("one token should have refilled after 100ms")
+	}
+	if b.allow(start.Add(100 * time.Millisecond)) {
+		t.Fatal("only one token should have refilled")
+	}
+	// Refill never exceeds burst.
+	late := start.Add(time.Hour)
+	if !b.allow(late) || !b.allow(late) {
+		t.Fatal("bucket should cap at burst tokens")
+	}
+	if b.allow(late) {
+		t.Fatal("bucket exceeded burst")
+	}
+	// Clock going backwards must not mint tokens.
+	if b.allow(start) {
+		t.Fatal("backwards clock minted a token")
+	}
+}
+
+func startEngine(t *testing.T, seed uint64) *searchengine.Server {
+	t.Helper()
+	engine := searchengine.NewEngine(searchengine.WithCorpus(
+		searchengine.GenerateCorpus(searchengine.CorpusConfig{DocsPerTopic: 10, Seed: seed})))
+	srv := searchengine.NewServer(engine)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// TestUpstreamRateLimitCapsOneUpstream exhausts a single upstream's burst
+// with a near-zero sustained rate: the excess requests must fail loudly
+// (never silently queue inside the enclave) and the rejection must be
+// visible in the stats.
+func TestUpstreamRateLimitCapsOneUpstream(t *testing.T) {
+	srv := startEngine(t, 1)
+	p, err := New(Config{
+		K:                 2,
+		Engines:           []EngineSpec{{Host: srv.Addr()}},
+		Seed:              1,
+		UpstreamRateLimit: 0.001, // effectively no refill within the test
+		UpstreamRateBurst: 3,
+		DisableCoalescing: true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer shutdownProxy(t, p)
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := p.ServeQuery(ctx, queryN("burst", i)); err != nil {
+			t.Fatalf("burst query %d should pass: %v", i, err)
+		}
+	}
+	_, err = p.ServeQuery(ctx, queryN("over", 0))
+	if err == nil || !strings.Contains(err.Error(), "rate-limited") {
+		t.Fatalf("over-burst query error = %v, want rate-limited", err)
+	}
+	st := p.Stats()
+	if st.RateLimited == 0 {
+		t.Fatalf("Stats.RateLimited = 0 after a rejected request")
+	}
+	if len(st.Upstreams) != 1 || st.Upstreams[0].RateLimited == 0 {
+		t.Fatalf("per-upstream RateLimited missing: %+v", st.Upstreams)
+	}
+}
+
+// TestUpstreamRateLimitSpillsToSibling shows the fleet-sharing behaviour
+// the limiter exists for: when one upstream's bucket empties, traffic
+// spills to the next upstream instead of hammering the hot one.
+func TestUpstreamRateLimitSpillsToSibling(t *testing.T) {
+	srvA := startEngine(t, 1)
+	srvB := startEngine(t, 2)
+	p, err := New(Config{
+		K:                 2,
+		Engines:           []EngineSpec{{Host: srvA.Addr()}, {Host: srvB.Addr()}},
+		Seed:              1,
+		UpstreamRateLimit: 0.001,
+		UpstreamRateBurst: 2,
+		DisableCoalescing: true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer shutdownProxy(t, p)
+
+	ctx := context.Background()
+	// 4 requests drain both buckets (2+2), every one served; the 5th finds
+	// the whole upstream set rate-limited.
+	for i := 0; i < 4; i++ {
+		if _, err := p.ServeQuery(ctx, queryN("spill", i)); err != nil {
+			t.Fatalf("query %d should spill to a sibling: %v", i, err)
+		}
+	}
+	if _, err := p.ServeQuery(ctx, queryN("spill", 4)); err == nil {
+		t.Fatal("5th query should fail: both buckets empty")
+	}
+	st := p.Stats()
+	for _, u := range st.Upstreams {
+		if u.Served != 2 {
+			t.Fatalf("upstream %s served %d, want its burst of 2: %+v", u.Host, u.Served, st.Upstreams)
+		}
+	}
+}
+
+// TestUpstreamStatsSortedByHost pins the deterministic ordering contract:
+// however the engines were configured, Stats.Upstreams comes back sorted
+// by host so snapshots diff cleanly.
+func TestUpstreamStatsSortedByHost(t *testing.T) {
+	srvA := startEngine(t, 1)
+	srvB := startEngine(t, 2)
+	srvC := startEngine(t, 3)
+	// Feed the hosts in both orders; the stats order must not change.
+	for _, hosts := range [][]string{
+		{srvA.Addr(), srvB.Addr(), srvC.Addr()},
+		{srvC.Addr(), srvA.Addr(), srvB.Addr()},
+	} {
+		specs := make([]EngineSpec, len(hosts))
+		for i, h := range hosts {
+			specs[i] = EngineSpec{Host: h}
+		}
+		p, err := New(Config{K: 2, Engines: specs, Seed: 1})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		st := p.Stats()
+		for i := 1; i < len(st.Upstreams); i++ {
+			if st.Upstreams[i-1].Host >= st.Upstreams[i].Host {
+				t.Fatalf("Upstreams not sorted by host: %+v", st.Upstreams)
+			}
+		}
+		shutdownProxy(t, p)
+	}
+}
+
+func queryN(prefix string, i int) string {
+	return prefix + " query " + string(rune('a'+i))
+}
+
+func shutdownProxy(t *testing.T, p *Proxy) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = p.Shutdown(ctx)
+}

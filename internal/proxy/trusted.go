@@ -97,6 +97,47 @@ func (ts *trustedState) handleSnapshot(_ enclave.Env, _ []byte) ([]byte, error) 
 	return ts.sealer.Seal(plaintext, historyAAD)
 }
 
+// handleMerge is the "merge" ecall, the receiving half of a fleet shard
+// handoff: unseal a history blob another same-vendor enclave snapshotted
+// and append its queries to the local window. Unlike restore, the local
+// history is kept — the successor shard serves both its own sessions and
+// the drained shard's future ones, so both windows' queries belong in its
+// fake pool. Growth is charged to the EPC via the same Alloc/Free contract
+// as live inserts, keeping heap == history + cache.
+func (ts *trustedState) handleMerge(env enclave.Env, arg []byte) ([]byte, error) {
+	if ts.sealer == nil {
+		return nil, fmt.Errorf("proxy: sealing not configured")
+	}
+	plaintext, err := ts.sealer.Unseal(arg, historyAAD)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: unseal history: %w", err)
+	}
+	var queries []string
+	if err := json.Unmarshal(plaintext, &queries); err != nil {
+		return nil, fmt.Errorf("proxy: history payload: %w", err)
+	}
+	h := ts.obfuscator.History()
+	// Charge an upper bound BEFORE touching the window: the real delta is
+	// at most the incoming bytes (evictions only subtract), so a merge
+	// that cannot fit fails here with the history untouched — the drain
+	// aborts cleanly and can be retried without double-merging — and the
+	// heap == history + cache invariant never breaks mid-append.
+	bound := core.HistoryCost(queries)
+	if bound > 0 {
+		if err := env.Alloc(bound); err != nil {
+			return nil, fmt.Errorf("proxy: history alloc: %w", err)
+		}
+	}
+	var delta int64
+	for _, q := range queries {
+		delta += h.Add(q)
+	}
+	if refund := bound - delta; refund > 0 {
+		env.Free(refund)
+	}
+	return json.Marshal(mergeReply{Added: len(queries), Bytes: delta})
+}
+
 type sessionState struct {
 	channel *securechannel.Channel
 }
@@ -315,6 +356,13 @@ func (ts *trustedState) fetchResults(env enclave.Env, query string, count int) (
 	path := "/search?q=" + queryEscape(query) + "&count=" + strconv.Itoa(count)
 	var lastErr error
 	for _, u := range ts.registry.order() {
+		// Rate limit before the breaker: a limited upstream must not
+		// consume the breaker's half-open probe slot.
+		if u.limiter != nil && !u.limiter.allow(time.Now()) {
+			u.rateLimited.Add(1)
+			lastErr = fmt.Errorf("proxy: engine %s rate-limited", u.host)
+			continue
+		}
 		if !u.acquire(time.Now(), ts.registry.threshold) {
 			continue
 		}

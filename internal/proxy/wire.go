@@ -50,6 +50,13 @@ type envelopeReply struct {
 	Record []byte `json:"record,omitempty"`
 }
 
+// mergeReply is the result of the "merge" ecall: how many queries the
+// sealed handoff blob carried and the net EPC byte delta of appending them.
+type mergeReply struct {
+	Added int   `json:"added"`
+	Bytes int64 `json:"bytes"`
+}
+
 // secureRequest is the plaintext the client seals into a record.
 type secureRequest struct {
 	Query string `json:"query"`

@@ -10,6 +10,7 @@ import (
 	"xsearch/internal/broker"
 	"xsearch/internal/core"
 	"xsearch/internal/enclave"
+	"xsearch/internal/fleet"
 	"xsearch/internal/proxy"
 	"xsearch/internal/searchengine"
 )
@@ -138,6 +139,19 @@ func WithEnginePool(size int) ProxyOption {
 	return proxyOptionFunc(func(c *proxy.Config) { c.PoolSize = size })
 }
 
+// WithUpstreamRateLimit caps the sustained request rate this node sends to
+// EACH engine upstream (token bucket: rps sustained, burst depth above it;
+// burst <= 0 means max(1, ceil(rps))). An upstream with no tokens is
+// skipped like a cooling-down one, spilling the request to the next
+// upstream — in a sharded fleet this keeps one hot shard from starving a
+// shared engine. Zero rps leaves the rate unlimited.
+func WithUpstreamRateLimit(rps float64, burst int) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) {
+		c.UpstreamRateLimit = rps
+		c.UpstreamRateBurst = burst
+	})
+}
+
 // WithoutCoalescing disables single-flight coalescing of concurrent
 // identical original queries (on by default: N concurrent identical
 // queries cost one engine round trip). Mainly useful for ablations.
@@ -194,6 +208,109 @@ func (p *Proxy) AttestationKey() ed25519.PublicKey {
 
 // Stats returns operational counters and enclave resource accounting.
 func (p *Proxy) Stats() Stats { return p.inner.Stats() }
+
+// --- Fleet ---
+
+// Fleet is a gateway fronting N independent proxy-enclave shards: client
+// sessions are pinned to shards by rendezvous hashing (each user's
+// obfuscation always draws from the same in-enclave history window), dead
+// shards fail over to the next-ranked live one, and a planned Drain hands
+// a shard's history to its successor as a sealed blob. It serves the same
+// HTTP surface as a single Proxy, so brokers point at a fleet unchanged.
+type Fleet struct {
+	inner *fleet.Gateway
+}
+
+// FleetStats is the fleet-wide operational snapshot: gateway routing
+// counters, per-shard node snapshots (EPC heap, history bytes,
+// cache/coalesce/pool gauges), and cross-shard aggregates.
+type FleetStats = fleet.Stats
+
+// FleetShardStats is one shard's slice of FleetStats.
+type FleetShardStats = fleet.ShardStats
+
+// FleetDrainReport describes a completed planned drain.
+type FleetDrainReport = fleet.DrainReport
+
+// FleetOption configures NewFleet.
+type FleetOption interface {
+	applyFleet(*fleet.Config)
+}
+
+type fleetOptionFunc func(*fleet.Config)
+
+func (f fleetOptionFunc) applyFleet(c *fleet.Config) { f(c) }
+
+// WithShardCount sets how many proxy-enclave shards the fleet runs
+// (default 2 — a fleet of one is just a Proxy).
+func WithShardCount(n int) FleetOption {
+	return fleetOptionFunc(func(c *fleet.Config) { c.Shards = n })
+}
+
+// WithShardConfig applies proxy options to every shard's template — each
+// shard is a full proxy node, so engine sets, pools, caches, coalescing,
+// rate limits, and breakers all compose per shard. The fleet derives what
+// must differ per shard (platform, obfuscation seed, state path suffix).
+func WithShardConfig(opts ...ProxyOption) FleetOption {
+	return fleetOptionFunc(func(c *fleet.Config) {
+		for _, o := range opts {
+			o.applyProxy(&c.ShardConfig)
+		}
+	})
+}
+
+// NewFleet builds the sharded fleet and its session-routing gateway.
+func NewFleet(opts ...FleetOption) (*Fleet, error) {
+	cfg := fleet.Config{Shards: 2}
+	cfg.ShardConfig.K = 3
+	for _, o := range opts {
+		o.applyFleet(&cfg)
+	}
+	g, err := fleet.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{inner: g}, nil
+}
+
+// Start serves the gateway front on addr ("127.0.0.1:0" picks a port).
+func (f *Fleet) Start(addr string) error { return f.inner.Start(addr) }
+
+// Addr returns the gateway's bound address after Start.
+func (f *Fleet) Addr() string { return f.inner.Addr() }
+
+// URL returns the gateway base URL.
+func (f *Fleet) URL() string { return f.inner.URL() }
+
+// Shutdown stops the gateway and destroys every live shard enclave.
+func (f *Fleet) Shutdown(ctx context.Context) error { return f.inner.Shutdown(ctx) }
+
+// ShardCount returns the configured number of shards.
+func (f *Fleet) ShardCount() int { return f.inner.ShardCount() }
+
+// Measurement returns the enclave identity clients pin; every shard is
+// built from the same measured template, so one measurement covers the
+// fleet.
+func (f *Fleet) Measurement() Measurement { return f.inner.Measurement() }
+
+// AttestationKey returns the fleet-shared attestation service's
+// report-signing key clients pin.
+func (f *Fleet) AttestationKey() ed25519.PublicKey {
+	return f.inner.AttestationService().PublicKey()
+}
+
+// Stats returns the fleet snapshot.
+func (f *Fleet) Stats() FleetStats { return f.inner.Stats() }
+
+// KillShard simulates shard i crashing: its enclave is destroyed with no
+// drain; the gateway discovers the death and fails over.
+func (f *Fleet) KillShard(ctx context.Context, i int) error { return f.inner.Kill(ctx, i) }
+
+// DrainShard removes shard i in an orderly way, migrating its history
+// window to its successor as a sealed blob before destroying the enclave.
+func (f *Fleet) DrainShard(ctx context.Context, i int) (*FleetDrainReport, error) {
+	return f.inner.Drain(ctx, i)
+}
 
 // --- Client ---
 
@@ -348,5 +465,6 @@ var (
 	_ ProxyOption  = proxyOptionFunc(nil)
 	_ ClientOption = clientOptionFunc(nil)
 	_ EngineOption = engineOptionFunc(nil)
+	_ FleetOption  = fleetOptionFunc(nil)
 	_              = attestation.Policy{}
 )
