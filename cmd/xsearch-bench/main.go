@@ -24,7 +24,7 @@ func main() {
 
 func run() error {
 	var (
-		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet", "comma-separated figures to run")
+		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline", "comma-separated figures to run")
 		quick    = flag.Bool("quick", false, "scaled-down sizes (CI-friendly)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		useHTTP  = flag.Bool("http", false, "Figure 5 over real loopback HTTP (bare-metal runs)")
@@ -102,7 +102,7 @@ func run() error {
 		if raw, err := os.ReadFile(*baseline); err == nil {
 			_ = json.Unmarshal(raw, base)
 		}
-		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet -baseline"
+		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline -baseline"
 	}
 	if want["scaling"] {
 		if err := runScaling(*quick, *seed, base); err != nil {
@@ -116,6 +116,11 @@ func run() error {
 	}
 	if want["fleet"] {
 		if err := runFleetFig(*quick, *seed, base); err != nil {
+			return err
+		}
+	}
+	if want["pipeline"] {
+		if err := runPipelineFig(*quick, *seed, base); err != nil {
 			return err
 		}
 	}
@@ -333,6 +338,16 @@ type scalingBaseline struct {
 	FleetKillRPS     float64 `json:"fleet_kill_rps"`
 	FleetKillErrors  int     `json:"fleet_kill_errors"`
 	FleetInvariantOK bool    `json:"fleet_epc_invariant_ok"`
+	// Pipeline ablation: blocking vs async-ocall hot path under TCS
+	// pressure, and hedging's p99 with one artificially slow upstream.
+	PipelineSyncRPS     float64 `json:"pipeline_sync_rps"`
+	PipelineAsyncRPS    float64 `json:"pipeline_async_rps"`
+	PipelineSpeedup     float64 `json:"pipeline_speedup"`
+	HedgeNoHedgeP99Ns   int64   `json:"hedge_nohedge_p99_ns"`
+	HedgeP99Ns          int64   `json:"hedge_p99_ns"`
+	HedgeP99Cut         float64 `json:"hedge_p99_cut"`
+	HedgeWins           uint64  `json:"hedge_wins"`
+	PipelineInvariantOK bool    `json:"pipeline_epc_invariant_ok"`
 }
 
 func runScaling(quick bool, seed uint64, base *scalingBaseline) error {
@@ -469,6 +484,47 @@ func runFleetFig(quick bool, seed uint64, base *scalingBaseline) error {
 		base.FleetKillRPS = res.KillRPS
 		base.FleetKillErrors = res.KillErrors
 		base.FleetInvariantOK = invariantOK
+	}
+	return nil
+}
+
+func runPipelineFig(quick bool, seed uint64, base *scalingBaseline) error {
+	cfg := experiments.DefaultPipelineConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Requests, cfg.HedgeRequests = 200, 120
+	}
+	res, err := experiments.RunPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Pipeline ablation A: blocking vs async-ocall hot path, TCS-bound\n")
+	fmt.Printf("# (%d enclave threads, %v engine service, %d workers x %d requests)\n",
+		cfg.TCSCount, cfg.EngineService, cfg.Workers, cfg.Requests)
+	fmt.Printf("%-14s  %-10s\n", "variant", "req/s")
+	fmt.Printf("%-14s  %-10.0f\n", "sync (block)", res.SyncRPS)
+	fmt.Printf("%-14s  %-10.0f\n", "async (rings)", res.AsyncRPS)
+	fmt.Printf("# releasing the TCS during the engine round trip buys %.1fx throughput\n\n", res.Speedup)
+
+	fmt.Printf("# Pipeline ablation B: hedged requests, upstreams %v (fast) and %v (slow),\n",
+		cfg.FastService, cfg.SlowService)
+	fmt.Printf("# hedge after %v, %d sequential requests\n", cfg.HedgeDelay, cfg.HedgeRequests)
+	fmt.Printf("%-10s  %-12s  %-12s\n", "variant", "p50", "p99")
+	fmt.Printf("%-10s  %-12v  %-12v\n", "no hedge",
+		res.NoHedgeP50.Round(time.Microsecond), res.NoHedgeP99.Round(time.Microsecond))
+	fmt.Printf("%-10s  %-12v  %-12v\n", "hedge",
+		res.HedgeP50.Round(time.Microsecond), res.HedgeP99.Round(time.Microsecond))
+	fmt.Printf("# hedging cut p99 %.1fx (%d hedges issued, %d won); EPC invariant ok: %t\n\n",
+		res.P99Cut, res.HedgeAttempts, res.HedgeWins, res.InvariantOK)
+	if base != nil {
+		base.PipelineSyncRPS = res.SyncRPS
+		base.PipelineAsyncRPS = res.AsyncRPS
+		base.PipelineSpeedup = res.Speedup
+		base.HedgeNoHedgeP99Ns = res.NoHedgeP99.Nanoseconds()
+		base.HedgeP99Ns = res.HedgeP99.Nanoseconds()
+		base.HedgeP99Cut = res.P99Cut
+		base.HedgeWins = res.HedgeWins
+		base.PipelineInvariantOK = res.InvariantOK
 	}
 	return nil
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"xsearch"
 )
@@ -68,6 +70,11 @@ func run() error {
 		shards      = flag.Int("shards", 1, "proxy-enclave shards behind a session-routing gateway (1=single node)")
 		upstreamRPS = flag.Float64("upstream-rps", 0, "per-upstream token-bucket rate limit in req/s (0=unlimited)")
 		upstreamBst = flag.Int("upstream-burst", 0, "per-upstream token-bucket burst depth (0=ceil(rps))")
+		asyncOcalls = flag.Bool("async", false, "async ocall pipeline: switchless engine fetches, TCS released during the round trip")
+		pipeDepth   = flag.Int("pipeline-depth", 0, "concurrently staged requests in the async pipeline (0=default 64)")
+		hedgeDelay  = flag.Duration("hedge-delay", 0, "hedge a pipelined fetch after this delay (0=p95-derived; needs -hedge-max)")
+		hedgeMax    = flag.Int("hedge-max", 0, "max hedge fetches per request (0=hedging off; needs -async)")
+		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: drain in-flight requests this long before destroying enclaves")
 	)
 	flag.Parse()
 
@@ -90,6 +97,21 @@ func run() error {
 	if *upstreamRPS > 0 {
 		opts = append(opts, xsearch.WithUpstreamRateLimit(*upstreamRPS, *upstreamBst))
 	}
+	if *hedgeMax > 0 && !*asyncOcalls {
+		return fmt.Errorf("-hedge-max requires -async")
+	}
+	if *hedgeDelay != 0 && *hedgeMax <= 0 {
+		return fmt.Errorf("-hedge-delay has no effect without -hedge-max")
+	}
+	if *pipeDepth != 0 && !*asyncOcalls {
+		return fmt.Errorf("-pipeline-depth has no effect without -async")
+	}
+	if *asyncOcalls {
+		opts = append(opts, xsearch.WithAsyncOcalls(*pipeDepth))
+	}
+	if *hedgeMax > 0 {
+		opts = append(opts, xsearch.WithHedging(*hedgeDelay, *hedgeMax))
+	}
 	switch {
 	case *echo:
 		if len(engines) > 0 {
@@ -102,7 +124,7 @@ func run() error {
 		opts = append(opts, xsearch.WithEngines(engines...))
 	}
 	if *shards > 1 {
-		return runFleet(*shards, *addr, *k, *history, opts)
+		return runFleet(*shards, *addr, *k, *history, *drainWait, opts)
 	}
 	proxy, err := xsearch.NewProxy(opts...)
 	if err != nil {
@@ -124,7 +146,15 @@ func run() error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	// Graceful teardown: stop accepting, drain in-flight (pipelined)
+	// requests under a deadline, persist sealed state, then destroy the
+	// enclave — an abrupt exit would drop secured sessions mid-response.
+	fmt.Printf("shutting down (draining up to %v)\n", *drainWait)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := proxy.Shutdown(ctx); err != nil {
+		fmt.Printf("shutdown: %v\n", err)
+	}
 	st := proxy.Stats()
 	fmt.Printf("served %d requests, %d handshakes, %d errors; history %d queries / %d bytes\n",
 		st.Requests, st.Handshakes, st.Errors, st.HistoryLen, st.HistoryB)
@@ -132,6 +162,14 @@ func run() error {
 		st.PoolReuseRatio*100, st.PoolReuses, st.PoolDials,
 		st.CacheHitRatio*100, st.CacheHits, st.CacheMisses, st.CacheB,
 		st.CoalesceRatio*100, st.CoalesceShared, st.CoalesceLed)
+	if st.LatencyCount > 0 {
+		fmt.Printf("latency: p50=%v p95=%v p99=%v (%d samples)\n",
+			st.LatencyP50, st.LatencyP95, st.LatencyP99, st.LatencyCount)
+	}
+	if st.AsyncSubmitted > 0 {
+		fmt.Printf("pipeline: %d async fetches (%d completed); hedges: %d issued, %d won, %d cancelled\n",
+			st.AsyncSubmitted, st.AsyncCompleted, st.HedgeAttempts, st.HedgeWins, st.HedgeCancelled)
+	}
 	for _, u := range st.Upstreams {
 		fmt.Printf("upstream %s (w=%d): served %d, failures %d, rate-limited %d, cooling=%t, reuse %.0f%%\n",
 			u.Host, u.Weight, u.Served, u.Failures, u.RateLimited, u.CoolingDown, u.PoolReuseRatio*100)
@@ -142,7 +180,7 @@ func run() error {
 // runFleet serves a sharded fleet behind the session-routing gateway: the
 // same HTTP surface as a single node, with every proxy option applied to
 // each shard.
-func runFleet(shards int, addr string, k, history int, opts []xsearch.ProxyOption) error {
+func runFleet(shards int, addr string, k, history int, drainWait time.Duration, opts []xsearch.ProxyOption) error {
 	f, err := xsearch.NewFleet(
 		xsearch.WithShardCount(shards),
 		xsearch.WithShardConfig(opts...),
@@ -163,10 +201,22 @@ func runFleet(shards int, addr string, k, history int, opts []xsearch.ProxyOptio
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	// Graceful teardown across the fleet: every shard stops accepting,
+	// drains its pipeline under the shared deadline, then its enclave is
+	// destroyed.
+	fmt.Printf("shutting down (draining up to %v)\n", drainWait)
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := f.Shutdown(ctx); err != nil {
+		fmt.Printf("shutdown: %v\n", err)
+	}
 	st := f.Stats()
 	fmt.Printf("gateway: %d plain, %d secure, %d handshakes, %d failovers, %d sessions lost, %d drains\n",
 		st.PlainRouted, st.SecureRouted, st.Handshakes, st.Failovers, st.SessionsLost, st.Drains)
+	if st.AsyncSubmitted > 0 {
+		fmt.Printf("pipeline: %d async fetches; hedges: %d issued, %d won, %d cancelled; worst shard p99 %v\n",
+			st.AsyncSubmitted, st.HedgeAttempts, st.HedgeWins, st.HedgeCancelled, st.LatencyP99Max)
+	}
 	for _, ss := range st.Shards {
 		fmt.Printf("shard %d: alive=%t sessions=%d requests=%d history=%d/%dB heap=%dB\n",
 			ss.Index, ss.Alive, ss.Sessions, ss.Proxy.Requests,

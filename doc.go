@@ -85,13 +85,47 @@
 // scales near-linearly with shards while the per-shard EPC invariant
 // (heap == history + cache) keeps holding.
 //
+// # Pipeline layer
+//
+// The blocking hot path holds one enclave thread (TCS) for the full
+// engine round trip — the enclave-transition and thread-occupancy cost
+// the SGX switchless/async-call literature attacks. WithAsyncOcalls
+// rebuilds the hot path as a staged asynchronous pipeline: the enclave
+// submits each engine fetch to a switchless-style ocall ring (a
+// shared-memory submission/completion ring pair serviced by untrusted
+// worker goroutines, paying no boundary transition), parks the request in
+// a trusted pending table, and RETURNS from the ecall — the TCS is free
+// while the network waits, so obfuscation and filtering of request N+1
+// overlap the engine wait of request N. Completions re-enter through a
+// "resume" ecall that does the breaker accounting, parses and filters the
+// winning response, charges the cache (exactly once per flight), and
+// seals the reply; coalesced followers redeem the leader's results
+// through their own "claim" ecall, sealed per session. With few TCS and a
+// realistic engine latency the pipeline multiplies throughput several
+// times over the blocking path.
+//
+// On the same seam, WithHedging races slow upstreams: when a fetch has
+// not answered after a configurable delay — or, by default, after the
+// primary upstream's observed p95 fetch latency — the enclave re-issues
+// it to the next healthy upstream and the first response wins. The loser
+// is cancelled without touching its breaker, failed attempts each count
+// against their upstream exactly once, and coalesced followers never
+// hedge (only flight leaders own fetches). With one slow upstream in the
+// rotation, hedging collapses the p99 tail from the slow upstream's
+// latency to roughly hedge-delay plus the fast upstream's latency. The
+// pipeline requires plain-TCP upstreams (in-enclave TLS termination needs
+// the blocking path) and is part of the measured enclave identity: an
+// async build attests differently from a blocking one.
+//
 // Proxy.Stats reports the node gauges (per-upstream pool reuse, breaker
 // and rate-limit state in Stats.Upstreams — sorted by host for stable
-// diffs — cache hit ratio, coalesce ratio) and Fleet.Stats aggregates
-// them across shards next to the gateway's routing counters; the scaling,
-// fanout, and fleet ablations in cmd/xsearch-bench (-figs
-// scaling,fanout,fleet) measure the configurations side by side and can
-// write BENCH_baseline.json for perf-regression tracking.
+// diffs — cache hit ratio, coalesce ratio, async/hedge counters, and
+// p50/p95/p99 query latency from a fixed-bucket histogram) and
+// Fleet.Stats aggregates them across shards next to the gateway's routing
+// counters; the scaling, fanout, fleet, and pipeline ablations in
+// cmd/xsearch-bench (-figs scaling,fanout,fleet,pipeline) measure the
+// configurations side by side and can write BENCH_baseline.json for
+// perf-regression tracking.
 //
 // # Quick start
 //

@@ -165,6 +165,18 @@ type Config struct {
 	// available EPC: if true (default semantics of SGX1), allocations
 	// succeed but count page faults; if false, allocations fail.
 	DisablePaging bool
+	// AsyncWorkers, when positive, enables switchless-style async ocalls:
+	// trusted code may submit ocalls to a shared-memory ring via
+	// Env.OCallAsync (no transition cost, TCS released on ecall return)
+	// and this many untrusted worker goroutines service them, posting
+	// results to the completion ring (Enclave.Completions). Zero disables
+	// the rings; OCallAsync then fails with ErrAsyncDisabled.
+	AsyncWorkers int
+	// AsyncRingDepth bounds the submission and completion rings. Zero
+	// means 2 * AsyncWorkers. A full submission ring blocks OCallAsync
+	// (backpressure inside the enclave); a full completion ring blocks
+	// workers (backpressure on the untrusted runtime's drain loop).
+	AsyncRingDepth int
 }
 
 // NewBuilder starts building an enclave on the platform.
@@ -262,6 +274,9 @@ func (b *Builder) Build() (*Enclave, error) {
 	for i := 0; i < tcs; i++ {
 		e.tcs <- struct{}{}
 	}
+	if b.cfg.AsyncWorkers > 0 {
+		e.startAsyncWorkers()
+	}
 	return e, nil
 }
 
@@ -278,6 +293,11 @@ type Env interface {
 	// OCall invokes a registered untrusted function, paying transition
 	// costs both ways.
 	OCall(name string, arg []byte) ([]byte, error)
+	// OCallAsync submits an untrusted function call to the switchless
+	// submission ring and returns a completion handle without paying any
+	// transition cost; the result arrives on the enclave's completion
+	// ring. Fails with ErrAsyncDisabled unless Config.AsyncWorkers > 0.
+	OCallAsync(name string, arg []byte) (uint64, error)
 	// Alloc charges n bytes to the enclave heap (EPC). Free releases.
 	Alloc(n int64) error
 	Free(n int64)
@@ -299,13 +319,21 @@ type Enclave struct {
 
 	tcs chan struct{}
 
+	// Switchless async ocall rings (nil when Config.AsyncWorkers == 0).
+	asyncSub  chan asyncCall
+	asyncDone chan AsyncCompletion
+	asyncStop chan struct{}
+
 	mu        sync.Mutex
 	destroyed bool
 	heapBytes int64
 	peakHeap  int64
 
-	ecallCount atomic.Uint64
-	ocallCount atomic.Uint64
+	ecallCount     atomic.Uint64
+	ocallCount     atomic.Uint64
+	asyncID        atomic.Uint64
+	asyncSubmitted atomic.Uint64
+	asyncCompleted atomic.Uint64
 }
 
 // ID returns the platform-local enclave ID.
@@ -393,6 +421,7 @@ func (e *Enclave) Destroy() {
 		return
 	}
 	e.destroyed = true
+	e.stopAsync()
 	e.platform.epc.Free(e.staticBytes + e.heapBytes)
 	e.heapBytes = 0
 }
@@ -407,6 +436,13 @@ type Stats struct {
 	EPCUsed     int64
 	EPCLimit    int64
 	PageFaults  uint64
+	// AsyncSubmitted/AsyncCompleted count switchless async ocalls posted
+	// to the submission ring and serviced by the untrusted workers
+	// (zero when Config.AsyncWorkers == 0). Async calls are included in
+	// OCalls too; the gap between the two async counters is the in-flight
+	// depth.
+	AsyncSubmitted uint64
+	AsyncCompleted uint64
 }
 
 // Stats returns current accounting.
@@ -415,15 +451,18 @@ func (e *Enclave) Stats() Stats {
 	heap, peak := e.heapBytes, e.peakHeap
 	e.mu.Unlock()
 	used, limit, faults := e.platform.epc.Usage()
+	submitted, completed := e.asyncCounters()
 	return Stats{
-		ECalls:      e.ecallCount.Load(),
-		OCalls:      e.ocallCount.Load(),
-		HeapBytes:   heap,
-		PeakHeap:    peak,
-		StaticBytes: e.staticBytes,
-		EPCUsed:     used,
-		EPCLimit:    limit,
-		PageFaults:  faults,
+		ECalls:         e.ecallCount.Load(),
+		OCalls:         e.ocallCount.Load(),
+		HeapBytes:      heap,
+		PeakHeap:       peak,
+		StaticBytes:    e.staticBytes,
+		EPCUsed:        used,
+		EPCLimit:       limit,
+		PageFaults:     faults,
+		AsyncSubmitted: submitted,
+		AsyncCompleted: completed,
 	}
 }
 

@@ -108,6 +108,69 @@ func TestDrainNeedsALiveSuccessor(t *testing.T) {
 	}
 }
 
+// TestFleetPassesPipelineConfigAndMergesGauges builds an async-pipelined
+// fleet: every shard must run the staged hot path (the template's
+// AsyncOcalls/PipelineDepth flow through to each shard's enclave) and the
+// fleet snapshot must merge the per-shard pipeline gauges.
+func TestFleetPassesPipelineConfigAndMergesGauges(t *testing.T) {
+	engine := searchengine.NewEngine(searchengine.WithCorpus(
+		searchengine.GenerateCorpus(searchengine.CorpusConfig{DocsPerTopic: 10, Seed: 1})))
+	srv := searchengine.NewServer(engine)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	g, err := New(Config{
+		Shards: 2,
+		ShardConfig: proxy.Config{
+			K:             2,
+			Engines:       []proxy.EngineSpec{{Host: srv.Addr()}},
+			Seed:          7,
+			AsyncOcalls:   true,
+			PipelineDepth: 8,
+		},
+		HealthInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = g.Shutdown(ctx)
+	}()
+
+	ctx := context.Background()
+	for i := 0; i < 16; i++ {
+		if _, err := g.ServeQuery(ctx, fmt.Sprintf("pipeline fleet query %d", i)); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	st := g.Stats()
+	var perShard uint64
+	shardsUsed := 0
+	for _, ss := range st.Shards {
+		if ss.Proxy.PipelineDepth != 8 {
+			t.Errorf("shard %d pipeline depth = %d, want 8", ss.Index, ss.Proxy.PipelineDepth)
+		}
+		if ss.Proxy.AsyncSubmitted > 0 {
+			shardsUsed++
+		}
+		perShard += ss.Proxy.AsyncSubmitted
+	}
+	if shardsUsed < 2 {
+		t.Errorf("only %d of 2 shards ran async fetches", shardsUsed)
+	}
+	if st.AsyncSubmitted != perShard || st.AsyncSubmitted == 0 {
+		t.Errorf("merged AsyncSubmitted = %d, per-shard sum = %d", st.AsyncSubmitted, perShard)
+	}
+}
+
 // TestBrokerSessionsSurviveShardKill runs the attested client path end to
 // end through the gateway: brokers handshake onto HRW-pinned shards, a
 // shard is killed, and every broker keeps working because session loss

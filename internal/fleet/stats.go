@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"sort"
+	"time"
 
 	"xsearch/internal/proxy"
 )
@@ -54,6 +55,18 @@ type Stats struct {
 	CacheB      int64  `json:"cache_bytes"`
 	EnclaveHeap int64  `json:"enclave_heap_bytes"`
 	EPCUsed     int64  `json:"epc_used_bytes"`
+	// Async pipeline and hedging gauges, summed over live shards (zero
+	// when shards run the blocking path).
+	AsyncSubmitted   uint64 `json:"async_submitted,omitempty"`
+	AsyncCompleted   uint64 `json:"async_completed,omitempty"`
+	PipelineInFlight int    `json:"pipeline_in_flight,omitempty"`
+	HedgeAttempts    uint64 `json:"hedge_attempts,omitempty"`
+	HedgeWins        uint64 `json:"hedge_wins,omitempty"`
+	HedgeCancelled   uint64 `json:"hedge_cancelled,omitempty"`
+	// LatencyP99Max is the worst per-shard p99 query latency — percentiles
+	// do not merge across histograms, so the fleet reports the most
+	// conservative tail (per-shard percentiles live in Shards[i].Proxy).
+	LatencyP99Max time.Duration `json:"latency_p99_max_ns,omitempty"`
 	// Upstreams merges the per-shard upstream breakdowns by host (sorted),
 	// showing each engine's fleet-wide traffic share — the view that makes
 	// per-upstream rate limits auditable.
@@ -98,6 +111,15 @@ func (g *Gateway) Stats() Stats {
 			s.CacheB += ss.Proxy.CacheB
 			s.EnclaveHeap += ss.Proxy.Enclave.HeapBytes
 			s.EPCUsed += ss.Proxy.Enclave.EPCUsed
+			s.AsyncSubmitted += ss.Proxy.AsyncSubmitted
+			s.AsyncCompleted += ss.Proxy.AsyncCompleted
+			s.PipelineInFlight += ss.Proxy.PipelineInFlight
+			s.HedgeAttempts += ss.Proxy.HedgeAttempts
+			s.HedgeWins += ss.Proxy.HedgeWins
+			s.HedgeCancelled += ss.Proxy.HedgeCancelled
+			if ss.Proxy.LatencyP99 > s.LatencyP99Max {
+				s.LatencyP99Max = ss.Proxy.LatencyP99
+			}
 			for _, u := range ss.Proxy.Upstreams {
 				m := merged[u.Host]
 				m.Host, m.Weight = u.Host, u.Weight
@@ -109,6 +131,11 @@ func (g *Gateway) Stats() Stats {
 				m.PoolReuses += u.PoolReuses
 				m.PoolDials += u.PoolDials
 				m.PoolEvicted += u.PoolEvicted
+				// Percentiles do not merge; keep the worst shard's view of
+				// this upstream's fetch tail.
+				if u.FetchP99 > m.FetchP99 {
+					m.FetchP50, m.FetchP95, m.FetchP99 = u.FetchP50, u.FetchP95, u.FetchP99
+				}
 				merged[u.Host] = m
 			}
 		}

@@ -135,6 +135,7 @@ func (h *Histogram) Snapshot() LatencySnapshot {
 		Count: h.Count(),
 		P50:   h.Percentile(50),
 		P90:   h.Percentile(90),
+		P95:   h.Percentile(95),
 		P99:   h.Percentile(99),
 		P999:  h.Percentile(99.9),
 		Mean:  h.Mean(),
@@ -147,6 +148,7 @@ type LatencySnapshot struct {
 	Count uint64
 	P50   time.Duration
 	P90   time.Duration
+	P95   time.Duration
 	P99   time.Duration
 	P999  time.Duration
 	Mean  time.Duration
@@ -155,6 +157,6 @@ type LatencySnapshot struct {
 
 // String renders the snapshot on one line.
 func (s LatencySnapshot) String() string {
-	return fmt.Sprintf("n=%d p50=%v p90=%v p99=%v p99.9=%v mean=%v max=%v",
-		s.Count, s.P50, s.P90, s.P99, s.P999, s.Mean, s.Max)
+	return fmt.Sprintf("n=%d p50=%v p90=%v p95=%v p99=%v p99.9=%v mean=%v max=%v",
+		s.Count, s.P50, s.P90, s.P95, s.P99, s.P999, s.Mean, s.Max)
 }

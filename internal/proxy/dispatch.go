@@ -1,0 +1,336 @@
+package proxy
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// pipelineRuntime is the untrusted half of the async request pipeline: it
+// admits requests up to PipelineDepth, drains the enclave's completion
+// ring through a pool of resume workers (each re-entering the enclave with
+// one completion), routes final outcomes back to parked request
+// goroutines, arms hedge timers, and aborts hedge losers. Nothing here is
+// trusted — it moves opaque descriptors and timing around; every decision
+// that matters (candidate choice, winner arbitration, breaker accounting,
+// sealing) happens inside the enclave.
+type pipelineRuntime struct {
+	p     *Proxy
+	depth int
+	sem   chan struct{}
+
+	mu      sync.Mutex
+	waiters map[uint64]chan pendingOutcome
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	workers  sync.WaitGroup
+}
+
+// pendingOutcome is what the dispatcher delivers to a parked request
+// goroutine: the leader's final reply (or error), or a claim signal for a
+// coalesced follower whose results are ready in-enclave.
+type pendingOutcome struct {
+	reply envelopeReply
+	err   error
+	claim bool
+}
+
+// resumeWorkerCount bounds how many completions are re-entered into the
+// enclave concurrently. The resume ecall is the pipeline's CPU stage
+// (parse → filter → cache → seal); a small pool keeps those stages
+// overlapping without hogging TCS slots.
+const resumeWorkerCount = 4
+
+func newPipelineRuntime(p *Proxy, depth int) *pipelineRuntime {
+	return &pipelineRuntime{
+		p:       p,
+		depth:   depth,
+		sem:     make(chan struct{}, depth),
+		waiters: make(map[uint64]chan pendingOutcome),
+		stop:    make(chan struct{}),
+	}
+}
+
+// start spawns the resume workers.
+func (pl *pipelineRuntime) start() {
+	for i := 0; i < resumeWorkerCount; i++ {
+		pl.workers.Add(1)
+		go pl.resumeLoop()
+	}
+}
+
+// stopDispatch halts the resume workers (shutdown/crash).
+func (pl *pipelineRuntime) stopDispatch() {
+	pl.stopOnce.Do(func() { close(pl.stop) })
+	pl.workers.Wait()
+}
+
+// drain waits for the admission semaphore to empty — every admitted
+// request has delivered its final reply — bounded by ctx. Requests
+// admitted while draining (direct-API callers racing shutdown) extend the
+// wait; the HTTP front has already stopped accepting by the time Shutdown
+// calls this.
+func (pl *pipelineRuntime) drain(ctx context.Context) error {
+	for {
+		if pl.inFlight() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("proxy: pipeline drain: %w", ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// inFlight reports currently admitted requests (a Stats gauge).
+func (pl *pipelineRuntime) inFlight() int { return len(pl.sem) }
+
+// resumeLoop drains the completion ring: each completion is re-entered
+// into the enclave via the "resume" ecall, and the enclave's verdict is
+// routed to whoever is parked on it.
+func (pl *pipelineRuntime) resumeLoop() {
+	defer pl.workers.Done()
+	comp := pl.p.encl.Completions()
+	for {
+		select {
+		case <-pl.stop:
+			return
+		case c := <-comp:
+			if c.Err != nil {
+				// Submission-time validation makes handler lookups
+				// infallible; an errored completion carries no token to
+				// route, so there is nothing to resume.
+				continue
+			}
+			pl.handleCompletion(c.Result)
+		}
+	}
+}
+
+func (pl *pipelineRuntime) handleCompletion(raw []byte) {
+	out, err := pl.p.encl.ECall(context.Background(), "resume", raw)
+	if err != nil {
+		return // enclave destroyed mid-flight
+	}
+	var rr resumeReply
+	if err := json.Unmarshal(out, &rr); err != nil {
+		return
+	}
+	if rr.State != "done" {
+		return
+	}
+	// Abort the losers before delivering the win.
+	if f := pl.p.conns.fetch; f != nil {
+		for _, tok := range rr.CancelTokens {
+			f.cancelFetch(tok)
+		}
+	}
+	var outcome pendingOutcome
+	if rr.Err != "" {
+		outcome.err = fmt.Errorf("%s", rr.Err)
+	} else if err := json.Unmarshal(rr.Reply, &outcome.reply); err != nil {
+		outcome.err = fmt.Errorf("proxy: bad pipeline reply: %w", err)
+	}
+	pl.deliver(rr.PendingID, outcome)
+	for _, wid := range rr.Waiters {
+		pl.deliverClaim(wid)
+	}
+}
+
+// deliver hands a final outcome to the goroutine parked on id. The send
+// happens under the waiter lock — the channel is buffered and receives
+// exactly one send, so this cannot block, and holding the lock serializes
+// delivery against abandon: an abandoning caller either finds the outcome
+// already in its channel or removes the map entry first, never neither.
+// A missing waiter means the request's caller gave up (context
+// cancelled); the enclave entry is already gone, so the outcome is
+// simply dropped.
+func (pl *pipelineRuntime) deliver(id uint64, out pendingOutcome) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if ch := pl.waiters[id]; ch != nil {
+		delete(pl.waiters, id)
+		ch <- out
+	}
+}
+
+// deliverClaim signals a coalesced follower that its results are ready.
+// If its goroutine is gone, the dispatcher claims (and discards) on its
+// behalf so the trusted table entry is freed.
+func (pl *pipelineRuntime) deliverClaim(id uint64) {
+	pl.mu.Lock()
+	ch := pl.waiters[id]
+	if ch != nil {
+		delete(pl.waiters, id)
+		ch <- pendingOutcome{claim: true} // buffered; see deliver
+	}
+	pl.mu.Unlock()
+	if ch == nil {
+		pl.discardClaim(id)
+	}
+}
+
+// discardClaim redeems and drops an abandoned follower's results.
+func (pl *pipelineRuntime) discardClaim(id uint64) {
+	arg, err := json.Marshal(claimArg{PendingID: id})
+	if err != nil {
+		return
+	}
+	_, _ = pl.p.encl.ECall(context.Background(), "claim", arg)
+}
+
+// await parks the calling request goroutine until the dispatcher delivers
+// its outcome, arming the hedge timer when the enclave said one is worth
+// having.
+func (pl *pipelineRuntime) await(ctx context.Context, reply envelopeReply) (envelopeReply, error) {
+	id := reply.Pending
+	ch := make(chan pendingOutcome, 1)
+	pl.mu.Lock()
+	pl.waiters[id] = ch
+	pl.mu.Unlock()
+
+	if reply.CanHedge {
+		delay := pl.p.hedgeDelayFor(reply.Upstream)
+		timer := time.AfterFunc(delay, func() { pl.fireHedge(id, delay) })
+		defer timer.Stop()
+	}
+
+	select {
+	case out := <-ch:
+		if out.claim {
+			reply, err := pl.claim(ctx, id)
+			if err != nil && ctx.Err() != nil {
+				// The claim ecall died on the caller's cancelled context;
+				// free the trusted entry so it cannot leak.
+				pl.discardClaim(id)
+			}
+			return reply, err
+		}
+		return out.reply, out.err
+	case <-ctx.Done():
+		pl.abandon(id, ch)
+		return envelopeReply{}, fmt.Errorf("proxy: pipelined request: %w", ctx.Err())
+	case <-pl.stop:
+		pl.abandon(id, ch)
+		return envelopeReply{}, fmt.Errorf("proxy: pipeline stopped")
+	}
+}
+
+// abandon unregisters a parked request whose caller gave up, consuming an
+// outcome that raced in so a ready follower entry is still redeemed (and
+// dropped) inside the enclave.
+func (pl *pipelineRuntime) abandon(id uint64, ch chan pendingOutcome) {
+	pl.mu.Lock()
+	delete(pl.waiters, id)
+	pl.mu.Unlock()
+	select {
+	case out := <-ch:
+		if out.claim {
+			pl.discardClaim(id)
+		}
+	default:
+	}
+}
+
+// claim redeems a coalesced follower's ready results.
+func (pl *pipelineRuntime) claim(ctx context.Context, id uint64) (envelopeReply, error) {
+	arg, err := json.Marshal(claimArg{PendingID: id})
+	if err != nil {
+		return envelopeReply{}, err
+	}
+	out, err := pl.p.encl.ECall(ctx, "claim", arg)
+	if err != nil {
+		return envelopeReply{}, err
+	}
+	var reply envelopeReply
+	if err := json.Unmarshal(out, &reply); err != nil {
+		return envelopeReply{}, fmt.Errorf("proxy: bad claim reply: %w", err)
+	}
+	return reply, nil
+}
+
+// fireHedge asks the enclave to hedge a still-parked request; the enclave
+// decides (health, HedgeMax, flight state), the runtime only times. When
+// another hedge remains in budget, the timer re-arms at the same delay; a
+// timer firing after the request finalized gets {Hedged: false} and the
+// chain stops.
+func (pl *pipelineRuntime) fireHedge(id uint64, delay time.Duration) {
+	select {
+	case <-pl.stop:
+		return
+	default:
+	}
+	arg, err := json.Marshal(hedgeArg{PendingID: id})
+	if err != nil {
+		return
+	}
+	out, err := pl.p.encl.ECall(context.Background(), "hedge", arg)
+	if err != nil {
+		return
+	}
+	var hr hedgeReply
+	if err := json.Unmarshal(out, &hr); err != nil {
+		return
+	}
+	if hr.Hedged && hr.CanHedge {
+		time.AfterFunc(delay, func() { pl.fireHedge(id, delay) })
+	}
+}
+
+// run is the pipelined request path: admit, stage-1 ecall, then either the
+// short-circuit reply or a park-and-await.
+func (p *Proxy) run(ctx context.Context, req envelope) (envelopeReply, error) {
+	pl := p.pipeline
+	if pl == nil {
+		return p.ecall(ctx, req)
+	}
+	select {
+	case pl.sem <- struct{}{}:
+	case <-ctx.Done():
+		return envelopeReply{}, fmt.Errorf("proxy: pipeline admission: %w", ctx.Err())
+	case <-pl.stop:
+		return envelopeReply{}, fmt.Errorf("proxy: pipeline stopped")
+	}
+	defer func() { <-pl.sem }()
+
+	reply, err := p.ecall(ctx, req)
+	if err != nil || reply.Pending == 0 {
+		return reply, err
+	}
+	return pl.await(ctx, reply)
+}
+
+// hedgeDelayFor resolves the effective hedge delay for a request whose
+// primary fetch went to host: the configured HedgeDelay, or — when zero —
+// the p95 of host's observed fetch latency once enough samples exist
+// (hedging above p95 keeps the duplicate-request rate near 5%, the
+// tail-at-scale guidance), else DefaultHedgeDelay while cold.
+func (p *Proxy) hedgeDelayFor(host string) time.Duration {
+	if p.cfg.HedgeDelay > 0 {
+		return p.cfg.HedgeDelay
+	}
+	if f := p.conns.fetch; f != nil {
+		if h := f.latencyFor(host); h != nil && h.Count() >= autoHedgeMinSamples {
+			d := h.Percentile(95)
+			if d < autoHedgeFloor {
+				d = autoHedgeFloor
+			}
+			return d
+		}
+	}
+	return DefaultHedgeDelay
+}
+
+const (
+	// autoHedgeMinSamples is how many completed fetches an upstream needs
+	// before its p95 drives the hedge delay.
+	autoHedgeMinSamples = 16
+	// autoHedgeFloor keeps a very fast upstream's derived delay from
+	// collapsing to the histogram's microsecond floor and hedging every
+	// request.
+	autoHedgeFloor = time.Millisecond
+)

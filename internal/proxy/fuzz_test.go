@@ -1,0 +1,51 @@
+package proxy
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseResponse fuzzes the enclave's HTTP/1.1 streaming response
+// parser — the one component that consumes wholly hostile bytes (every
+// engine response crosses the untrusted runtime). The parser must never
+// panic, and an accepted response must respect the enclave's allocation
+// caps regardless of what the host streamed.
+func FuzzParseResponse(f *testing.F) {
+	// Keep-alive with Content-Length framing.
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 5\r\nConnection: keep-alive\r\n\r\nhello"))
+	// Chunked framing with an extension and a trailer.
+	f.Add([]byte("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5;ext=1\r\nhello\r\n0\r\nX-Trailer: v\r\n\r\n"))
+	// HTTP/1.0 read-to-EOF body.
+	f.Add([]byte("HTTP/1.0 200 OK\r\n\r\nunfraaamed body"))
+	// Truncated mid-headers.
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Le"))
+	// Truncated mid-chunk.
+	f.Add([]byte("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nff\r\nshort"))
+	// Oversized declared length.
+	f.Add([]byte("HTTP/1.1 200 OK\r\nContent-Length: 99999999999\r\n\r\n"))
+	// Negative chunk size and hostile status line.
+	f.Add([]byte("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n-5\r\n"))
+	f.Add([]byte("garbage with no\nstructure at all"))
+	// Connection: close with error status.
+	f.Add([]byte("HTTP/1.1 503 Unavailable\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"))
+	// Header bomb start (the cap must cut it off).
+	f.Add([]byte("HTTP/1.1 200 OK\r\n" + strings.Repeat("X-Pad: aaaaaaaa\r\n", 64)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, status, keepAlive, err := readHTTPResponse(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if len(body) > maxEngineResponse {
+			t.Fatalf("accepted %d-byte body beyond the %d cap", len(body), maxEngineResponse)
+		}
+		if status < 0 {
+			t.Fatalf("negative status %d accepted", status)
+		}
+		// A keep-alive verdict promises the stream sits at a response
+		// boundary, which only delimited framings can guarantee.
+		_ = keepAlive
+	})
+}

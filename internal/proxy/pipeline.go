@@ -1,0 +1,556 @@
+package proxy
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"xsearch/internal/core"
+	"xsearch/internal/enclave"
+	"xsearch/internal/searchengine"
+)
+
+// This file is the trusted half of the async request pipeline. The sync
+// hot path holds one TCS for the full engine round trip (decrypt →
+// obfuscate → BLOCKING ocall fetch → filter → encrypt); the pipeline
+// splits it into CPU-only stages separated by switchless async fetches:
+//
+//	ecall "request":  decrypt, obfuscate (history charge), cache probe,
+//	                  coalesce or submit async fetch, PARK → TCS released
+//	ecall "hedge":    (runtime timer) issue a hedge fetch to the next
+//	                  healthy upstream for a still-parked request
+//	ecall "resume":   one fetch completion in: breaker accounting,
+//	                  failover/hedge arbitration, and on the winning
+//	                  response parse → filter → cache → seal → final reply
+//	ecall "claim":    a coalesced follower redeems the leader's results
+//	                  (sealed per-session inside the enclave)
+//
+// While a fetch is in flight NO enclave thread is occupied, so request
+// N+1's obfuscation/filtering overlaps request N's network wait — the
+// switchless/async-call design the SGX literature uses to beat transition
+// and TCS costs, applied to the paper's §6.3 bottleneck.
+//
+// Parked requests live in the pendingTable below. Entries hold only
+// bounded per-request state (the obfuscated query and routing bookkeeping)
+// for the duration of one engine round trip; like single-flight results on
+// the sync path they are transient working state, not retained data, so
+// they are not charged to the EPC meter — the history and cache charges
+// (the retained state) happen exactly as on the sync path.
+
+// pendingAttempt is one issued fetch of a parked request.
+type pendingAttempt struct {
+	p     *pendingReq
+	u     *upstream
+	token uint64
+	hedge bool // issued by the hedge ecall (vs primary or failover)
+	done  bool
+}
+
+// pendingReq is one parked request: a leader (owns the fetch attempts) or
+// a coalesced follower (waits for its leader's results).
+type pendingReq struct {
+	id      uint64
+	kind    string // typePlain or typeSecure
+	session string // typeSecure only
+	count   int
+	key     string
+	oq      core.ObfuscatedQuery
+	path    string
+	keep    bool // pool keep-alive wanted
+
+	attempts []*pendingAttempt
+	tried    map[*upstream]bool
+	hedges   int
+	lastErr  string
+
+	// Finalized state. done flips exactly once, under the table lock;
+	// results/errstr are written before ready flips (followers read them
+	// only after observing ready via claim).
+	done    bool
+	results []core.Result
+	errstr  string
+
+	waiters []*pendingReq // leader only
+	leader  *pendingReq   // follower only
+}
+
+// pendingTable indexes parked requests by id, by coalescing key (leaders),
+// and by fetch token. It lives in trusted memory.
+type pendingTable struct {
+	mu        sync.Mutex
+	nextID    uint64
+	nextToken uint64
+	byID      map[uint64]*pendingReq
+	byKey     map[string]*pendingReq
+	byToken   map[uint64]*pendingAttempt
+}
+
+func newPendingTable() *pendingTable {
+	return &pendingTable{
+		byID:    make(map[uint64]*pendingReq),
+		byKey:   make(map[string]*pendingReq),
+		byToken: make(map[uint64]*pendingAttempt),
+	}
+}
+
+// finishReply builds the final marshalled reply for one request: plain
+// results as-is, secure results sealed under the session's channel with
+// request-level errors folded into the sealed secureResponse, exactly as
+// the sync path does. The session is re-looked-up at seal time: a session
+// evicted while its request was parked fails here (the channel died with
+// its table slot).
+func (ts *trustedState) finishReply(kind, session string, results []core.Result, errstr string) ([]byte, error) {
+	switch kind {
+	case typePlain:
+		if errstr != "" {
+			return nil, fmt.Errorf("%s", errstr)
+		}
+		return json.Marshal(envelopeReply{Results: results})
+	case typeSecure:
+		ts.mu.Lock()
+		sess, ok := ts.sessions[session]
+		ts.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("proxy: unknown session %q", session)
+		}
+		respPT, err := json.Marshal(secureResponse{Results: results, Err: errstr})
+		if err != nil {
+			return nil, err
+		}
+		sealed, err := sess.channel.Seal(respPT)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: seal response: %w", err)
+		}
+		return json.Marshal(envelopeReply{Record: sealed})
+	default:
+		return nil, fmt.Errorf("proxy: unknown pending kind %q", kind)
+	}
+}
+
+// nextCandidate picks the next upstream a parked request may try: the
+// registry's preference order minus already-tried upstreams, gated by the
+// rate limiter and breaker exactly like the sync path. Caller holds the
+// pending-table lock (tried map); the limiter/breaker have their own.
+func (ts *trustedState) nextCandidate(p *pendingReq) *upstream {
+	for _, u := range ts.registry.order() {
+		if p.tried[u] {
+			continue
+		}
+		if u.limiter != nil && !u.limiter.allow(time.Now()) {
+			u.rateLimited.Add(1)
+			p.lastErr = fmt.Sprintf("proxy: engine %s rate-limited", u.host)
+			continue
+		}
+		if !u.acquire(time.Now(), ts.registry.threshold) {
+			continue
+		}
+		return u
+	}
+	return nil
+}
+
+// reserveAttempt registers a fetch attempt under the table lock BEFORE the
+// submission, so a completion can never arrive for an unknown token.
+func (pt *pendingTable) reserveAttempt(p *pendingReq, u *upstream, hedge bool) *pendingAttempt {
+	pt.nextToken++
+	att := &pendingAttempt{p: p, u: u, token: pt.nextToken, hedge: hedge}
+	p.attempts = append(p.attempts, att)
+	p.tried[u] = true
+	pt.byToken[att.token] = att
+	return att
+}
+
+// unreserve rolls a reserved attempt back after a failed submission.
+func (pt *pendingTable) unreserve(att *pendingAttempt) {
+	pt.mu.Lock()
+	att.done = true
+	delete(pt.byToken, att.token)
+	pt.mu.Unlock()
+	att.u.reportCancelled()
+}
+
+// submitFetch posts the attempt's engine exchange to the switchless ring.
+// Never called with the pending-table lock held: a full submission ring
+// blocks, and the resume path needs the lock to drain it.
+func (ts *trustedState) submitFetch(env enclave.Env, p *pendingReq, att *pendingAttempt) error {
+	arg, err := json.Marshal(fetchArg{
+		Token:     att.token,
+		Host:      att.u.host,
+		Path:      p.path,
+		KeepAlive: p.keep,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := env.OCallAsync("fetch", arg); err != nil {
+		return fmt.Errorf("proxy: submit fetch: %w", err)
+	}
+	return nil
+}
+
+// beginAsync is the pipeline's stage-1: everything the sync path does
+// before the engine round trip, ending in a parked request instead of a
+// blocking fetch. Returns the final marshalled reply for the short
+// circuits (echo, cache hit, no upstream available) and a Pending reply
+// otherwise.
+func (ts *trustedState) beginAsync(env enclave.Env, kind, session, query string, count int) ([]byte, error) {
+	oq, delta := ts.obfuscator.Obfuscate(query)
+	if delta > 0 {
+		if err := env.Alloc(delta); err != nil {
+			return ts.stageError(kind, session, fmt.Sprintf("proxy: history alloc: %v", err))
+		}
+	} else if delta < 0 {
+		env.Free(-delta)
+	}
+	if ts.echoMode {
+		return ts.finishReply(kind, session, []core.Result{}, "")
+	}
+	key := cacheKey(query, count)
+	if ts.cache != nil {
+		if cached, ok := ts.cache.Get(key, time.Now(), env.Free); ok {
+			ts.cacheHits.Hit()
+			return ts.finishReply(kind, session, cached, "")
+		}
+		ts.cacheHits.Miss()
+	}
+
+	pt := ts.pending
+	pt.mu.Lock()
+	pt.nextID++
+	p := &pendingReq{
+		id:      pt.nextID,
+		kind:    kind,
+		session: session,
+		count:   count,
+		key:     key,
+	}
+	coalesce := ts.flights != nil // same switch as the sync path
+	if coalesce {
+		if leader, ok := pt.byKey[key]; ok && !leader.done {
+			// Follower: ride the leader's flight. No fetch, no hedging.
+			p.leader = leader
+			leader.waiters = append(leader.waiters, p)
+			pt.byID[p.id] = p
+			pt.mu.Unlock()
+			ts.coalesce.Hit()
+			return json.Marshal(envelopeReply{Pending: p.id})
+		}
+	}
+	// Leader: build the fetch and submit the primary attempt.
+	p.oq = oq
+	p.path = "/search?q=" + queryEscape(oq.Query()) + "&count=" + strconv.Itoa(count)
+	p.keep = ts.asyncKeepAlive
+	p.tried = make(map[*upstream]bool)
+	u := ts.nextCandidate(p)
+	if u == nil {
+		lastErr := p.lastErr
+		pt.mu.Unlock()
+		if lastErr == "" {
+			lastErr = "proxy: no engine upstream available (all cooling down)"
+		}
+		return ts.stageError(kind, session, lastErr)
+	}
+	att := pt.reserveAttempt(p, u, false)
+	pt.byID[p.id] = p
+	if coalesce {
+		pt.byKey[key] = p
+	}
+	pt.mu.Unlock()
+	if coalesce {
+		ts.coalesce.Miss()
+	}
+	if err := ts.submitFetch(env, p, att); err != nil {
+		pt.unreserve(att)
+		pt.mu.Lock()
+		p.done = true
+		delete(pt.byID, p.id)
+		if coalesce && pt.byKey[key] == p {
+			delete(pt.byKey, key)
+		}
+		pt.mu.Unlock()
+		return ts.stageError(kind, session, err.Error())
+	}
+	return json.Marshal(envelopeReply{
+		Pending:  p.id,
+		Upstream: u.host,
+		CanHedge: ts.hedgeMax > 0 && len(ts.registry.ups) > 1,
+	})
+}
+
+// stageError turns a pipeline-stage failure into the sync path's shape:
+// plain queries fail the ecall, secure queries seal the error into the
+// response record.
+func (ts *trustedState) stageError(kind, session, errstr string) ([]byte, error) {
+	if kind == typePlain {
+		return nil, fmt.Errorf("%s", errstr)
+	}
+	return ts.finishReply(kind, session, nil, errstr)
+}
+
+// handleResume is the "resume" ecall: one async fetch completion enters
+// the enclave. It performs the upstream accounting the sync loop does
+// inline (breaker, served counters), arbitrates hedges (first success
+// wins), fails over when every outstanding attempt is gone, and on the
+// winning response runs the pipeline's stage-2: parse → filter → cache →
+// final reply, plus readying any coalesced followers.
+func (ts *trustedState) handleResume(env enclave.Env, arg []byte) ([]byte, error) {
+	var fr fetchReply
+	if err := json.Unmarshal(arg, &fr); err != nil {
+		return nil, fmt.Errorf("proxy: bad resume arg: %w", err)
+	}
+	pt := ts.pending
+	pt.mu.Lock()
+	att, ok := pt.byToken[fr.Token]
+	delete(pt.byToken, fr.Token)
+	if !ok {
+		pt.mu.Unlock()
+		return orphanReply()
+	}
+	att.done = true
+	p := att.p
+	if fr.Cancelled {
+		pt.mu.Unlock()
+		att.u.reportCancelled()
+		ts.hedgeCancelled.Add(1)
+		return orphanReply()
+	}
+	if p.done {
+		// Late loser that ran to completion before the runtime's cancel
+		// reached it: account the outcome (it is a genuine exchange
+		// result), nothing else to do.
+		pt.mu.Unlock()
+		ts.accountOutcome(att.u, &fr)
+		return orphanReply()
+	}
+
+	if failMsg := fetchFailure(&fr); failMsg != "" {
+		p.lastErr = fmt.Sprintf("proxy: engine %s: %s", att.u.host, failMsg)
+		if outstanding(p) > 0 {
+			// A hedge (or the primary) is still in flight; let it race on.
+			pt.mu.Unlock()
+			att.u.reportFailure(time.Now(), ts.registry.threshold, ts.registry.cooldown)
+			return pendingReply(p.id)
+		}
+		// Last attempt standing failed: fail over immediately, like the
+		// sync loop walking to the next upstream.
+		next := ts.nextCandidate(p)
+		if next == nil {
+			raw := ts.finalizeLocked(pt, p, nil, p.lastErr, nil)
+			pt.mu.Unlock()
+			att.u.reportFailure(time.Now(), ts.registry.threshold, ts.registry.cooldown)
+			return raw, nil
+		}
+		att2 := pt.reserveAttempt(p, next, false)
+		pt.mu.Unlock()
+		att.u.reportFailure(time.Now(), ts.registry.threshold, ts.registry.cooldown)
+		if err := ts.submitFetch(env, p, att2); err != nil {
+			pt.unreserve(att2)
+			pt.mu.Lock()
+			raw := ts.finalizeLocked(pt, p, nil, err.Error(), nil)
+			pt.mu.Unlock()
+			return raw, nil
+		}
+		return pendingReply(p.id)
+	}
+
+	// The attempt reached the engine. Claim the win under the lock so a
+	// racing second success becomes a late loser above.
+	p.done = true
+	cancelToks := cancelTokens(p)
+	pt.mu.Unlock()
+	att.u.reportSuccess()
+	att.u.served.Add(1)
+	if att.hedge {
+		ts.hedgeWins.Add(1)
+	}
+
+	var results []core.Result
+	var errstr string
+	switch {
+	case fr.Status != 200:
+		// Healthy upstream, error status: final request error (sync path
+		// returns it without failing over).
+		errstr = fmt.Sprintf("proxy: engine status %d", fr.Status)
+	default:
+		var engineResults []searchengine.Result
+		if err := json.Unmarshal(fr.Body, &engineResults); err != nil {
+			errstr = fmt.Sprintf("proxy: engine response: %v", err)
+			break
+		}
+		raw := make([]core.Result, len(engineResults))
+		for i, r := range engineResults {
+			raw[i] = core.Result{URL: r.URL, Title: r.Title, Snippet: r.Snippet}
+		}
+		results = core.FilterResults(p.oq.Original(), p.oq.Fakes(), raw)
+		for i := range results {
+			results[i].URL = core.StripRedirects(results[i].URL)
+		}
+		if ts.cache != nil {
+			// Charged to the EPC exactly once, by the flight leader —
+			// followers only copy.
+			ts.cache.Put(p.key, results, time.Now(), env.Alloc, env.Free)
+		}
+	}
+
+	pt.mu.Lock()
+	raw := ts.finalizeLocked(pt, p, results, errstr, cancelToks)
+	pt.mu.Unlock()
+	return raw, nil
+}
+
+// fetchFailure classifies a completion as an upstream failure ("" means
+// the upstream held up its end). 5xx and transport errors count against
+// the breaker, like the sync loop; an oversized body is the untrusted
+// runtime violating the response cap and counts as a failed exchange.
+func fetchFailure(fr *fetchReply) string {
+	switch {
+	case fr.Err != "":
+		return fr.Err
+	case fr.Status >= 500:
+		return fmt.Sprintf("status %d", fr.Status)
+	case len(fr.Body) > maxEngineResponse:
+		return fmt.Sprintf("response %d bytes exceeds cap", len(fr.Body))
+	}
+	return ""
+}
+
+// accountOutcome applies a late loser's breaker accounting.
+func (ts *trustedState) accountOutcome(u *upstream, fr *fetchReply) {
+	if fetchFailure(fr) != "" {
+		u.reportFailure(time.Now(), ts.registry.threshold, ts.registry.cooldown)
+		return
+	}
+	u.reportSuccess()
+}
+
+// outstanding counts a pending request's fetches still in flight.
+// Caller holds the table lock.
+func outstanding(p *pendingReq) int {
+	n := 0
+	for _, a := range p.attempts {
+		if !a.done {
+			n++
+		}
+	}
+	return n
+}
+
+// cancelTokens collects the tokens of still-outstanding attempts so the
+// runtime can abort the losers. Caller holds the table lock.
+func cancelTokens(p *pendingReq) []uint64 {
+	var toks []uint64
+	for _, a := range p.attempts {
+		if !a.done {
+			toks = append(toks, a.token)
+		}
+	}
+	return toks
+}
+
+// finalizeLocked completes a leader: stores the outcome, readies every
+// follower, clears the table entries, and marshals the resume reply
+// carrying the leader's final reply. Caller holds the table lock.
+func (ts *trustedState) finalizeLocked(pt *pendingTable, p *pendingReq, results []core.Result, errstr string, cancelToks []uint64) []byte {
+	p.done = true
+	p.results = results
+	p.errstr = errstr
+	var waiterIDs []uint64
+	for _, w := range p.waiters {
+		w.results = results
+		w.errstr = errstr
+		w.done = true
+		waiterIDs = append(waiterIDs, w.id)
+	}
+	delete(pt.byID, p.id)
+	if pt.byKey[p.key] == p {
+		delete(pt.byKey, p.key)
+	}
+	rr := resumeReply{State: "done", PendingID: p.id, Waiters: waiterIDs, CancelTokens: cancelToks}
+	if reply, err := ts.finishReply(p.kind, p.session, results, errstr); err != nil {
+		rr.Err = err.Error()
+	} else {
+		rr.Reply = reply
+	}
+	out, err := json.Marshal(rr)
+	if err != nil {
+		// Marshalling our own struct cannot fail; keep the contract total.
+		out, _ = json.Marshal(resumeReply{State: "done", PendingID: p.id, Err: err.Error()})
+	}
+	return out
+}
+
+func orphanReply() ([]byte, error) {
+	return json.Marshal(resumeReply{State: "orphan"})
+}
+
+func pendingReply(id uint64) ([]byte, error) {
+	return json.Marshal(resumeReply{State: "pending", PendingID: id})
+}
+
+// handleHedge is the "hedge" ecall: the runtime's hedge timer fired for a
+// parked request. The enclave decides — candidate health, HedgeMax, and
+// flight state are trusted concerns; only the TIMING is untrusted (the
+// host observes request timing anyway).
+func (ts *trustedState) handleHedge(env enclave.Env, arg []byte) ([]byte, error) {
+	var ha hedgeArg
+	if err := json.Unmarshal(arg, &ha); err != nil {
+		return nil, fmt.Errorf("proxy: bad hedge arg: %w", err)
+	}
+	pt := ts.pending
+	pt.mu.Lock()
+	p, ok := pt.byID[ha.PendingID]
+	if !ok || p.done || p.leader != nil || p.hedges >= ts.hedgeMax {
+		pt.mu.Unlock()
+		return json.Marshal(hedgeReply{})
+	}
+	u := ts.nextCandidate(p)
+	if u == nil {
+		pt.mu.Unlock()
+		return json.Marshal(hedgeReply{})
+	}
+	p.hedges++
+	more := p.hedges < ts.hedgeMax
+	att := pt.reserveAttempt(p, u, true)
+	pt.mu.Unlock()
+	ts.hedgeAttempts.Add(1)
+	if err := ts.submitFetch(env, p, att); err != nil {
+		pt.unreserve(att)
+		pt.mu.Lock()
+		p.hedges--
+		pt.mu.Unlock()
+		return json.Marshal(hedgeReply{})
+	}
+	return json.Marshal(hedgeReply{Hedged: true, Upstream: u.host, CanHedge: more})
+}
+
+// handleClaim is the "claim" ecall: a coalesced follower (or the runtime
+// cleaning up an abandoned one) redeems ready results. The response is
+// built fresh per follower — secure followers get their own sealed record
+// on their own channel.
+func (ts *trustedState) handleClaim(_ enclave.Env, arg []byte) ([]byte, error) {
+	var ca claimArg
+	if err := json.Unmarshal(arg, &ca); err != nil {
+		return nil, fmt.Errorf("proxy: bad claim arg: %w", err)
+	}
+	pt := ts.pending
+	pt.mu.Lock()
+	w, ok := pt.byID[ca.PendingID]
+	if !ok {
+		pt.mu.Unlock()
+		return nil, fmt.Errorf("proxy: unknown pending %d", ca.PendingID)
+	}
+	if !w.done {
+		pt.mu.Unlock()
+		return nil, fmt.Errorf("proxy: pending %d not ready", ca.PendingID)
+	}
+	delete(pt.byID, w.id)
+	results, errstr := w.results, w.errstr
+	pt.mu.Unlock()
+	// The leader's slice is shared across every follower: copy, as the
+	// sync coalescing path does.
+	out := make([]core.Result, len(results))
+	copy(out, results)
+	return ts.finishReply(w.kind, w.session, out, errstr)
+}

@@ -1,0 +1,414 @@
+package proxy
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xsearch/internal/searchengine"
+)
+
+// Tests for the async request pipeline: staged ecalls around switchless
+// fetches, hedged upstream requests, coalescing on the pending table, and
+// the EPC invariant surviving all of it.
+
+// newSlowEngine starts a loopback engine whose every request takes delay.
+func newDelayEngine(t *testing.T, delay time.Duration) (*searchengine.Engine, *searchengine.Server) {
+	t.Helper()
+	engine := searchengine.NewEngine(searchengine.WithCorpus(
+		searchengine.GenerateCorpus(searchengine.CorpusConfig{DocsPerTopic: 10, Seed: 1})))
+	srv := searchengine.NewServer(engine)
+	if delay > 0 {
+		srv.DelayFn = func() time.Duration { return delay }
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return engine, srv
+}
+
+// assertEPCInvariant checks heap == history + cache, the accounting
+// contract every pipeline stage must preserve.
+func assertEPCInvariant(t *testing.T, p *Proxy) {
+	t.Helper()
+	s := p.Stats()
+	if s.Enclave.HeapBytes != s.HistoryB+s.CacheB {
+		t.Errorf("EPC invariant broken: heap=%d history=%d cache=%d",
+			s.Enclave.HeapBytes, s.HistoryB, s.CacheB)
+	}
+}
+
+func TestAsyncPipelinePlainQueries(t *testing.T) {
+	_, srv := newDelayEngine(t, 0)
+	p, err := New(Config{
+		K:           1,
+		Seed:        1,
+		Engines:     []EngineSpec{{Host: srv.Addr()}},
+		AsyncOcalls: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Crash()
+
+	for i := 0; i < 20; i++ {
+		if _, err := p.ServeQuery(context.Background(), fmt.Sprintf("pipeline query %d", i)); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	s := p.Stats()
+	if s.AsyncSubmitted == 0 {
+		t.Error("no async fetches submitted: requests took the blocking path")
+	}
+	if s.AsyncCompleted != s.AsyncSubmitted {
+		t.Errorf("async submitted=%d completed=%d", s.AsyncSubmitted, s.AsyncCompleted)
+	}
+	if s.LatencyCount == 0 || s.LatencyP50 <= 0 {
+		t.Errorf("latency histogram empty: %+v", s.LatencyCount)
+	}
+	assertEPCInvariant(t, p)
+}
+
+func TestAsyncPipelineSecureSession(t *testing.T) {
+	_, srv := newDelayEngine(t, 0)
+	p, err := New(Config{
+		K:           1,
+		Seed:        1,
+		Engines:     []EngineSpec{{Host: srv.Addr()}},
+		AsyncOcalls: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Crash()
+
+	channel, session, err := churnClient(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqPT, err := json.Marshal(secureRequest{Query: "pipeline secure query"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record, err := channel.Seal(reqPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Secure(context.Background(), session, record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respPT, err := channel.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sresp secureResponse
+	if err := json.Unmarshal(respPT, &sresp); err != nil {
+		t.Fatal(err)
+	}
+	if sresp.Err != "" {
+		t.Fatalf("secure response error: %s", sresp.Err)
+	}
+	assertEPCInvariant(t, p)
+}
+
+// The loser of a hedge race is cancelled and the cache is charged exactly
+// once: primary goes to a slow upstream, the hedge to a fast one wins.
+func TestHedgeLoserCancelledCacheChargedOnce(t *testing.T) {
+	_, slow := newDelayEngine(t, 300*time.Millisecond)
+	_, fast := newDelayEngine(t, 0)
+	p, err := New(Config{
+		K:    1,
+		Seed: 1,
+		Engines: []EngineSpec{
+			{Host: slow.Addr()}, // weighted-ring slot 0: the primary of request 1
+			{Host: fast.Addr()},
+		},
+		AsyncOcalls: true,
+		HedgeDelay:  20 * time.Millisecond,
+		HedgeMax:    1,
+		CacheBytes:  1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Crash()
+
+	start := time.Now()
+	if _, err := p.ServeQuery(context.Background(), "hedged query"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Errorf("hedged request took %v: the slow primary was waited out", elapsed)
+	}
+	s := p.Stats()
+	if s.HedgeAttempts != 1 || s.HedgeWins != 1 {
+		t.Errorf("hedge attempts=%d wins=%d, want 1/1", s.HedgeAttempts, s.HedgeWins)
+	}
+	if s.CacheLen != 1 {
+		t.Errorf("cache len = %d, want 1 (charged once by the winner)", s.CacheLen)
+	}
+	// The loser's completion lands after its socket is closed; wait for
+	// the cancellation to be accounted.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s = p.Stats()
+		if s.HedgeCancelled == 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s.HedgeCancelled != 1 {
+		t.Errorf("hedge cancelled = %d, want 1", s.HedgeCancelled)
+	}
+	// A cancelled loser must not count against its upstream's breaker.
+	for _, u := range s.Upstreams {
+		if u.Failures != 0 {
+			t.Errorf("upstream %s failures = %d, want 0", u.Host, u.Failures)
+		}
+	}
+	assertEPCInvariant(t, p)
+}
+
+// Both upstreams down: the pipeline fails over, the request fails, and
+// each upstream's breaker is charged exactly once for this request.
+func TestHedgeBothUpstreamsFailBreakerCountsOnce(t *testing.T) {
+	deadA, deadB := reservePort(t), reservePort(t)
+	p, err := New(Config{
+		K:           1,
+		Seed:        1,
+		Engines:     []EngineSpec{{Host: deadA}, {Host: deadB}},
+		AsyncOcalls: true,
+		HedgeDelay:  250 * time.Millisecond, // failover beats the hedge timer
+		HedgeMax:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Crash()
+
+	if _, err := p.ServeQuery(context.Background(), "doomed query"); err == nil {
+		t.Fatal("query succeeded with every upstream dead")
+	}
+	s := p.Stats()
+	for _, u := range s.Upstreams {
+		if u.Failures != 1 {
+			t.Errorf("upstream %s failures = %d, want exactly 1", u.Host, u.Failures)
+		}
+	}
+	assertEPCInvariant(t, p)
+}
+
+// Coalesced followers ride the leader's flight: no fetches and no hedges
+// of their own, and the hedge budget is spent at most once per flight.
+func TestCoalescedFollowersDoNotHedge(t *testing.T) {
+	engA, srvA := newDelayEngine(t, 100*time.Millisecond)
+	engB, srvB := newDelayEngine(t, 100*time.Millisecond)
+	p, err := New(Config{
+		K:           1,
+		Seed:        1,
+		Engines:     []EngineSpec{{Host: srvA.Addr()}, {Host: srvB.Addr()}},
+		AsyncOcalls: true,
+		HedgeDelay:  20 * time.Millisecond,
+		HedgeMax:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Crash()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = p.ServeQuery(context.Background(), "identical storm query")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	s := p.Stats()
+	if s.CoalesceShared != workers-1 || s.CoalesceLed != 1 {
+		t.Errorf("coalesce shared/led = %d/%d, want %d/1", s.CoalesceShared, s.CoalesceLed, workers-1)
+	}
+	if s.HedgeAttempts > 1 {
+		t.Errorf("hedge attempts = %d: followers hedged", s.HedgeAttempts)
+	}
+	// One flight: at most the primary plus one hedge reached an engine.
+	if trips := len(engA.QueryLog()) + len(engB.QueryLog()); trips > 2 {
+		t.Errorf("engines saw %d trips for one coalesced flight", trips)
+	}
+	assertEPCInvariant(t, p)
+}
+
+// Config validation: hedging requires the async pipeline; the async
+// pipeline refuses in-enclave TLS upstreams.
+func TestPipelineConfigValidation(t *testing.T) {
+	if _, err := New(Config{
+		K:        1,
+		Engines:  []EngineSpec{{Host: "127.0.0.1:1"}},
+		HedgeMax: 1,
+	}); err == nil || !strings.Contains(err.Error(), "AsyncOcalls") {
+		t.Errorf("hedging without async: err = %v", err)
+	}
+	if _, err := New(Config{
+		K:           1,
+		Engines:     []EngineSpec{{Host: "127.0.0.1:1", RootsPEM: []byte("not a cert")}},
+		AsyncOcalls: true,
+	}); err == nil || !strings.Contains(err.Error(), "TLS") {
+		t.Errorf("async with TLS upstream: err = %v", err)
+	}
+	if _, err := New(Config{
+		K:           1,
+		Engines:     []EngineSpec{{Host: "127.0.0.1:1"}},
+		AsyncOcalls: true,
+		HedgeMax:    -1,
+	}); err == nil {
+		t.Error("negative HedgeMax accepted")
+	}
+}
+
+// Graceful drain: requests admitted before Shutdown finish their staged
+// fetches before the enclave is destroyed.
+func TestPipelineShutdownDrainsInFlight(t *testing.T) {
+	_, srv := newDelayEngine(t, 100*time.Millisecond)
+	p, err := New(Config{
+		K:           1,
+		Seed:        1,
+		Engines:     []EngineSpec{{Host: srv.Addr()}},
+		AsyncOcalls: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inFlight = 4
+	var wg sync.WaitGroup
+	errs := make([]error, inFlight)
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = p.ServeQuery(context.Background(), fmt.Sprintf("draining query %d", i))
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond) // let the fetches get airborne
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("in-flight request %d dropped by shutdown: %v", i, err)
+		}
+	}
+}
+
+// Pipelined secure traffic racing session churn: handshakes evict sessions
+// (FIFO) while parked requests resolve against them. Sessions evicted
+// mid-flight must fail cleanly; the table and pending bookkeeping must
+// survive (-race covers the rest).
+func TestPipelineSessionChurnRace(t *testing.T) {
+	_, srv := newDelayEngine(t, 5*time.Millisecond)
+	p, err := New(Config{
+		K:           1,
+		Seed:        1,
+		Engines:     []EngineSpec{{Host: srv.Addr()}},
+		AsyncOcalls: true,
+		MaxSessions: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Crash()
+
+	const workers = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				channel, session, err := churnClient(p)
+				if err != nil {
+					t.Errorf("worker %d handshake: %v", w, err)
+					return
+				}
+				reqPT, err := json.Marshal(secureRequest{Query: fmt.Sprintf("churn %d-%d", w, i)})
+				if err != nil {
+					t.Errorf("marshal: %v", err)
+					return
+				}
+				record, err := channel.Seal(reqPT)
+				if err != nil {
+					t.Errorf("seal: %v", err)
+					return
+				}
+				// Evicted sessions fail with "unknown session" — a clean
+				// loss, matching the sync path's churn semantics.
+				if out, err := p.Secure(context.Background(), session, record); err == nil {
+					if _, err := channel.Open(out); err != nil {
+						t.Errorf("worker %d: corrupt response: %v", w, err)
+						return
+					}
+				} else if !strings.Contains(err.Error(), "unknown session") &&
+					!strings.Contains(err.Error(), "open record") {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	assertEPCInvariant(t, p)
+}
+
+// The p95-derived hedge delay: configured delay wins, a cold upstream gets
+// the default, a warm histogram drives it.
+func TestAutoHedgeDelay(t *testing.T) {
+	_, srv := newDelayEngine(t, 0)
+	p, err := New(Config{
+		K:           1,
+		Seed:        1,
+		Engines:     []EngineSpec{{Host: srv.Addr()}},
+		AsyncOcalls: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Crash()
+
+	host := srv.Addr()
+	if d := p.hedgeDelayFor(host); d != DefaultHedgeDelay {
+		t.Errorf("cold delay = %v, want default %v", d, DefaultHedgeDelay)
+	}
+	f := p.conns.fetch
+	for i := 0; i < autoHedgeMinSamples; i++ {
+		f.record(host, 40*time.Millisecond)
+	}
+	d := p.hedgeDelayFor(host)
+	if d < 35*time.Millisecond || d > 50*time.Millisecond {
+		t.Errorf("derived delay = %v, want ~p95 of 40ms", d)
+	}
+	p.cfg.HedgeDelay = 7 * time.Millisecond
+	if d := p.hedgeDelayFor(host); d != 7*time.Millisecond {
+		t.Errorf("configured delay = %v, want 7ms", d)
+	}
+}

@@ -26,6 +26,9 @@ func (s *stubEnv) OCall(name string, arg []byte) ([]byte, error) {
 	}
 	return h(arg)
 }
+func (s *stubEnv) OCallAsync(name string, arg []byte) (uint64, error) {
+	return 0, fmt.Errorf("stub: async ocalls not supported")
+}
 func (s *stubEnv) Alloc(int64) error { return nil }
 func (s *stubEnv) Free(int64)        {}
 func (s *stubEnv) Read(buf []byte) error {

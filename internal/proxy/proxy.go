@@ -17,6 +17,7 @@ import (
 	"xsearch/internal/attestation"
 	"xsearch/internal/core"
 	"xsearch/internal/enclave"
+	"xsearch/internal/metrics"
 	"xsearch/internal/netsim"
 	"xsearch/internal/seal"
 )
@@ -91,6 +92,29 @@ type Config struct {
 	// max(1, ceil(UpstreamRateLimit)); only consulted when
 	// UpstreamRateLimit > 0.
 	UpstreamRateBurst int
+	// AsyncOcalls switches the request hot path from the blocking
+	// ecall→ocall chain to the staged asynchronous pipeline: engine
+	// fetches are submitted to a switchless-style ocall ring serviced by
+	// untrusted worker goroutines, the enclave thread (TCS) is released
+	// while the round trip is in flight, and the request is resumed by a
+	// later ecall carrying the completion. Obfuscation/filtering of
+	// request N+1 overlaps the network wait of request N. Requires plain
+	// TCP upstreams (in-enclave TLS termination needs the blocking path).
+	AsyncOcalls bool
+	// PipelineDepth bounds concurrently staged requests (and sizes the
+	// async worker pool and rings). Zero means DefaultPipelineDepth; only
+	// consulted when AsyncOcalls is set.
+	PipelineDepth int
+	// HedgeDelay is how long a pipelined request waits on its primary
+	// upstream before re-issuing the fetch to the next healthy upstream
+	// and racing the two (first response wins, loser cancelled). Zero
+	// derives the delay from the primary upstream's observed p95 fetch
+	// latency (DefaultHedgeDelay while cold). Only consulted when
+	// HedgeMax > 0.
+	HedgeDelay time.Duration
+	// HedgeMax is the maximum hedge fetches per request (0 disables
+	// hedging). Hedging requires AsyncOcalls.
+	HedgeMax int
 	// EngineLink injects WAN latency on the proxy <-> engine path
 	// (experiments); nil means none.
 	EngineLink *netsim.Link
@@ -124,6 +148,12 @@ type Proxy struct {
 	conns    *connTable
 	qe       *attestation.QuotingEnclave
 	service  *attestation.Service
+
+	// pipeline is the async request pipeline's untrusted runtime (nil
+	// when Config.AsyncOcalls is off); latency records end-to-end query
+	// latency on both paths.
+	pipeline *pipelineRuntime
+	latency  *metrics.Histogram
 
 	http *http.Server
 	ln   net.Listener
@@ -179,6 +209,31 @@ func New(cfg Config) (*Proxy, error) {
 	if !cfg.EchoMode && len(engines) == 0 {
 		return nil, fmt.Errorf("proxy: Engines (or EngineHost) required unless EchoMode")
 	}
+	if cfg.HedgeMax < 0 {
+		return nil, fmt.Errorf("proxy: negative HedgeMax")
+	}
+	if cfg.HedgeMax > 0 && !cfg.AsyncOcalls {
+		return nil, fmt.Errorf("proxy: hedging requires the async ocall pipeline (AsyncOcalls)")
+	}
+	if cfg.AsyncOcalls {
+		if cfg.PipelineDepth <= 0 {
+			cfg.PipelineDepth = DefaultPipelineDepth
+		}
+		for _, e := range engines {
+			if len(e.RootsPEM) > 0 {
+				return nil, fmt.Errorf("proxy: async ocall pipeline does not support in-enclave TLS to %s (drop AsyncOcalls or the engine's RootsPEM)", e.Host)
+			}
+		}
+		if cfg.EnclaveConfig.AsyncWorkers == 0 {
+			// One worker per staged request so a full pipeline never
+			// queues behind a busy worker; hedging doubles the potential
+			// concurrent fetches.
+			cfg.EnclaveConfig.AsyncWorkers = cfg.PipelineDepth
+			if cfg.HedgeMax > 0 {
+				cfg.EnclaveConfig.AsyncWorkers *= 2
+			}
+		}
+	}
 	platform := cfg.Platform
 	if platform == nil {
 		if cfg.PlatformSeed != nil {
@@ -217,6 +272,11 @@ func New(cfg Config) (*Proxy, error) {
 			trusted.flights = core.NewFlightGroup()
 		}
 	}
+	if cfg.AsyncOcalls {
+		trusted.pending = newPendingTable()
+		trusted.hedgeMax = cfg.HedgeMax
+		trusted.asyncKeepAlive = cfg.PoolSize > 0
+	}
 	if cfg.CacheBytes > 0 {
 		cache, err := core.NewResultCache(cfg.CacheBytes, cfg.CacheTTL)
 		if err != nil {
@@ -234,11 +294,12 @@ func New(cfg Config) (*Proxy, error) {
 	for i, e := range engines {
 		engineIdent[i] = fmt.Sprintf("%s*%d", e.Host, e.Weight)
 	}
-	ident := fmt.Sprintf("xsearch-proxy v1.3 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s coalesce=%t breaker=%d/%s rate=%g/%d",
+	ident := fmt.Sprintf("xsearch-proxy v1.4 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s coalesce=%t breaker=%d/%s rate=%g/%d async=%t/%d hedge=%s/%d",
 		cfg.K, cfg.HistoryCapacity, strings.Join(engineIdent, " "), cfg.EchoMode,
 		cfg.PoolSize, cfg.CacheBytes, cfg.CacheTTL,
 		!cfg.DisableCoalescing, cfg.UpstreamFailThreshold, cfg.UpstreamCooldown,
-		cfg.UpstreamRateLimit, cfg.UpstreamRateBurst)
+		cfg.UpstreamRateLimit, cfg.UpstreamRateBurst,
+		cfg.AsyncOcalls, cfg.PipelineDepth, cfg.HedgeDelay, cfg.HedgeMax)
 	if err := builder.AddData([]byte(ident)); err != nil {
 		return nil, err
 	}
@@ -275,6 +336,20 @@ func New(cfg Config) (*Proxy, error) {
 	if err := builder.RegisterECall("merge", trusted.handleMerge); err != nil {
 		return nil, err
 	}
+	if cfg.AsyncOcalls {
+		// The staged pipeline's re-entry points. They are part of the
+		// measured surface: an async-pipelined build attests differently
+		// from a blocking one.
+		if err := builder.RegisterECall("resume", trusted.handleResume); err != nil {
+			return nil, err
+		}
+		if err := builder.RegisterECall("hedge", trusted.handleHedge); err != nil {
+			return nil, err
+		}
+		if err := builder.RegisterECall("claim", trusted.handleClaim); err != nil {
+			return nil, err
+		}
+	}
 	encl, err := builder.Build()
 	if err != nil {
 		return nil, err
@@ -287,6 +362,9 @@ func New(cfg Config) (*Proxy, error) {
 	trusted.sealer = sealer
 
 	conns := newConnTable(cfg.EngineLink)
+	if cfg.AsyncOcalls {
+		conns.enableFetcher(cfg.PoolSize, cfg.PoolIdleTimeout)
+	}
 	for name, h := range conns.handlers() {
 		if err := encl.RegisterOCall(name, h); err != nil {
 			encl.Destroy()
@@ -320,6 +398,11 @@ func New(cfg Config) (*Proxy, error) {
 		conns:    conns,
 		qe:       qe,
 		service:  service,
+		latency:  metrics.NewHistogram(),
+	}
+	if cfg.AsyncOcalls {
+		p.pipeline = newPipelineRuntime(p, cfg.PipelineDepth)
+		p.pipeline.start()
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", p.handlePlainSearch)
@@ -377,6 +460,13 @@ const (
 	// DefaultUpstreamCooldown is how long an open breaker excludes its
 	// upstream before admitting a probe request.
 	DefaultUpstreamCooldown = time.Second
+	// DefaultPipelineDepth bounds concurrently staged requests when
+	// Config.AsyncOcalls is on and Config.PipelineDepth is zero.
+	DefaultPipelineDepth = 64
+	// DefaultHedgeDelay is the hedge delay used while an upstream has too
+	// few observed fetches for a p95-derived delay (Config.HedgeDelay
+	// zero).
+	DefaultHedgeDelay = 10 * time.Millisecond
 )
 
 // Measurement returns the enclave's MRENCLAVE, which clients pin.
@@ -407,12 +497,19 @@ func (p *Proxy) Addr() string {
 // URL returns the proxy base URL.
 func (p *Proxy) URL() string { return "http://" + p.Addr() }
 
-// Shutdown stops the HTTP front, persists the sealed history when
-// configured, and destroys the enclave.
+// Shutdown stops the HTTP front, drains in-flight pipeline requests (each
+// already-admitted request finishes its staged fetch, bounded by ctx),
+// persists the sealed history when configured, and destroys the enclave.
 func (p *Proxy) Shutdown(ctx context.Context) error {
 	var err error
 	if p.http != nil {
 		err = p.http.Shutdown(ctx)
+	}
+	if p.pipeline != nil {
+		if derr := p.pipeline.drain(ctx); derr != nil && err == nil {
+			err = derr
+		}
+		p.pipeline.stopDispatch()
 	}
 	if p.cfg.StatePath != "" {
 		blob, serr := p.encl.ECall(ctx, "snapshot", nil)
@@ -433,6 +530,9 @@ func (p *Proxy) Shutdown(ctx context.Context) error {
 // snapshot, no sealed-state persistence, no graceful HTTP drain. Fleet
 // availability experiments use it; operators should use Shutdown.
 func (p *Proxy) Crash() {
+	if p.pipeline != nil {
+		p.pipeline.stopDispatch()
+	}
 	p.conns.closeAll()
 	p.encl.Destroy()
 }
@@ -483,11 +583,13 @@ func (p *Proxy) Handshake(ctx context.Context, offer json.RawMessage, nonce []by
 // route a pinned session's traffic to its shard.
 func (p *Proxy) Secure(ctx context.Context, session string, record []byte) ([]byte, error) {
 	p.requests.Add(1)
-	reply, err := p.ecall(ctx, envelope{Type: typeSecure, Session: session, Record: record})
+	start := time.Now()
+	reply, err := p.run(ctx, envelope{Type: typeSecure, Session: session, Record: record})
 	if err != nil {
 		p.errors.Add(1)
 		return nil, err
 	}
+	p.latency.Record(time.Since(start))
 	return reply.Record, nil
 }
 
@@ -551,6 +653,25 @@ type Stats struct {
 	// bucket turned away, summed across upstreams (zero when rate limiting
 	// is disabled).
 	RateLimited uint64 `json:"rate_limited"`
+	// Async pipeline gauges (zero when AsyncOcalls is off). AsyncSubmitted
+	// and AsyncCompleted count switchless fetch submissions and serviced
+	// completions; PipelineInFlight is the currently staged request count
+	// against PipelineDepth.
+	AsyncSubmitted   uint64 `json:"async_submitted,omitempty"`
+	AsyncCompleted   uint64 `json:"async_completed,omitempty"`
+	PipelineInFlight int    `json:"pipeline_in_flight,omitempty"`
+	PipelineDepth    int    `json:"pipeline_depth,omitempty"`
+	// Hedging gauges: hedge fetches issued, hedges that beat the primary,
+	// and losers cancelled after the winner landed.
+	HedgeAttempts  uint64 `json:"hedge_attempts,omitempty"`
+	HedgeWins      uint64 `json:"hedge_wins,omitempty"`
+	HedgeCancelled uint64 `json:"hedge_cancelled,omitempty"`
+	// End-to-end query latency percentiles (plain + secure paths),
+	// recorded on a fixed-bucket histogram with no hot-path allocations.
+	LatencyCount uint64        `json:"latency_count,omitempty"`
+	LatencyP50   time.Duration `json:"latency_p50_ns,omitempty"`
+	LatencyP95   time.Duration `json:"latency_p95_ns,omitempty"`
+	LatencyP99   time.Duration `json:"latency_p99_ns,omitempty"`
 	// Upstreams is the per-engine-upstream breakdown: traffic share,
 	// failures, breaker state, and each upstream's pool gauges. Sorted by
 	// host so snapshots diff cleanly regardless of configuration order.
@@ -568,11 +689,34 @@ func (p *Proxy) Stats() Stats {
 		HistoryLen: h.Len(),
 		HistoryB:   h.Bytes(),
 	}
+	if pl := p.pipeline; pl != nil {
+		s.PipelineInFlight = pl.inFlight()
+		s.PipelineDepth = pl.depth
+		s.AsyncSubmitted = s.Enclave.AsyncSubmitted
+		s.AsyncCompleted = s.Enclave.AsyncCompleted
+		s.HedgeAttempts = p.trusted.hedgeAttempts.Load()
+		s.HedgeWins = p.trusted.hedgeWins.Load()
+		s.HedgeCancelled = p.trusted.hedgeCancelled.Load()
+	}
+	if snap := p.latency.Snapshot(); snap.Count > 0 {
+		s.LatencyCount = snap.Count
+		s.LatencyP50 = snap.P50
+		s.LatencyP95 = snap.P95
+		s.LatencyP99 = snap.P99
+	}
 	if reg := p.trusted.registry; reg != nil {
 		now := time.Now()
 		s.Upstreams = make([]UpstreamStats, len(reg.ups))
 		for i, u := range reg.ups {
 			us := u.stats(now, reg.threshold)
+			if f := p.conns.fetch; f != nil {
+				if h := f.latencyFor(u.host); h != nil {
+					fsnap := h.Snapshot()
+					us.FetchP50 = fsnap.P50
+					us.FetchP95 = fsnap.P95
+					us.FetchP99 = fsnap.P99
+				}
+			}
 			s.Upstreams[i] = us
 			s.PoolIdle += us.PoolIdle
 			s.PoolReuses += us.PoolReuses
@@ -611,11 +755,13 @@ func (p *Proxy) Stats() Stats {
 // paper's wrk2-on-bare-metal setup does.
 func (p *Proxy) ServeQuery(ctx context.Context, query string) ([]core.Result, error) {
 	p.requests.Add(1)
-	reply, err := p.ecall(ctx, envelope{Type: typePlain, Query: query})
+	start := time.Now()
+	reply, err := p.run(ctx, envelope{Type: typePlain, Query: query})
 	if err != nil {
 		p.errors.Add(1)
 		return nil, err
 	}
+	p.latency.Record(time.Since(start))
 	return reply.Results, nil
 }
 
@@ -645,7 +791,11 @@ func (p *Proxy) handlePlainSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
 		return
 	}
-	reply, err := p.ecall(r.Context(), envelope{Type: typePlain, Query: q})
+	start := time.Now()
+	reply, err := p.run(r.Context(), envelope{Type: typePlain, Query: q})
+	if err == nil {
+		p.latency.Record(time.Since(start))
+	}
 	if err != nil {
 		p.errors.Add(1)
 		http.Error(w, err.Error(), http.StatusBadGateway)

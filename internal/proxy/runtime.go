@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"bufio"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
@@ -11,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"xsearch/internal/metrics"
 	"xsearch/internal/netsim"
 )
 
@@ -30,6 +32,9 @@ type connTable struct {
 	// (one traversal on connect, one per request write, one per
 	// response's first read).
 	link *netsim.Link
+	// fetch is the async-fetch worker state (nil unless the proxy runs
+	// the async ocall pipeline).
+	fetch *fetcher
 }
 
 func newConnTable(link *netsim.Link) *connTable {
@@ -38,6 +43,13 @@ func newConnTable(link *netsim.Link) *connTable {
 		dialTimeout: 10 * time.Second,
 		link:        link,
 	}
+}
+
+// enableFetcher attaches the async-fetch worker state (untrusted keep-alive
+// pools, cancellation registry, per-upstream latency histograms) used by
+// the "fetch" ocall the pipeline submits to.
+func (ct *connTable) enableFetcher(maxIdle int, idleTTL time.Duration) {
+	ct.fetch = newFetcher(ct, maxIdle, idleTTL)
 }
 
 // delayedConn injects link latency around a request/response exchange.
@@ -72,13 +84,19 @@ func (d *delayedConn) Read(p []byte) (int, error) {
 // four (sock_connect/send/recv/close) plus sock_check, the liveness probe
 // backing the enclave's connection pool.
 func (ct *connTable) handlers() map[string]func([]byte) ([]byte, error) {
-	return map[string]func([]byte) ([]byte, error){
+	h := map[string]func([]byte) ([]byte, error){
 		"sock_connect": ct.ocallConnect,
 		"send":         ct.ocallSend,
 		"recv":         ct.ocallRecv,
 		"close":        ct.ocallClose,
 		"sock_check":   ct.ocallCheck,
 	}
+	if ct.fetch != nil {
+		// The pipeline's composite exchange, serviced by the switchless
+		// worker goroutines instead of a blocking per-socket ocall chain.
+		h["fetch"] = ct.fetch.ocallFetch
+	}
+	return h
 }
 
 func (ct *connTable) ocallConnect(arg []byte) ([]byte, error) {
@@ -224,12 +242,288 @@ func probeConn(conn net.Conn) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// closeAll reaps any connections the enclave leaked.
+// closeAll reaps any connections the enclave leaked, plus the async
+// fetcher's pools and in-flight exchanges.
 func (ct *connTable) closeAll() {
 	ct.mu.Lock()
-	defer ct.mu.Unlock()
 	for fd, conn := range ct.conns {
 		_ = conn.Close()
 		delete(ct.conns, fd)
+	}
+	ct.mu.Unlock()
+	if ct.fetch != nil {
+		ct.fetch.closeAll()
+	}
+}
+
+// --- async fetch worker (the "fetch" ocall) ---
+
+// fetcher performs whole engine exchanges for the async pipeline: each
+// "fetch" ocall dials (or reuses) an untrusted keep-alive connection,
+// writes one GET, reads one framed HTTP response, and returns it as a
+// fetchReply for the resume ecall to validate. It runs entirely in the
+// untrusted runtime — which is exactly where the sync path's socket bytes
+// already flow — and the enclave re-checks every cap on the way back in.
+// It also owns hedge-loser cancellation (closing the loser's socket) and
+// the per-upstream fetch-latency histograms that drive the p95-derived
+// hedge delay.
+type fetcher struct {
+	ct      *connTable
+	maxIdle int
+	idleTTL time.Duration
+
+	mu       sync.Mutex
+	idle     map[string][]idleFetchConn // per host, oldest first
+	inflight map[uint64]*fetchOp
+	hist     map[string]*metrics.Histogram
+	closed   bool
+}
+
+type idleFetchConn struct {
+	conn  net.Conn
+	since time.Time
+}
+
+// fetchOp is one in-flight exchange, registered so cancelFetch can reach
+// its socket.
+type fetchOp struct {
+	cancelled bool
+	conn      net.Conn
+}
+
+func newFetcher(ct *connTable, maxIdle int, idleTTL time.Duration) *fetcher {
+	return &fetcher{
+		ct:       ct,
+		maxIdle:  maxIdle,
+		idleTTL:  idleTTL,
+		idle:     make(map[string][]idleFetchConn),
+		inflight: make(map[uint64]*fetchOp),
+		hist:     make(map[string]*metrics.Histogram),
+	}
+}
+
+// ocallFetch services one composite exchange. It never fails at the ocall
+// layer: transport errors travel inside the fetchReply so the token always
+// reaches the enclave.
+func (f *fetcher) ocallFetch(arg []byte) ([]byte, error) {
+	var fa fetchArg
+	if err := json.Unmarshal(arg, &fa); err != nil {
+		return nil, fmt.Errorf("proxy: fetch arg: %w", err)
+	}
+	reply := f.do(&fa)
+	reply.Token = fa.Token
+	return json.Marshal(reply)
+}
+
+func (f *fetcher) do(fa *fetchArg) fetchReply {
+	start := time.Now()
+	op := &fetchOp{}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return fetchReply{Cancelled: true}
+	}
+	f.inflight[fa.Token] = op
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		delete(f.inflight, fa.Token)
+		f.mu.Unlock()
+	}()
+
+	for attempt := 0; ; attempt++ {
+		conn, reused := f.checkout(fa.Host)
+		if conn == nil {
+			if f.ct.link != nil {
+				f.ct.link.Wait()
+			}
+			c, err := net.DialTimeout("tcp", fa.Host, f.ct.dialTimeout)
+			if err != nil {
+				return f.outcome(op, fmt.Sprintf("dial %s: %v", fa.Host, err))
+			}
+			if f.ct.link != nil {
+				c = &delayedConn{Conn: c, link: f.ct.link}
+			}
+			conn = c
+		}
+		f.mu.Lock()
+		if op.cancelled {
+			f.mu.Unlock()
+			_ = conn.Close()
+			return fetchReply{Cancelled: true}
+		}
+		op.conn = conn
+		f.mu.Unlock()
+
+		connHeader := "close"
+		if fa.KeepAlive {
+			connHeader = "keep-alive"
+		}
+		reqText := "GET " + fa.Path + " HTTP/1.1\r\nHost: " + fa.Host +
+			"\r\nConnection: " + connHeader + "\r\n\r\n"
+		if _, err := conn.Write([]byte(reqText)); err != nil {
+			_ = conn.Close()
+			if reused && attempt == 0 && !f.isCancelled(op) {
+				continue // stale pooled conn: retry once on a fresh dial
+			}
+			return f.outcome(op, fmt.Sprintf("send request: %v", err))
+		}
+		br := bufio.NewReader(conn)
+		body, status, keepAlive, err := readHTTPResponse(br)
+		if err != nil {
+			_ = conn.Close()
+			if reused && attempt == 0 && !f.isCancelled(op) {
+				continue
+			}
+			return f.outcome(op, fmt.Sprintf("read response: %v", err))
+		}
+		f.mu.Lock()
+		cancelled := op.cancelled
+		op.conn = nil
+		f.mu.Unlock()
+		// Pool only a stream sitting exactly at a response boundary (the
+		// same smuggling guard the in-enclave pool applies).
+		if fa.KeepAlive && keepAlive && br.Buffered() == 0 && !cancelled {
+			f.checkin(fa.Host, conn)
+		} else {
+			_ = conn.Close()
+		}
+		if cancelled {
+			return fetchReply{Cancelled: true}
+		}
+		f.record(fa.Host, time.Since(start))
+		return fetchReply{Status: status, Body: body}
+	}
+}
+
+// outcome folds a transport failure into a reply, reporting cancellation
+// instead when the failure was self-inflicted by cancelFetch closing the
+// socket mid-exchange.
+func (f *fetcher) outcome(op *fetchOp, errstr string) fetchReply {
+	f.mu.Lock()
+	cancelled := op.cancelled
+	op.conn = nil
+	f.mu.Unlock()
+	if cancelled {
+		return fetchReply{Cancelled: true}
+	}
+	return fetchReply{Err: errstr}
+}
+
+func (f *fetcher) isCancelled(op *fetchOp) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return op.cancelled
+}
+
+// cancelFetch aborts an in-flight exchange: the hedge winner landed and
+// this token lost the race. Closing the socket unblocks the worker; its
+// completion comes back marked Cancelled.
+func (f *fetcher) cancelFetch(token uint64) {
+	f.mu.Lock()
+	op, ok := f.inflight[token]
+	var conn net.Conn
+	if ok {
+		op.cancelled = true
+		conn = op.conn
+	}
+	f.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// checkout pops the freshest healthy pooled connection for host, evicting
+// idle-expired and dead ones.
+func (f *fetcher) checkout(host string) (net.Conn, bool) {
+	now := time.Now()
+	for {
+		f.mu.Lock()
+		list := f.idle[host]
+		if len(list) == 0 {
+			f.mu.Unlock()
+			return nil, false
+		}
+		// Expire from the oldest end first.
+		if f.idleTTL > 0 && now.Sub(list[0].since) > f.idleTTL {
+			victim := list[0].conn
+			f.idle[host] = list[1:]
+			f.mu.Unlock()
+			_ = victim.Close()
+			continue
+		}
+		cand := list[len(list)-1].conn
+		f.idle[host] = list[:len(list)-1]
+		f.mu.Unlock()
+		if !probeConn(cand) {
+			_ = cand.Close()
+			continue
+		}
+		return cand, true
+	}
+}
+
+// checkin returns a connection to host's pool, evicting the oldest when
+// full.
+func (f *fetcher) checkin(host string, conn net.Conn) {
+	var victim net.Conn
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	list := f.idle[host]
+	if f.maxIdle > 0 && len(list) >= f.maxIdle {
+		victim = list[0].conn
+		list = list[1:]
+	}
+	f.idle[host] = append(list, idleFetchConn{conn: conn, since: time.Now()})
+	f.mu.Unlock()
+	if victim != nil {
+		_ = victim.Close()
+	}
+}
+
+// record adds one successful exchange's latency to host's histogram.
+func (f *fetcher) record(host string, d time.Duration) {
+	f.mu.Lock()
+	h := f.hist[host]
+	if h == nil {
+		h = metrics.NewHistogram()
+		f.hist[host] = h
+	}
+	f.mu.Unlock()
+	h.Record(d)
+}
+
+// latencyFor returns host's fetch-latency histogram, nil before the first
+// successful exchange.
+func (f *fetcher) latencyFor(host string) *metrics.Histogram {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hist[host]
+}
+
+// closeAll closes pooled and in-flight connections (shutdown/crash).
+func (f *fetcher) closeAll() {
+	f.mu.Lock()
+	f.closed = true
+	var conns []net.Conn
+	for host, list := range f.idle {
+		for _, ic := range list {
+			conns = append(conns, ic.conn)
+		}
+		delete(f.idle, host)
+	}
+	for _, op := range f.inflight {
+		op.cancelled = true
+		if op.conn != nil {
+			conns = append(conns, op.conn)
+		}
+	}
+	f.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xsearch/internal/core"
@@ -48,6 +49,18 @@ type trustedState struct {
 	cacheHits metrics.RatioCounter
 	flights   *core.FlightGroup
 	coalesce  metrics.RatioCounter
+
+	// Async pipeline state (nil/zero when Config.AsyncOcalls is off):
+	// the parked-request table, the hedge budget per request, and whether
+	// async fetches should ask for keep-alive (untrusted-side pooling).
+	pending        *pendingTable
+	hedgeMax       int
+	asyncKeepAlive bool
+	// Hedge gauges: attempts issued, hedges that won their race, and
+	// losers the runtime cancelled.
+	hedgeAttempts  atomic.Uint64
+	hedgeWins      atomic.Uint64
+	hedgeCancelled atomic.Uint64
 
 	mu       sync.Mutex
 	sessions map[string]*sessionState
@@ -168,6 +181,9 @@ func (ts *trustedState) handlePlain(env enclave.Env, query string) ([]byte, erro
 	if strings.TrimSpace(query) == "" {
 		return nil, fmt.Errorf("proxy: empty query")
 	}
+	if ts.pending != nil {
+		return ts.beginAsync(env, typePlain, "", query, ts.perList)
+	}
 	results, err := ts.searchAndFilter(env, query, ts.perList)
 	if err != nil {
 		return nil, err
@@ -240,6 +256,9 @@ func (ts *trustedState) handleSecure(env enclave.Env, session string, record []b
 	count := sreq.Count
 	if count <= 0 || count > 100 {
 		count = ts.perList
+	}
+	if ts.pending != nil {
+		return ts.beginAsync(env, typeSecure, session, sreq.Query, count)
 	}
 	var sresp secureResponse
 	results, err := ts.searchAndFilter(env, sreq.Query, count)

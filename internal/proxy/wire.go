@@ -48,6 +48,14 @@ type envelopeReply struct {
 	ReportData []byte `json:"report_data,omitempty"`
 	// Sealed response record for a secure request.
 	Record []byte `json:"record,omitempty"`
+	// Async pipeline: when Pending is nonzero the request parked inside
+	// the enclave awaiting an async engine fetch; the final reply arrives
+	// through the resume/claim ecalls. Upstream names the primary fetch's
+	// engine (so the runtime can derive a p95-based hedge delay) and
+	// CanHedge tells the runtime whether a hedge timer is worth arming.
+	Pending  uint64 `json:"pending,omitempty"`
+	Upstream string `json:"upstream,omitempty"`
+	CanHedge bool   `json:"can_hedge,omitempty"`
 }
 
 // mergeReply is the result of the "merge" ecall: how many queries the
@@ -55,6 +63,74 @@ type envelopeReply struct {
 type mergeReply struct {
 	Added int   `json:"added"`
 	Bytes int64 `json:"bytes"`
+}
+
+// --- async pipeline wire types ---
+
+// fetchArg is the argument of the async "fetch" ocall: one full engine
+// HTTP exchange performed by an untrusted worker goroutine. Token is the
+// enclave-chosen correlation handle: the completion echoes it, the resume
+// ecall routes by it, and cancellation targets it.
+type fetchArg struct {
+	Token     uint64 `json:"token"`
+	Host      string `json:"host"`
+	Path      string `json:"path"`
+	KeepAlive bool   `json:"keep_alive,omitempty"`
+}
+
+// fetchReply is the async fetch completion, passed verbatim into the
+// "resume" ecall. Everything in it is untrusted input: the enclave
+// re-checks the body cap and re-parses the JSON. The handler never fails
+// at the ocall layer — transport errors travel in Err so the token always
+// reaches the enclave for breaker accounting and cleanup.
+type fetchReply struct {
+	Token  uint64 `json:"token"`
+	Status int    `json:"status,omitempty"`
+	Body   []byte `json:"body,omitempty"`
+	Err    string `json:"err,omitempty"`
+	// Cancelled marks a fetch the runtime aborted after the hedge winner
+	// landed; the enclave releases its bookkeeping without charging the
+	// upstream's breaker (the failure, if any, was self-inflicted).
+	Cancelled bool `json:"cancelled,omitempty"`
+}
+
+// resumeReply is the result of the "resume" ecall: what the completion
+// did to its pending request.
+type resumeReply struct {
+	// State is "pending" (another fetch is still in flight), "done"
+	// (final), or "orphan" (no live pending request wanted it: a
+	// cancelled loser, a late duplicate, or an already-finalized flight).
+	State     string `json:"state"`
+	PendingID uint64 `json:"pending_id,omitempty"`
+	// Reply is the leader's final marshalled envelopeReply (State
+	// "done"); Err is the final request error when there is no reply
+	// (plain-query failures surface as request errors, as on the sync
+	// path).
+	Reply json.RawMessage `json:"reply,omitempty"`
+	Err   string          `json:"error,omitempty"`
+	// Waiters lists coalesced followers whose results are ready to claim;
+	// CancelTokens lists still-outstanding loser fetches the runtime
+	// should abort.
+	Waiters      []uint64 `json:"waiters,omitempty"`
+	CancelTokens []uint64 `json:"cancel_tokens,omitempty"`
+}
+
+// hedgeArg asks the enclave to issue a hedge fetch for a parked request.
+type hedgeArg struct {
+	PendingID uint64 `json:"pending_id"`
+}
+
+// hedgeReply reports whether a hedge was issued and whether another is
+// still worth arming a timer for.
+type hedgeReply struct {
+	Hedged   bool   `json:"hedged"`
+	Upstream string `json:"upstream,omitempty"`
+	CanHedge bool   `json:"can_hedge,omitempty"`
+}
+
+// claimArg redeems a coalesced follower's ready result.
+type claimArg struct {
+	PendingID uint64 `json:"pending_id"`
 }
 
 // secureRequest is the plaintext the client seals into a record.

@@ -159,6 +159,38 @@ func WithoutCoalescing() ProxyOption {
 	return proxyOptionFunc(func(c *proxy.Config) { c.DisableCoalescing = true })
 }
 
+// WithAsyncOcalls switches the request hot path to the staged asynchronous
+// pipeline: the enclave submits engine fetches to a switchless-style ocall
+// ring serviced by untrusted workers, releasing its thread (TCS) for the
+// duration of the network round trip, so obfuscation/filtering of the next
+// request overlaps the engine wait of the previous one. depth bounds
+// concurrently staged requests (0 = default 64). Requires plain-TCP
+// upstreams: in-enclave TLS termination needs the blocking path.
+func WithAsyncOcalls(depth int) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) {
+		c.AsyncOcalls = true
+		c.PipelineDepth = depth
+	})
+}
+
+// WithHedging races slow upstreams (requires WithAsyncOcalls): when a
+// pipelined fetch has not answered after delay, the enclave re-issues it
+// to the next healthy upstream and the first response wins; the loser is
+// cancelled, its breaker untouched, and the result cache is charged
+// exactly once by the winner. A zero delay derives it per upstream from
+// observed p95 fetch latency (so roughly the slowest ~5% of requests
+// hedge). max bounds hedge fetches per request (<= 0 means 1). Coalesced
+// followers never hedge — only flight leaders own fetches.
+func WithHedging(delay time.Duration, max int) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) {
+		c.HedgeDelay = delay
+		if max <= 0 {
+			max = 1
+		}
+		c.HedgeMax = max
+	})
+}
+
 // WithResultCache enables the in-enclave obfuscated-result cache: filtered
 // results are kept for repeat queries, bounded to maxBytes total (charged
 // against the EPC like the history window) and ttl freshness. A zero ttl

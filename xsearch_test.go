@@ -86,6 +86,62 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicAPIAsyncPipeline runs the full attested stack over the async
+// ocall pipeline with hedging armed: the secured search path must behave
+// identically to the blocking one from a client's point of view.
+func TestPublicAPIAsyncPipeline(t *testing.T) {
+	engine := xsearch.NewEngine(xsearch.WithCorpusSize(20), xsearch.WithEngineSeed(1))
+	if err := engine.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = engine.Shutdown(ctx)
+	})
+	proxy, err := xsearch.NewProxy(
+		xsearch.WithEngineHost(engine.Addr()),
+		xsearch.WithFakeQueries(2),
+		xsearch.WithProxySeed(1),
+		xsearch.WithAsyncOcalls(16),
+		xsearch.WithHedging(50*time.Millisecond, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proxy.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = proxy.Shutdown(ctx)
+	})
+	client, err := xsearch.NewClient(proxy.URL(),
+		xsearch.WithTrustedMeasurement(proxy.Measurement()),
+		xsearch.WithAttestationKey(proxy.AttestationKey()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"mortgage rates", "garden roses", "chicken recipe dinner"} {
+		if _, err := client.Search(context.Background(), q); err != nil {
+			t.Fatalf("search %q: %v", q, err)
+		}
+	}
+	st := proxy.Stats()
+	if st.AsyncSubmitted == 0 {
+		t.Error("async pipeline never engaged")
+	}
+	if st.Enclave.HeapBytes != st.HistoryB+st.CacheB {
+		t.Errorf("EPC invariant broken: heap=%d history=%d cache=%d",
+			st.Enclave.HeapBytes, st.HistoryB, st.CacheB)
+	}
+}
+
 func TestPublicAPIValidation(t *testing.T) {
 	if _, err := xsearch.NewProxy(xsearch.WithFakeQueries(-1), xsearch.WithEchoMode()); err == nil {
 		t.Error("negative k accepted")
