@@ -131,8 +131,21 @@ func (v *env) OCallAsync(name string, arg []byte) (uint64, error) {
 	case <-e.asyncStop:
 		return 0, ErrDestroyed
 	}
+	// Counted as soon as the ring accepted the call — including the
+	// raced-by-stop case below, where a lingering worker may still service
+	// it — so asyncCompleted can never exceed asyncSubmitted.
 	e.asyncSubmitted.Add(1)
 	e.ocallCount.Add(1)
+	select {
+	case <-e.asyncStop:
+		// Stop raced the send (a buffered ring makes both cases of the
+		// select above ready): the workers may already have exited with
+		// the call still buffered, so no completion is guaranteed. Report
+		// failure; at worst a worker still drains it and the orphaned
+		// completion is dropped with the enclave.
+		return 0, ErrDestroyed
+	default:
+	}
 	return id, nil
 }
 

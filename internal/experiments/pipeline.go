@@ -140,7 +140,8 @@ func proxyInvariantOK(p *proxy.Proxy) bool {
 // clients, optionally recording per-request latency.
 func drivePipeline(p *proxy.Proxy, workers, total int, label string, hist *metrics.Histogram) (time.Duration, error) {
 	var next atomic.Int64
-	var firstErr atomic.Value
+	var errMu sync.Mutex
+	var firstErr error
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < workers; w++ {
@@ -155,7 +156,11 @@ func drivePipeline(p *proxy.Proxy, workers, total int, label string, hist *metri
 				q := fmt.Sprintf("%s query %d", label, i)
 				reqStart := time.Now()
 				if _, err := p.ServeQuery(context.Background(), q); err != nil {
-					firstErr.CompareAndSwap(nil, err)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
 					return
 				}
 				if hist != nil {
@@ -165,11 +170,7 @@ func drivePipeline(p *proxy.Proxy, workers, total int, label string, hist *metri
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
-	if err, ok := firstErr.Load().(error); ok {
-		return elapsed, err
-	}
-	return elapsed, nil
+	return time.Since(start), firstErr
 }
 
 // runPipelineThroughput is half A: identical workload, blocking vs

@@ -23,6 +23,15 @@ type pipelineRuntime struct {
 
 	mu      sync.Mutex
 	waiters map[uint64]chan pendingOutcome
+	// unclaimed stashes outcomes that arrived before their request
+	// goroutine registered a waiter: the fetch is submitted inside the
+	// stage-1 ecall, so a fast completion (immediate dial failure, warm
+	// loopback engine) can race await(). Entries are consumed by await()
+	// at registration time. abandoned marks ids whose caller genuinely
+	// gave up (context cancelled); their late outcome is dropped — or, for
+	// a follower claim, redeemed-and-discarded so the trusted entry frees.
+	unclaimed map[uint64]pendingOutcome
+	abandoned map[uint64]struct{}
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -46,11 +55,13 @@ const resumeWorkerCount = 4
 
 func newPipelineRuntime(p *Proxy, depth int) *pipelineRuntime {
 	return &pipelineRuntime{
-		p:       p,
-		depth:   depth,
-		sem:     make(chan struct{}, depth),
-		waiters: make(map[uint64]chan pendingOutcome),
-		stop:    make(chan struct{}),
+		p:         p,
+		depth:     depth,
+		sem:       make(chan struct{}, depth),
+		waiters:   make(map[uint64]chan pendingOutcome),
+		unclaimed: make(map[uint64]pendingOutcome),
+		abandoned: make(map[uint64]struct{}),
+		stop:      make(chan struct{}),
 	}
 }
 
@@ -62,10 +73,18 @@ func (pl *pipelineRuntime) start() {
 	}
 }
 
-// stopDispatch halts the resume workers (shutdown/crash).
+// stopDispatch halts the resume workers (shutdown/crash) and frees the
+// outcome bookkeeping: with the workers gone no delivery will ever
+// consume a stashed outcome or clear an abandoned mark, so entries from
+// requests parked at teardown would otherwise linger for the life of the
+// runtime.
 func (pl *pipelineRuntime) stopDispatch() {
 	pl.stopOnce.Do(func() { close(pl.stop) })
 	pl.workers.Wait()
+	pl.mu.Lock()
+	pl.unclaimed = make(map[uint64]pendingOutcome)
+	pl.abandoned = make(map[uint64]struct{})
+	pl.mu.Unlock()
 }
 
 // drain waits for the admission semaphore to empty — every admitted
@@ -137,41 +156,38 @@ func (pl *pipelineRuntime) handleCompletion(raw []byte) {
 	}
 	pl.deliver(rr.PendingID, outcome)
 	for _, wid := range rr.Waiters {
-		pl.deliverClaim(wid)
+		pl.deliver(wid, pendingOutcome{claim: true})
 	}
 }
 
-// deliver hands a final outcome to the goroutine parked on id. The send
-// happens under the waiter lock — the channel is buffered and receives
-// exactly one send, so this cannot block, and holding the lock serializes
-// delivery against abandon: an abandoning caller either finds the outcome
-// already in its channel or removes the map entry first, never neither.
-// A missing waiter means the request's caller gave up (context
-// cancelled); the enclave entry is already gone, so the outcome is
-// simply dropped.
+// deliver hands an outcome — a final reply, or a claim signal for a
+// coalesced follower — to the goroutine parked on id. The send happens
+// under the waiter lock: the channel is buffered and receives exactly one
+// send, so this cannot block, and holding the lock serializes delivery
+// against abandon. A missing waiter does NOT mean the caller gave up —
+// the request goroutine may simply not have reached await() yet (the
+// fetch was submitted inside the stage-1 ecall) — so the outcome is
+// stashed for await() to consume. Only an id abandon() marked is truly
+// gone: its outcome is dropped (a ready follower claim is redeemed and
+// discarded so the trusted entry frees) and the mark released.
 func (pl *pipelineRuntime) deliver(id uint64, out pendingOutcome) {
 	pl.mu.Lock()
-	defer pl.mu.Unlock()
 	if ch := pl.waiters[id]; ch != nil {
 		delete(pl.waiters, id)
 		ch <- out
+		pl.mu.Unlock()
+		return
 	}
-}
-
-// deliverClaim signals a coalesced follower that its results are ready.
-// If its goroutine is gone, the dispatcher claims (and discards) on its
-// behalf so the trusted table entry is freed.
-func (pl *pipelineRuntime) deliverClaim(id uint64) {
-	pl.mu.Lock()
-	ch := pl.waiters[id]
-	if ch != nil {
-		delete(pl.waiters, id)
-		ch <- pendingOutcome{claim: true} // buffered; see deliver
+	if _, gone := pl.abandoned[id]; gone {
+		delete(pl.abandoned, id)
+		pl.mu.Unlock()
+		if out.claim {
+			pl.discardClaim(id)
+		}
+		return
 	}
+	pl.unclaimed[id] = out
 	pl.mu.Unlock()
-	if ch == nil {
-		pl.discardClaim(id)
-	}
 }
 
 // discardClaim redeems and drops an abandoned follower's results.
@@ -190,6 +206,13 @@ func (pl *pipelineRuntime) await(ctx context.Context, reply envelopeReply) (enve
 	id := reply.Pending
 	ch := make(chan pendingOutcome, 1)
 	pl.mu.Lock()
+	if out, ok := pl.unclaimed[id]; ok {
+		// The outcome beat us here (fetch completed before the stage-1
+		// ecall's caller reached await): consume the stash directly.
+		delete(pl.unclaimed, id)
+		pl.mu.Unlock()
+		return pl.consume(ctx, id, out)
+	}
 	pl.waiters[id] = ch
 	pl.mu.Unlock()
 
@@ -201,16 +224,7 @@ func (pl *pipelineRuntime) await(ctx context.Context, reply envelopeReply) (enve
 
 	select {
 	case out := <-ch:
-		if out.claim {
-			reply, err := pl.claim(ctx, id)
-			if err != nil && ctx.Err() != nil {
-				// The claim ecall died on the caller's cancelled context;
-				// free the trusted entry so it cannot leak.
-				pl.discardClaim(id)
-			}
-			return reply, err
-		}
-		return out.reply, out.err
+		return pl.consume(ctx, id, out)
 	case <-ctx.Done():
 		pl.abandon(id, ch)
 		return envelopeReply{}, fmt.Errorf("proxy: pipelined request: %w", ctx.Err())
@@ -220,19 +234,69 @@ func (pl *pipelineRuntime) await(ctx context.Context, reply envelopeReply) (enve
 	}
 }
 
+// consume turns a delivered outcome into the caller's reply, redeeming a
+// follower claim via the claim ecall.
+func (pl *pipelineRuntime) consume(ctx context.Context, id uint64, out pendingOutcome) (envelopeReply, error) {
+	if out.claim {
+		reply, err := pl.claim(ctx, id)
+		if err != nil && ctx.Err() != nil {
+			// The claim ecall died on the caller's cancelled context;
+			// free the trusted entry so it cannot leak.
+			pl.discardClaim(id)
+		}
+		return reply, err
+	}
+	return out.reply, out.err
+}
+
 // abandon unregisters a parked request whose caller gave up, consuming an
 // outcome that raced in so a ready follower entry is still redeemed (and
-// dropped) inside the enclave.
+// dropped) inside the enclave. When no outcome raced in, the id is marked
+// abandoned so the eventual delivery is dropped rather than stashed, and
+// the enclave is told: a lone leader's in-flight fetches are cancelled
+// and its trusted entries freed — otherwise client-timeout storms against
+// an unresponsive upstream would accumulate fetches past the
+// PipelineDepth×(1+HedgeMax) bound the async sizing relies on.
 func (pl *pipelineRuntime) abandon(id uint64, ch chan pendingOutcome) {
 	pl.mu.Lock()
 	delete(pl.waiters, id)
-	pl.mu.Unlock()
 	select {
 	case out := <-ch:
+		pl.mu.Unlock()
 		if out.claim {
 			pl.discardClaim(id)
 		}
+		return
 	default:
+		pl.abandoned[id] = struct{}{}
+		pl.mu.Unlock()
+	}
+	if pl.p == nil {
+		return // dispatcher-only unit tests
+	}
+	arg, err := json.Marshal(abandonArg{PendingID: id})
+	if err != nil {
+		return
+	}
+	out, err := pl.p.encl.ECall(context.Background(), "abandon", arg)
+	if err != nil {
+		return // enclave destroyed mid-teardown; nothing left to cancel
+	}
+	var ar abandonReply
+	if err := json.Unmarshal(out, &ar); err != nil {
+		return
+	}
+	if ar.Freed {
+		// The enclave released the entry while live: no resume will ever
+		// deliver this id, so the mark would otherwise linger forever.
+		pl.mu.Lock()
+		delete(pl.abandoned, id)
+		pl.mu.Unlock()
+	}
+	if f := pl.p.conns.fetch; f != nil {
+		for _, tok := range ar.CancelTokens {
+			f.cancelFetch(tok)
+		}
 	}
 }
 

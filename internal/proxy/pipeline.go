@@ -54,7 +54,6 @@ type pendingReq struct {
 	id      uint64
 	kind    string // typePlain or typeSecure
 	session string // typeSecure only
-	count   int
 	key     string
 	oq      core.ObfuscatedQuery
 	path    string
@@ -223,7 +222,6 @@ func (ts *trustedState) beginAsync(env enclave.Env, kind, session, query string,
 		id:      pt.nextID,
 		kind:    kind,
 		session: session,
-		count:   count,
 		key:     key,
 	}
 	coalesce := ts.flights != nil // same switch as the sync path
@@ -254,9 +252,6 @@ func (ts *trustedState) beginAsync(env enclave.Env, kind, session, query string,
 	}
 	att := pt.reserveAttempt(p, u, false)
 	pt.byID[p.id] = p
-	if coalesce {
-		pt.byKey[key] = p
-	}
 	pt.mu.Unlock()
 	if coalesce {
 		ts.coalesce.Miss()
@@ -266,11 +261,23 @@ func (ts *trustedState) beginAsync(env enclave.Env, kind, session, query string,
 		pt.mu.Lock()
 		p.done = true
 		delete(pt.byID, p.id)
-		if coalesce && pt.byKey[key] == p {
-			delete(pt.byKey, key)
-		}
 		pt.mu.Unlock()
 		return ts.stageError(kind, session, err.Error())
+	}
+	if coalesce {
+		// Publish the coalescing key only once the fetch is airborne: a
+		// leader published before its submission could collect followers
+		// in the failure window, and the cleanup above has no way to
+		// ready them (follower wake-ups ride the resume ecall's reply,
+		// which a failed submission never produces). A completion that
+		// already finalized the request must not resurrect the key, and
+		// a concurrent leader that published first keeps the key while
+		// it lives (displacing it would strand its coalescing window).
+		pt.mu.Lock()
+		if existing, ok := pt.byKey[key]; !p.done && (!ok || existing.done) {
+			pt.byKey[key] = p
+		}
+		pt.mu.Unlock()
 	}
 	return json.Marshal(envelopeReply{
 		Pending:  p.id,
@@ -311,9 +318,29 @@ func (ts *trustedState) handleResume(env enclave.Env, arg []byte) ([]byte, error
 	att.done = true
 	p := att.p
 	if fr.Cancelled {
+		if !p.done && outstanding(p) == 0 {
+			// Not a hedge loser: the runtime cancelled the last live
+			// attempt of an unfinished request (closeAll during
+			// shutdown/crash racing live traffic). Fail over like a
+			// failure — but without breaker accounting, since the
+			// upstream never misbehaved — so the parked waiter gets a
+			// final reply instead of hanging until the drain deadline.
+			if p.lastErr == "" {
+				p.lastErr = fmt.Sprintf("proxy: engine %s: fetch cancelled", att.u.host)
+			}
+			out, err := ts.failOverLocked(env, pt, p)
+			att.u.reportCancelled()
+			return out, err
+		}
+		wasDone := p.done
 		pt.mu.Unlock()
 		att.u.reportCancelled()
-		ts.hedgeCancelled.Add(1)
+		if wasDone {
+			// Only a loser cancelled after the winner landed is a hedge
+			// cancellation; shutdown cancelling attempts of a still-live
+			// request (outstanding > 0) is not.
+			ts.hedgeCancelled.Add(1)
+		}
 		return orphanReply()
 	}
 	if p.done {
@@ -335,24 +362,9 @@ func (ts *trustedState) handleResume(env enclave.Env, arg []byte) ([]byte, error
 		}
 		// Last attempt standing failed: fail over immediately, like the
 		// sync loop walking to the next upstream.
-		next := ts.nextCandidate(p)
-		if next == nil {
-			raw := ts.finalizeLocked(pt, p, nil, p.lastErr, nil)
-			pt.mu.Unlock()
-			att.u.reportFailure(time.Now(), ts.registry.threshold, ts.registry.cooldown)
-			return raw, nil
-		}
-		att2 := pt.reserveAttempt(p, next, false)
-		pt.mu.Unlock()
+		out, err := ts.failOverLocked(env, pt, p)
 		att.u.reportFailure(time.Now(), ts.registry.threshold, ts.registry.cooldown)
-		if err := ts.submitFetch(env, p, att2); err != nil {
-			pt.unreserve(att2)
-			pt.mu.Lock()
-			raw := ts.finalizeLocked(pt, p, nil, err.Error(), nil)
-			pt.mu.Unlock()
-			return raw, nil
-		}
-		return pendingReply(p.id)
+		return out, err
 	}
 
 	// The attempt reached the engine. Claim the win under the lock so a
@@ -398,6 +410,30 @@ func (ts *trustedState) handleResume(env enclave.Env, arg []byte) ([]byte, error
 	raw := ts.finalizeLocked(pt, p, results, errstr, cancelToks)
 	pt.mu.Unlock()
 	return raw, nil
+}
+
+// failOverLocked advances a live request whose last outstanding attempt
+// just died: issue a fetch to the next candidate upstream, or — none left
+// — finalize with the request's last error. Called with the table lock
+// held; the lock is released before returning (submitFetch must not run
+// under it).
+func (ts *trustedState) failOverLocked(env enclave.Env, pt *pendingTable, p *pendingReq) ([]byte, error) {
+	next := ts.nextCandidate(p)
+	if next == nil {
+		raw := ts.finalizeLocked(pt, p, nil, p.lastErr, nil)
+		pt.mu.Unlock()
+		return raw, nil
+	}
+	att := pt.reserveAttempt(p, next, false)
+	pt.mu.Unlock()
+	if err := ts.submitFetch(env, p, att); err != nil {
+		pt.unreserve(att)
+		pt.mu.Lock()
+		raw := ts.finalizeLocked(pt, p, nil, err.Error(), nil)
+		pt.mu.Unlock()
+		return raw, nil
+	}
+	return pendingReply(p.id)
 }
 
 // fetchFailure classifies a completion as an upstream failure ("" means
@@ -523,6 +559,76 @@ func (ts *trustedState) handleHedge(env enclave.Env, arg []byte) ([]byte, error)
 		return json.Marshal(hedgeReply{})
 	}
 	return json.Marshal(hedgeReply{Hedged: true, Upstream: u.host, CanHedge: more})
+}
+
+// handleAbandon is the "abandon" ecall: a parked request's caller gave up
+// (context cancelled), so its trusted state must not outlive it. A lone
+// leader's outstanding fetches are cancelled and its table entries freed —
+// without this, client-timeout storms against a hanging upstream
+// accumulate in-flight fetches past the PipelineDepth×(1+HedgeMax) bound
+// the async sizing relies on, and pendingTable grows without bound. A
+// leader with coalesced followers keeps its flight alive (the followers
+// still want the results; only the abandoned caller's reply is dropped),
+// and an abandoning follower is unhooked from its leader.
+func (ts *trustedState) handleAbandon(_ enclave.Env, arg []byte) ([]byte, error) {
+	var aa abandonArg
+	if err := json.Unmarshal(arg, &aa); err != nil {
+		return nil, fmt.Errorf("proxy: bad abandon arg: %w", err)
+	}
+	pt := ts.pending
+	pt.mu.Lock()
+	p, ok := pt.byID[aa.PendingID]
+	if !ok {
+		pt.mu.Unlock()
+		return json.Marshal(abandonReply{})
+	}
+	delete(pt.byID, p.id)
+	if p.leader != nil || p.done {
+		// Follower (parked or ready-unclaimed): drop it from its leader's
+		// waiter list so finalize doesn't signal a ghost; ready results
+		// are simply released with the entry. Unhooking a still-parked
+		// follower frees it for good (finalize will never signal it); a
+		// ready one may still have its claim signal in flight.
+		freed := false
+		if l := p.leader; l != nil && !l.done {
+			for i, w := range l.waiters {
+				if w == p {
+					l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+					freed = true
+					break
+				}
+			}
+		}
+		pt.mu.Unlock()
+		return json.Marshal(abandonReply{Freed: freed})
+	}
+	if len(p.waiters) > 0 {
+		// Followers ride this flight: it must finish for them. Re-index
+		// the leader so finalize/claim still find it; only the abandoned
+		// caller's own delivery is dropped (runtime-side abandoned mark).
+		pt.byID[p.id] = p
+		pt.mu.Unlock()
+		return json.Marshal(abandonReply{})
+	}
+	p.done = true
+	var toks []uint64
+	var cancelled []*upstream
+	for _, a := range p.attempts {
+		if !a.done {
+			a.done = true
+			delete(pt.byToken, a.token)
+			toks = append(toks, a.token)
+			cancelled = append(cancelled, a.u)
+		}
+	}
+	if pt.byKey[p.key] == p {
+		delete(pt.byKey, p.key)
+	}
+	pt.mu.Unlock()
+	for _, u := range cancelled {
+		u.reportCancelled()
+	}
+	return json.Marshal(abandonReply{Freed: true, CancelTokens: toks})
 }
 
 // handleClaim is the "claim" ecall: a coalesced follower (or the runtime

@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"xsearch/internal/enclave"
 	"xsearch/internal/searchengine"
 )
 
@@ -281,6 +283,76 @@ func TestPipelineConfigValidation(t *testing.T) {
 	}); err == nil {
 		t.Error("negative HedgeMax accepted")
 	}
+	if _, err := New(Config{
+		K:           1,
+		Engines:     []EngineSpec{{Host: "127.0.0.1:1"}},
+		AsyncOcalls: true,
+		HedgeMax:    1,
+		HedgeDelay:  -5 * time.Millisecond,
+	}); err == nil || !strings.Contains(err.Error(), "HedgeDelay") {
+		t.Errorf("negative HedgeDelay: err = %v, want rejection", err)
+	}
+	// Explicit async workers/rings below the pipeline's needs would allow
+	// stage-1 ecalls to block on a full submission ring while holding
+	// every TCS (deadlock): rejected, not silently accepted.
+	if _, err := New(Config{
+		K:             1,
+		Engines:       []EngineSpec{{Host: "127.0.0.1:1"}},
+		AsyncOcalls:   true,
+		PipelineDepth: 8,
+		EnclaveConfig: enclave.Config{AsyncWorkers: 2},
+	}); err == nil || !strings.Contains(err.Error(), "AsyncWorkers") {
+		t.Errorf("undersized AsyncWorkers: err = %v, want rejection", err)
+	}
+	if _, err := New(Config{
+		K:             1,
+		Engines:       []EngineSpec{{Host: "127.0.0.1:1"}},
+		AsyncOcalls:   true,
+		PipelineDepth: 8,
+		EnclaveConfig: enclave.Config{AsyncWorkers: 8, AsyncRingDepth: 4},
+	}); err == nil || !strings.Contains(err.Error(), "AsyncRingDepth") {
+		t.Errorf("undersized AsyncRingDepth: err = %v, want rejection", err)
+	}
+}
+
+// A cancelled completion for a request that is NOT done (closeAll marking
+// in-flight ops cancelled while resume workers still run — Shutdown's
+// drain deadline expiring on stragglers) must finalize the request, not
+// orphan it: the parked waiter gets a definitive reply instead of hanging.
+func TestCancelledCompletionFinalizesLiveRequest(t *testing.T) {
+	_, srv := newDelayEngine(t, 500*time.Millisecond)
+	p, err := New(Config{
+		K:           1,
+		Seed:        1,
+		Engines:     []EngineSpec{{Host: srv.Addr()}},
+		AsyncOcalls: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Crash()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.ServeQuery(context.Background(), "straggler query")
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // park the request mid-fetch
+	p.conns.closeAll()                // cancels the in-flight op; workers still run
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "cancelled") {
+			t.Errorf("straggler err = %v, want a cancellation failure", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled live request never finalized: waiter orphaned")
+	}
+	// A cancellation is not the upstream's fault: breaker untouched.
+	for _, u := range p.Stats().Upstreams {
+		if u.Failures != 0 {
+			t.Errorf("upstream %s failures = %d, want 0 after cancellation", u.Host, u.Failures)
+		}
+	}
 }
 
 // Graceful drain: requests admitted before Shutdown finish their staged
@@ -378,6 +450,213 @@ func TestPipelineSessionChurnRace(t *testing.T) {
 	}
 	wg.Wait()
 	assertEPCInvariant(t, p)
+}
+
+// A completion can land before the request goroutine reaches await() —
+// the fetch is submitted inside the stage-1 ecall, so an immediate dial
+// failure wins that race. The outcome must be stashed for await to
+// consume, not dropped: dropping parks the request forever and leaks its
+// admission slot.
+func TestDeliverBeforeAwaitIsStashed(t *testing.T) {
+	pl := newPipelineRuntime(nil, 1)
+	pl.deliver(7, pendingOutcome{err: fmt.Errorf("fast dial failure")})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := pl.await(ctx, envelopeReply{Pending: 7}); err == nil ||
+		!strings.Contains(err.Error(), "fast dial failure") {
+		t.Fatalf("await after early delivery: err = %v, want the stashed outcome", err)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("await blocked on an already-delivered outcome")
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if len(pl.unclaimed) != 0 || len(pl.waiters) != 0 {
+		t.Errorf("stash/waiters not empty after consume: %d/%d", len(pl.unclaimed), len(pl.waiters))
+	}
+}
+
+// The converse: an outcome for a request whose caller genuinely gave up
+// (context cancelled while parked) is dropped, not stashed forever.
+func TestAbandonedOutcomeDroppedNotStashed(t *testing.T) {
+	pl := newPipelineRuntime(nil, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := pl.await(ctx, envelopeReply{Pending: 9})
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		pl.mu.Lock()
+		_, registered := pl.waiters[9]
+		pl.mu.Unlock()
+		if registered {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("await never registered its waiter")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("await returned nil after cancellation")
+	}
+	pl.deliver(9, pendingOutcome{err: fmt.Errorf("late outcome")})
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if len(pl.unclaimed) != 0 || len(pl.abandoned) != 0 || len(pl.waiters) != 0 {
+		t.Errorf("late outcome leaked state: unclaimed=%d abandoned=%d waiters=%d",
+			len(pl.unclaimed), len(pl.abandoned), len(pl.waiters))
+	}
+}
+
+// End-to-end regression for the stash race: a dead upstream makes every
+// fetch complete in microseconds (dial refused), reliably beating the
+// requester to await. With outcomes dropped instead of stashed, each
+// request leaked an admission slot and the pipeline deadlocked after
+// PipelineDepth requests.
+func TestPipelineFastFailureNoAdmissionLeak(t *testing.T) {
+	dead := reservePort(t)
+	p, err := New(Config{
+		K:             1,
+		Seed:          1,
+		Engines:       []EngineSpec{{Host: dead}},
+		AsyncOcalls:   true,
+		PipelineDepth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Crash()
+
+	for i := 0; i < 12; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, err := p.ServeQuery(ctx, fmt.Sprintf("doomed fast-fail %d", i))
+		timedOut := ctx.Err() != nil
+		cancel()
+		if err == nil {
+			t.Fatalf("request %d succeeded against a dead upstream", i)
+		}
+		if timedOut {
+			t.Fatalf("request %d hung (%v): outcome dropped, admission slot leaked", i, err)
+		}
+	}
+	if n := p.pipeline.inFlight(); n != 0 {
+		t.Errorf("inFlight = %d after every request returned", n)
+	}
+	assertEPCInvariant(t, p)
+}
+
+// Shutdown past its drain deadline: the straggler is cancelled and then
+// FINALIZED — Shutdown's grace re-drain lets the cancelled completion
+// traverse the rings — so the caller gets the definitive cancellation
+// reply, not the generic pipeline-stopped error.
+func TestShutdownStragglerGetsCancelledReply(t *testing.T) {
+	_, srv := newDelayEngine(t, 5*time.Second)
+	p, err := New(Config{
+		K:           1,
+		Seed:        1,
+		Engines:     []EngineSpec{{Host: srv.Addr()}},
+		AsyncOcalls: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.ServeQuery(context.Background(), "shutdown straggler")
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // park the request mid-fetch
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); err == nil {
+		t.Error("shutdown reported success with a straggler past the drain deadline")
+	}
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "cancelled") {
+			t.Errorf("straggler err = %v, want the finalized cancellation reply", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("straggler never released by shutdown")
+	}
+}
+
+// A drain deadline expiring on a straggler must not cost the operator the
+// persisted history: the snapshot ecall runs on its own context, not the
+// caller's already-expired one.
+func TestShutdownPersistsStateDespiteExpiredDrain(t *testing.T) {
+	_, srv := newDelayEngine(t, 5*time.Second)
+	statePath := t.TempDir() + "/state.sealed"
+	p, err := New(Config{
+		K:           1,
+		Seed:        1,
+		Engines:     []EngineSpec{{Host: srv.Addr()}},
+		AsyncOcalls: true,
+		StatePath:   statePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.ServeQuery(context.Background(), "persist straggler")
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := p.Shutdown(ctx); err == nil {
+		t.Error("shutdown reported success past its drain deadline")
+	}
+	<-done
+	if fi, err := os.Stat(statePath); err != nil || fi.Size() == 0 {
+		t.Errorf("sealed state not persisted past the drain deadline: %v", err)
+	}
+}
+
+// Abandoning a lone leader (caller ctx expires while parked) must free
+// its trusted state and cancel its fetch: a later identical query then
+// leads a fresh flight instead of coalescing onto a dead leader that will
+// never finalize, and in-flight fetches stay bounded under client-timeout
+// churn.
+func TestAbandonCancelsLoneLeader(t *testing.T) {
+	_, srv := newDelayEngine(t, 300*time.Millisecond)
+	p, err := New(Config{
+		K:           1,
+		Seed:        1,
+		Engines:     []EngineSpec{{Host: srv.Addr()}},
+		AsyncOcalls: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Crash()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	_, err = p.ServeQuery(ctx, "abandoned flight")
+	cancel()
+	if err == nil {
+		t.Fatal("query succeeded before the engine could have replied")
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if _, err := p.ServeQuery(ctx2, "abandoned flight"); err != nil {
+		t.Fatalf("retry after abandon: %v (coalesced onto a dead leader?)", err)
+	}
+	// Nothing parked once both calls returned; stash bookkeeping clean.
+	pl := p.pipeline
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if len(pl.waiters) != 0 || len(pl.unclaimed) != 0 || len(pl.abandoned) != 0 {
+		t.Errorf("dispatcher state leaked: waiters=%d unclaimed=%d abandoned=%d",
+			len(pl.waiters), len(pl.unclaimed), len(pl.abandoned))
+	}
 }
 
 // The p95-derived hedge delay: configured delay wins, a cold upstream gets

@@ -212,6 +212,9 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.HedgeMax < 0 {
 		return nil, fmt.Errorf("proxy: negative HedgeMax")
 	}
+	if cfg.HedgeDelay < 0 {
+		return nil, fmt.Errorf("proxy: negative HedgeDelay (use 0 for the p95-derived delay)")
+	}
 	if cfg.HedgeMax > 0 && !cfg.AsyncOcalls {
 		return nil, fmt.Errorf("proxy: hedging requires the async ocall pipeline (AsyncOcalls)")
 	}
@@ -224,14 +227,25 @@ func New(cfg Config) (*Proxy, error) {
 				return nil, fmt.Errorf("proxy: async ocall pipeline does not support in-enclave TLS to %s (drop AsyncOcalls or the engine's RootsPEM)", e.Host)
 			}
 		}
+		// One worker per possible concurrent fetch (each staged request
+		// can have its primary plus HedgeMax hedges in flight at once) so
+		// a full pipeline never queues behind a busy worker. Explicit
+		// undersized values are rejected rather than accepted: with fewer
+		// workers (and thus shallower rings) than outstanding fetches,
+		// stage-1 ecalls can block in OCallAsync on a full submission
+		// ring while holding every TCS, starving the resume workers that
+		// drain the completion ring the async workers are blocked pushing
+		// to — a four-way deadlock Shutdown cannot break.
+		workersNeed := cfg.PipelineDepth * (1 + cfg.HedgeMax)
 		if cfg.EnclaveConfig.AsyncWorkers == 0 {
-			// One worker per staged request so a full pipeline never
-			// queues behind a busy worker; hedging doubles the potential
-			// concurrent fetches.
-			cfg.EnclaveConfig.AsyncWorkers = cfg.PipelineDepth
-			if cfg.HedgeMax > 0 {
-				cfg.EnclaveConfig.AsyncWorkers *= 2
-			}
+			cfg.EnclaveConfig.AsyncWorkers = workersNeed
+		} else if cfg.EnclaveConfig.AsyncWorkers < workersNeed {
+			return nil, fmt.Errorf("proxy: EnclaveConfig.AsyncWorkers %d below the pipeline's requirement %d (PipelineDepth%s): undersized rings can deadlock the pipeline — raise AsyncWorkers or lower PipelineDepth",
+				cfg.EnclaveConfig.AsyncWorkers, workersNeed, hedgeFactorNote(cfg.HedgeMax))
+		}
+		if d := cfg.EnclaveConfig.AsyncRingDepth; d != 0 && d < workersNeed {
+			return nil, fmt.Errorf("proxy: EnclaveConfig.AsyncRingDepth %d below the pipeline's requirement %d (PipelineDepth%s): undersized rings can deadlock the pipeline — raise AsyncRingDepth or lower PipelineDepth",
+				d, workersNeed, hedgeFactorNote(cfg.HedgeMax))
 		}
 	}
 	platform := cfg.Platform
@@ -294,7 +308,7 @@ func New(cfg Config) (*Proxy, error) {
 	for i, e := range engines {
 		engineIdent[i] = fmt.Sprintf("%s*%d", e.Host, e.Weight)
 	}
-	ident := fmt.Sprintf("xsearch-proxy v1.4 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s coalesce=%t breaker=%d/%s rate=%g/%d async=%t/%d hedge=%s/%d",
+	ident := fmt.Sprintf("xsearch-proxy v1.5 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s coalesce=%t breaker=%d/%s rate=%g/%d async=%t/%d hedge=%s/%d",
 		cfg.K, cfg.HistoryCapacity, strings.Join(engineIdent, " "), cfg.EchoMode,
 		cfg.PoolSize, cfg.CacheBytes, cfg.CacheTTL,
 		!cfg.DisableCoalescing, cfg.UpstreamFailThreshold, cfg.UpstreamCooldown,
@@ -347,6 +361,9 @@ func New(cfg Config) (*Proxy, error) {
 			return nil, err
 		}
 		if err := builder.RegisterECall("claim", trusted.handleClaim); err != nil {
+			return nil, err
+		}
+		if err := builder.RegisterECall("abandon", trusted.handleAbandon); err != nil {
 			return nil, err
 		}
 	}
@@ -467,7 +484,28 @@ const (
 	// few observed fetches for a p95-derived delay (Config.HedgeDelay
 	// zero).
 	DefaultHedgeDelay = 10 * time.Millisecond
+	// snapshotTimeout bounds Shutdown's sealed-history snapshot ecall,
+	// which runs on its own context so a drain deadline that expired on
+	// stragglers cannot skip state persistence.
+	snapshotTimeout = 5 * time.Second
+	// stragglerGrace bounds how long Shutdown waits, after cancelling
+	// in-flight fetches, for the cancelled completions to finalize
+	// requests that outlived the drain deadline. It deliberately runs
+	// AFTER the caller's ctx expired (that is the only way stragglers
+	// exist), so it is kept small: completions traverse the rings in
+	// milliseconds once their sockets close. Free when the drain
+	// succeeded (nothing in flight).
+	stragglerGrace = 250 * time.Millisecond
 )
+
+// hedgeFactorNote annotates the async-sizing errors with why the
+// requirement grew beyond PipelineDepth.
+func hedgeFactorNote(hedgeMax int) string {
+	if hedgeMax > 0 {
+		return fmt.Sprintf(" ×%d with hedging", 1+hedgeMax)
+	}
+	return ""
+}
 
 // Measurement returns the enclave's MRENCLAVE, which clients pin.
 func (p *Proxy) Measurement() enclave.Measurement { return p.encl.Measurement() }
@@ -500,6 +538,9 @@ func (p *Proxy) URL() string { return "http://" + p.Addr() }
 // Shutdown stops the HTTP front, drains in-flight pipeline requests (each
 // already-admitted request finishes its staged fetch, bounded by ctx),
 // persists the sealed history when configured, and destroys the enclave.
+// When the drain deadline expires with requests still in flight, Shutdown
+// may overrun ctx by up to stragglerGrace while the cancelled stragglers
+// finalize.
 func (p *Proxy) Shutdown(ctx context.Context) error {
 	var err error
 	if p.http != nil {
@@ -509,10 +550,28 @@ func (p *Proxy) Shutdown(ctx context.Context) error {
 		if derr := p.pipeline.drain(ctx); derr != nil && err == nil {
 			err = derr
 		}
+		// Cancel in-flight fetches BEFORE stopping the resume workers:
+		// stragglers past the drain deadline then flow through the resume
+		// ecall's cancelled-completion path and finalize with a definitive
+		// reply (the closed fetcher cancels their failovers too) instead
+		// of parking until the stop signal. The bounded re-drain gives
+		// those cancelled completions time to traverse the rings — without
+		// it, close(stop) races the completion and the straggler usually
+		// gets the generic stop error instead.
+		p.conns.closeAll()
+		grace, cancel := context.WithTimeout(context.Background(), stragglerGrace)
+		_ = p.pipeline.drain(grace)
+		cancel()
 		p.pipeline.stopDispatch()
 	}
 	if p.cfg.StatePath != "" {
-		blob, serr := p.encl.ECall(ctx, "snapshot", nil)
+		// On its own context: the caller's ctx is already expired whenever
+		// the drain hit its deadline, and an expired ctx would skip the
+		// snapshot ecall — silently losing the history the operator asked
+		// to persist precisely on shutdowns under load.
+		snapCtx, cancel := context.WithTimeout(context.Background(), snapshotTimeout)
+		blob, serr := p.encl.ECall(snapCtx, "snapshot", nil)
+		cancel()
 		if serr == nil {
 			serr = os.WriteFile(p.cfg.StatePath, blob, 0o600)
 		}

@@ -332,7 +332,14 @@ func (f *fetcher) do(fa *fetchArg) fetchReply {
 	}()
 
 	for attempt := 0; ; attempt++ {
-		conn, reused := f.checkout(fa.Host)
+		// Retries force a fresh dial, as the sync path does: a second
+		// pooled conn from the same restarted engine would be just as
+		// stale and burn the only retry.
+		var conn net.Conn
+		var reused bool
+		if attempt == 0 {
+			conn, reused = f.checkout(fa.Host)
+		}
 		if conn == nil {
 			if f.ct.link != nil {
 				f.ct.link.Wait()

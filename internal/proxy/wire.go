@@ -133,6 +133,22 @@ type claimArg struct {
 	PendingID uint64 `json:"pending_id"`
 }
 
+// abandonArg tells the enclave a parked request's caller gave up.
+type abandonArg struct {
+	PendingID uint64 `json:"pending_id"`
+}
+
+// abandonReply lists the abandoned request's in-flight fetches for the
+// runtime to abort. Freed reports that the trusted entry was released
+// while still live — no future resume will reference the id, so the
+// runtime may drop its abandoned mark immediately. CancelTokens is empty
+// when the flight must continue (coalesced followers still ride it) or
+// the request already finalized.
+type abandonReply struct {
+	Freed        bool     `json:"freed,omitempty"`
+	CancelTokens []uint64 `json:"cancel_tokens,omitempty"`
+}
+
 // secureRequest is the plaintext the client seals into a record.
 type secureRequest struct {
 	Query string `json:"query"`
