@@ -24,7 +24,7 @@ func main() {
 
 func run() error {
 	var (
-		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline", "comma-separated figures to run")
+		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline,autoscale", "comma-separated figures to run")
 		quick    = flag.Bool("quick", false, "scaled-down sizes (CI-friendly)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		useHTTP  = flag.Bool("http", false, "Figure 5 over real loopback HTTP (bare-metal runs)")
@@ -102,7 +102,7 @@ func run() error {
 		if raw, err := os.ReadFile(*baseline); err == nil {
 			_ = json.Unmarshal(raw, base)
 		}
-		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline -baseline"
+		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline,autoscale -baseline"
 	}
 	if want["scaling"] {
 		if err := runScaling(*quick, *seed, base); err != nil {
@@ -121,6 +121,11 @@ func run() error {
 	}
 	if want["pipeline"] {
 		if err := runPipelineFig(*quick, *seed, base); err != nil {
+			return err
+		}
+	}
+	if want["autoscale"] {
+		if err := runAutoscaleFig(*quick, *seed, base); err != nil {
 			return err
 		}
 	}
@@ -348,6 +353,20 @@ type scalingBaseline struct {
 	HedgeP99Cut         float64 `json:"hedge_p99_cut"`
 	HedgeWins           uint64  `json:"hedge_wins"`
 	PipelineInvariantOK bool    `json:"pipeline_epc_invariant_ok"`
+	// Autoscale ablation: the load ramp's shard trajectory, elastic peak
+	// throughput against the statically provisioned max-size line, requests
+	// lost across scale events (must be zero), scale-event counts, and the
+	// EPC invariant on both sides of every sealed scale-down handoff.
+	AutoscalePeakShards  int     `json:"autoscale_peak_shards"`
+	AutoscaleFinalShards int     `json:"autoscale_final_shards"`
+	AutoscaleRampMs      int64   `json:"autoscale_ramp_ms"`
+	AutoscaleElasticRPS  float64 `json:"autoscale_elastic_peak_rps"`
+	AutoscaleStaticRPS   float64 `json:"autoscale_static_peak_rps"`
+	AutoscalePeakRatio   float64 `json:"autoscale_peak_ratio"`
+	AutoscaleLost        int64   `json:"autoscale_lost"`
+	AutoscaleScaleUps    uint64  `json:"autoscale_scale_ups"`
+	AutoscaleScaleDowns  uint64  `json:"autoscale_scale_downs"`
+	AutoscaleInvariantOK bool    `json:"autoscale_epc_invariant_ok"`
 }
 
 func runScaling(quick bool, seed uint64, base *scalingBaseline) error {
@@ -525,6 +544,43 @@ func runPipelineFig(quick bool, seed uint64, base *scalingBaseline) error {
 		base.HedgeP99Cut = res.P99Cut
 		base.HedgeWins = res.HedgeWins
 		base.PipelineInvariantOK = res.InvariantOK
+	}
+	return nil
+}
+
+func runAutoscaleFig(quick bool, seed uint64, base *scalingBaseline) error {
+	cfg := experiments.DefaultAutoscaleConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.PeakWindow = 500 * time.Millisecond
+	}
+	res, err := experiments.RunAutoscale(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Autoscale ablation: load ramp %d→%d→%d shards (%d workers at peak,\n",
+		cfg.MinShards, cfg.MaxShards, cfg.MinShards, cfg.Workers)
+	fmt.Printf("# %v engine service, depth %d + %d TCS per shard, %v cooldown)\n",
+		cfg.EngineService, cfg.PipelineDepth, cfg.TCSPerShard, cfg.ScaleCooldown)
+	fmt.Printf("%-22s  %-10s  %-10s  %-8s\n", "fleet", "req/s", "shards", "lost")
+	fmt.Printf("%-22s  %-10.0f  %-10d  %-8s\n", "static (provisioned)", res.StaticPeakRPS, cfg.MaxShards, "0")
+	fmt.Printf("%-22s  %-10.0f  %-10d  %-8d\n", "elastic (autoscaled)", res.ElasticPeakRPS, res.PeakShards, res.Lost)
+	fmt.Printf("# ramp 1→%d took %v (%d scale-ups); load off → back to %d shard(s) (%d scale-downs)\n",
+		res.PeakShards, res.RampTime.Round(time.Millisecond), res.ScaleUps, res.FinalShards, res.ScaleDowns)
+	fmt.Printf("# elastic peak holds %.0f%% of the static line; %d/%d requests lost;\n",
+		res.PeakRatio*100, res.Lost, res.Issued)
+	fmt.Printf("# EPC invariant on both sides of every handoff: %t\n\n", res.InvariantOK)
+	if base != nil {
+		base.AutoscalePeakShards = res.PeakShards
+		base.AutoscaleFinalShards = res.FinalShards
+		base.AutoscaleRampMs = res.RampTime.Milliseconds()
+		base.AutoscaleElasticRPS = res.ElasticPeakRPS
+		base.AutoscaleStaticRPS = res.StaticPeakRPS
+		base.AutoscalePeakRatio = res.PeakRatio
+		base.AutoscaleLost = res.Lost
+		base.AutoscaleScaleUps = res.ScaleUps
+		base.AutoscaleScaleDowns = res.ScaleDowns
+		base.AutoscaleInvariantOK = res.InvariantOK
 	}
 	return nil
 }

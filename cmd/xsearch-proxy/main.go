@@ -67,13 +67,17 @@ func run() error {
 		breakFails  = flag.Int("breaker-failures", 0, "consecutive failures that open an upstream's circuit breaker (0=default 3)")
 		breakerCool = flag.Duration("breaker-cooldown", 0, "how long an open breaker excludes its upstream (0=default 1s)")
 		noCoalesce  = flag.Bool("no-coalesce", false, "disable single-flight coalescing of concurrent identical queries")
-		shards      = flag.Int("shards", 1, "proxy-enclave shards behind a session-routing gateway (1=single node)")
+		shards      = flag.Int("shards", 1, "proxy-enclave shards behind a session-routing gateway (1=single node; the initial size when autoscaling)")
+		shardsMin   = flag.Int("shards-min", 0, "autoscaler floor: never retire below this many shards (needs -shards-max)")
+		shardsMax   = flag.Int("shards-max", 0, "autoscaler ceiling: enables gateway shard autoscaling between -shards-min and this")
+		scaleEvery  = flag.Duration("scale-interval", 0, "autoscaler load-sampling period (0=default 250ms; needs -shards-max)")
 		upstreamRPS = flag.Float64("upstream-rps", 0, "per-upstream token-bucket rate limit in req/s (0=unlimited)")
 		upstreamBst = flag.Int("upstream-burst", 0, "per-upstream token-bucket burst depth (0=ceil(rps))")
 		asyncOcalls = flag.Bool("async", false, "async ocall pipeline: switchless engine fetches, TCS released during the round trip")
 		pipeDepth   = flag.Int("pipeline-depth", 0, "concurrently staged requests in the async pipeline (0=default 64)")
 		hedgeDelay  = flag.Duration("hedge-delay", 0, "hedge a pipelined fetch after this delay (0=p95-derived; needs -hedge-max)")
 		hedgeMax    = flag.Int("hedge-max", 0, "max hedge fetches per request (0=hedging off; needs -async)")
+		fetchWait   = flag.Duration("fetch-timeout", 0, "per-fetch read deadline in the async fetcher: a hung upstream fails (and counts against its breaker) after this (0=off; needs -async)")
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: drain in-flight requests this long before destroying enclaves")
 	)
 	flag.Parse()
@@ -106,11 +110,17 @@ func run() error {
 	if *pipeDepth != 0 && !*asyncOcalls {
 		return fmt.Errorf("-pipeline-depth has no effect without -async")
 	}
+	if *fetchWait != 0 && !*asyncOcalls {
+		return fmt.Errorf("-fetch-timeout applies to the async fetcher; it requires -async")
+	}
 	if *asyncOcalls {
 		opts = append(opts, xsearch.WithAsyncOcalls(*pipeDepth))
 	}
 	if *hedgeMax > 0 {
 		opts = append(opts, xsearch.WithHedging(*hedgeDelay, *hedgeMax))
+	}
+	if *fetchWait > 0 {
+		opts = append(opts, xsearch.WithFetchTimeout(*fetchWait))
 	}
 	switch {
 	case *echo:
@@ -123,8 +133,27 @@ func run() error {
 	default:
 		opts = append(opts, xsearch.WithEngines(engines...))
 	}
+	if (*shardsMin != 0 || *scaleEvery != 0) && *shardsMax == 0 {
+		return fmt.Errorf("-shards-min/-scale-interval have no effect without -shards-max")
+	}
+	if *shardsMax > 0 {
+		min := *shardsMin
+		if min < 1 {
+			min = 1
+		}
+		if *shardsMax < min {
+			return fmt.Errorf("-shards-max %d below -shards-min %d", *shardsMax, min)
+		}
+		return runFleet(fleetSpec{
+			shards:    *shards,
+			min:       min,
+			max:       *shardsMax,
+			interval:  *scaleEvery,
+			autoscale: true,
+		}, *addr, *k, *history, *drainWait, opts)
+	}
 	if *shards > 1 {
-		return runFleet(*shards, *addr, *k, *history, *drainWait, opts)
+		return runFleet(fleetSpec{shards: *shards}, *addr, *k, *history, *drainWait, opts)
 	}
 	proxy, err := xsearch.NewProxy(opts...)
 	if err != nil {
@@ -177,14 +206,27 @@ func run() error {
 	return nil
 }
 
+// fleetSpec is the gateway sizing parsed from the -shards* flags.
+type fleetSpec struct {
+	shards    int
+	min, max  int
+	interval  time.Duration
+	autoscale bool
+}
+
 // runFleet serves a sharded fleet behind the session-routing gateway: the
 // same HTTP surface as a single node, with every proxy option applied to
-// each shard.
-func runFleet(shards int, addr string, k, history int, drainWait time.Duration, opts []xsearch.ProxyOption) error {
-	f, err := xsearch.NewFleet(
-		xsearch.WithShardCount(shards),
+// each shard, optionally autoscaling between spec.min and spec.max.
+func runFleet(spec fleetSpec, addr string, k, history int, drainWait time.Duration, opts []xsearch.ProxyOption) error {
+	fopts := []xsearch.FleetOption{
+		xsearch.WithShardCount(spec.shards),
 		xsearch.WithShardConfig(opts...),
-	)
+	}
+	if spec.autoscale {
+		fopts = append(fopts, xsearch.WithAutoscale(spec.min, spec.max,
+			xsearch.AutoscalePolicy{Interval: spec.interval}))
+	}
+	f, err := xsearch.NewFleet(fopts...)
 	if err != nil {
 		return err
 	}
@@ -192,8 +234,13 @@ func runFleet(shards int, addr string, k, history int, drainWait time.Duration, 
 		return err
 	}
 	m := f.Measurement()
-	fmt.Printf("x-search fleet gateway listening on %s (%d shards, k=%d, history=%d per shard)\n",
-		f.Addr(), shards, k, history)
+	if spec.autoscale {
+		fmt.Printf("x-search fleet gateway listening on %s (%d shards, autoscaling %d..%d, k=%d, history=%d per shard)\n",
+			f.Addr(), f.ShardCount(), spec.min, spec.max, k, history)
+	} else {
+		fmt.Printf("x-search fleet gateway listening on %s (%d shards, k=%d, history=%d per shard)\n",
+			f.Addr(), spec.shards, k, history)
+	}
 	fmt.Printf("enclave measurement : %s (all shards)\n", hex.EncodeToString(m[:]))
 	fmt.Printf("attestation key     : %s\n", hex.EncodeToString(f.AttestationKey()))
 	fmt.Printf("plain front         : curl '%s/search?q=chicken+recipe'\n", f.URL())
@@ -213,6 +260,10 @@ func runFleet(shards int, addr string, k, history int, drainWait time.Duration, 
 	st := f.Stats()
 	fmt.Printf("gateway: %d plain, %d secure, %d handshakes, %d failovers, %d sessions lost, %d drains\n",
 		st.PlainRouted, st.SecureRouted, st.Handshakes, st.Failovers, st.SessionsLost, st.Drains)
+	if st.ScaleUps+st.ScaleDowns > 0 || spec.autoscale {
+		fmt.Printf("autoscale: %d shards now, %d scale-ups, %d scale-downs; last decision: %s\n",
+			st.CurrentShards, st.ScaleUps, st.ScaleDowns, st.LastScaleDecision)
+	}
 	if st.AsyncSubmitted > 0 {
 		fmt.Printf("pipeline: %d async fetches; hedges: %d issued, %d won, %d cancelled; worst shard p99 %v\n",
 			st.AsyncSubmitted, st.HedgeAttempts, st.HedgeWins, st.HedgeCancelled, st.LatencyP99Max)

@@ -85,6 +85,26 @@
 // scales near-linearly with shards while the per-shard EPC invariant
 // (heap == history + cache) keeps holding.
 //
+// Autoscaling (WithAutoscale) makes the ring elastic between a minimum
+// and maximum shard count: the gateway samples the load signals every
+// shard already exports — async-pipeline admission occupancy, the p95
+// request-latency tail, and EPC heap pressure — and scales up by spawning
+// a shard on its own simulated platform, re-keyed under the fleet sealing
+// root and inserted into the HRW ring (new sessions rebalance naturally;
+// existing sessions stay pinned), or scales down by draining the coldest
+// shard through the same sealed handoff before retiring its enclave.
+// A wide occupancy hysteresis band plus a cooldown between scale events
+// keeps the fleet from flapping, and a scale-down is refused when the
+// merged history would overflow a single shard's sliding window — the
+// k-anonymity floor: FIFO eviction would silently discard real past
+// queries, the pool Algorithm 1 draws fakes from. Fleet.Stats reports the
+// current ring size, scale-up/down counters, and the autoscaler's last
+// decision reason; the decision core itself is a pure function
+// (fleet.DecideScale), unit-tested without enclaves. The autoscale
+// ablation (-figs autoscale) drives a load ramp 1→4 shards and back,
+// holding every request across every spawn/drain/retire event while peak
+// throughput tracks a statically provisioned 4-shard fleet.
+//
 // # Pipeline layer
 //
 // The blocking hot path holds one enclave thread (TCS) for the full
@@ -115,7 +135,11 @@
 // latency to roughly hedge-delay plus the fast upstream's latency. The
 // pipeline requires plain-TCP upstreams (in-enclave TLS termination needs
 // the blocking path) and is part of the measured enclave identity: an
-// async build attests differently from a blocking one.
+// async build attests differently from a blocking one. WithFetchTimeout
+// adds a per-fetch read deadline in the untrusted fetcher: an upstream
+// that accepts the connection but never responds fails the fetch — and
+// counts against its breaker — instead of pinning an async worker until a
+// hedge winner, caller abandonment, or shutdown cancels it.
 //
 // Proxy.Stats reports the node gauges (per-upstream pool reuse, breaker
 // and rate-limit state in Stats.Upstreams — sorted by host for stable

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xsearch/internal/enclave"
+	"xsearch/internal/fleet"
+	"xsearch/internal/proxy"
+)
+
+// AutoscaleConfig sizes the elastic-fleet ablation: a load ramp against an
+// autoscaling fleet (min..max shards) versus the same peak load against a
+// statically provisioned max-size fleet. Each shard is concurrency-bound
+// the way the fleet ablation's are (few TCS, realistic engine latency) and
+// runs the async pipeline with a shallow depth, so admission occupancy —
+// the autoscaler's primary signal — saturates quickly under load. The
+// claims under test: the fleet grows 1→max under load and shrinks back to
+// min when it lifts, NO request is lost across any spawn/drain/retire
+// event, elastic peak throughput tracks the static max-size line, and the
+// per-shard EPC invariant (heap == history + cache) is green on both sides
+// of every sealed scale-down handoff.
+type AutoscaleConfig struct {
+	// MinShards..MaxShards is the elastic range (the ramp should traverse
+	// all of it, both directions).
+	MinShards int
+	MaxShards int
+	// Workers concurrent clients apply the peak load; LowWorkers the
+	// trickle that lets the fleet scale back down.
+	Workers    int
+	LowWorkers int
+	// EngineService is the engine's per-request service latency;
+	// TCSPerShard and PipelineDepth bound each shard (depth is what
+	// occupancy is measured against).
+	EngineService time.Duration
+	TCSPerShard   int
+	PipelineDepth int
+	// ScaleInterval/ScaleCooldown parameterize the autoscaler (aggressive
+	// for a bench run; production uses the defaults).
+	ScaleInterval time.Duration
+	ScaleCooldown time.Duration
+	// RampTimeout bounds how long the fleet gets to reach MaxShards under
+	// peak load; CoolTimeout how long to return to MinShards after it
+	// lifts. PeakWindow is the throughput measurement window at peak.
+	RampTimeout time.Duration
+	CoolTimeout time.Duration
+	PeakWindow  time.Duration
+	// DocsPerTopic sizes the engine corpus; Seed fixes randomness.
+	DocsPerTopic int
+	Seed         uint64
+}
+
+// DefaultAutoscaleConfig is the full-size ablation.
+func DefaultAutoscaleConfig() AutoscaleConfig {
+	return AutoscaleConfig{
+		MinShards:     1,
+		MaxShards:     4,
+		Workers:       16,
+		LowWorkers:    1,
+		EngineService: 3 * time.Millisecond,
+		TCSPerShard:   2,
+		PipelineDepth: 4,
+		ScaleInterval: 25 * time.Millisecond,
+		ScaleCooldown: 150 * time.Millisecond,
+		RampTimeout:   10 * time.Second,
+		CoolTimeout:   10 * time.Second,
+		PeakWindow:    time.Second,
+		DocsPerTopic:  20,
+		Seed:          1,
+	}
+}
+
+// AutoscaleResult carries the ablation's measurements.
+type AutoscaleResult struct {
+	// The ramp: shards reached at peak, time from peak-load onset to the
+	// last scale-up, and shards after the load lifted.
+	PeakShards  int
+	RampTime    time.Duration
+	FinalShards int
+	// Peak throughput: the elastic fleet at max size versus the statically
+	// provisioned max-size fleet, and their ratio (1.0 = elastic capacity
+	// costs nothing once scaled).
+	ElasticPeakRPS float64
+	StaticPeakRPS  float64
+	PeakRatio      float64
+	// Issued/Lost count every request across every phase; Lost must be
+	// zero — scale events may slow a request, never drop it.
+	Issued int64
+	Lost   int64
+	// Scale-event accounting from the gateway.
+	ScaleUps   uint64
+	ScaleDowns uint64
+	// InvariantOK reports heap == history + cache on every live shard
+	// before the first scale-down and after the last one (both sides of
+	// every sealed handoff; between the two the fleet only drains).
+	InvariantOK bool
+}
+
+// RunAutoscale measures elastic scaling end to end.
+func RunAutoscale(cfg AutoscaleConfig) (*AutoscaleResult, error) {
+	if cfg.MinShards < 1 || cfg.MaxShards < cfg.MinShards {
+		return nil, fmt.Errorf("autoscale: bad shard range %d..%d", cfg.MinShards, cfg.MaxShards)
+	}
+	if cfg.Workers <= 0 || cfg.PeakWindow <= 0 {
+		return nil, fmt.Errorf("autoscale: need workers and a peak window")
+	}
+	res := &AutoscaleResult{InvariantOK: true}
+	if err := runAutoscaleStatic(cfg, res); err != nil {
+		return nil, fmt.Errorf("autoscale static reference: %w", err)
+	}
+	if err := runAutoscaleElastic(cfg, res); err != nil {
+		return nil, fmt.Errorf("autoscale elastic: %w", err)
+	}
+	if res.StaticPeakRPS > 0 {
+		res.PeakRatio = res.ElasticPeakRPS / res.StaticPeakRPS
+	}
+	return res, nil
+}
+
+// newElasticShardConfig is the per-shard template both fleets share.
+func newElasticShardConfig(cfg AutoscaleConfig, engineAddr string) proxy.Config {
+	return proxy.Config{
+		K:             2,
+		Engines:       []proxy.EngineSpec{{Host: engineAddr}},
+		Seed:          cfg.Seed,
+		AsyncOcalls:   true,
+		PipelineDepth: cfg.PipelineDepth,
+		EnclaveConfig: enclave.Config{TCSCount: cfg.TCSPerShard},
+	}
+}
+
+// elasticLoad drives distinct queries from `workers` goroutines until stop
+// closes, counting every issue and every loss (an error after 3 attempts;
+// retries model a client's normal response to a transient re-route).
+func elasticLoad(g *fleet.Gateway, workers int, label string, stop <-chan struct{}, issued, completed, lost *atomic.Int64) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	var seq atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := seq.Add(1)
+				issued.Add(1)
+				q := fmt.Sprintf("%s query %d", label, i)
+				ok := false
+				for attempt := 0; attempt < 3 && !ok; attempt++ {
+					if _, err := g.ServeQuery(context.Background(), q); err == nil {
+						ok = true
+					}
+				}
+				if ok {
+					completed.Add(1)
+				} else {
+					lost.Add(1)
+				}
+			}
+		}()
+	}
+	return &wg
+}
+
+// measureWindow samples completed-request throughput over the window.
+func measureWindow(completed *atomic.Int64, window time.Duration) float64 {
+	before := completed.Load()
+	time.Sleep(window)
+	return float64(completed.Load()-before) / window.Seconds()
+}
+
+// runAutoscaleStatic measures the reference: a fixed MaxShards fleet under
+// the peak load.
+func runAutoscaleStatic(cfg AutoscaleConfig, res *AutoscaleResult) error {
+	srv, err := slowEngine(FleetConfig{DocsPerTopic: cfg.DocsPerTopic, Seed: cfg.Seed, EngineService: cfg.EngineService})
+	if err != nil {
+		return err
+	}
+	defer shutdownServer(srv)
+	g, err := fleet.New(fleet.Config{
+		Shards:         cfg.MaxShards,
+		ShardConfig:    newElasticShardConfig(cfg, srv.Addr()),
+		HealthInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = g.Shutdown(ctx)
+	}()
+	for i := 0; i < 2*cfg.MaxShards; i++ {
+		if _, err := g.ServeQuery(context.Background(), fmt.Sprintf("static warm %d", i)); err != nil {
+			return err
+		}
+	}
+	var issued, completed, lost atomic.Int64
+	stop := make(chan struct{})
+	wg := elasticLoad(g, cfg.Workers, "static", stop, &issued, &completed, &lost)
+	time.Sleep(cfg.PeakWindow / 2) // settle
+	res.StaticPeakRPS = measureWindow(&completed, cfg.PeakWindow)
+	close(stop)
+	wg.Wait()
+	if n := lost.Load(); n > 0 {
+		return fmt.Errorf("%d requests lost with a static healthy fleet", n)
+	}
+	res.Issued += issued.Load()
+	return nil
+}
+
+// runAutoscaleElastic drives the ramp: low load at MinShards, peak load
+// until the autoscaler reaches MaxShards, a measured peak window, then
+// load removal until the fleet drains itself back to MinShards.
+func runAutoscaleElastic(cfg AutoscaleConfig, res *AutoscaleResult) error {
+	srv, err := slowEngine(FleetConfig{DocsPerTopic: cfg.DocsPerTopic, Seed: cfg.Seed, EngineService: cfg.EngineService})
+	if err != nil {
+		return err
+	}
+	defer shutdownServer(srv)
+	g, err := fleet.New(fleet.Config{
+		Shards:    cfg.MinShards,
+		ShardsMin: cfg.MinShards,
+		ShardsMax: cfg.MaxShards,
+		Autoscale: &fleet.AutoscalePolicy{
+			Interval: cfg.ScaleInterval,
+			Cooldown: cfg.ScaleCooldown,
+		},
+		ShardConfig:    newElasticShardConfig(cfg, srv.Addr()),
+		HealthInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = g.Shutdown(ctx)
+	}()
+
+	var issued, completed, lost atomic.Int64
+	finish := func(err error) error {
+		st := g.Stats()
+		res.Issued += issued.Load()
+		res.Lost = lost.Load()
+		res.ScaleUps = st.ScaleUps
+		res.ScaleDowns = st.ScaleDowns
+		if err != nil {
+			return err
+		}
+		if res.Lost > 0 {
+			return fmt.Errorf("%d of %d requests lost across scale events", res.Lost, res.Issued)
+		}
+		return nil
+	}
+
+	// Warm the founding shard's history (the paper's bootstrap) at low
+	// load; the fleet must stay at min.
+	for i := 0; i < 4; i++ {
+		if _, err := g.ServeQuery(context.Background(), fmt.Sprintf("elastic warm %d", i)); err != nil {
+			return finish(err)
+		}
+	}
+
+	// Peak load on: the occupancy signal should carry the fleet to max,
+	// one cooldown-spaced spawn at a time.
+	stopPeak := make(chan struct{})
+	peakWG := elasticLoad(g, cfg.Workers, "peak", stopPeak, &issued, &completed, &lost)
+	rampStart := time.Now()
+	rampDeadline := rampStart.Add(cfg.RampTimeout)
+	for {
+		st := g.Stats()
+		if st.AliveShards >= cfg.MaxShards {
+			res.PeakShards = st.AliveShards
+			res.RampTime = time.Since(rampStart)
+			break
+		}
+		if time.Now().After(rampDeadline) {
+			close(stopPeak)
+			peakWG.Wait()
+			return finish(fmt.Errorf("fleet never reached %d shards under load (at %d; last decision %q)",
+				cfg.MaxShards, st.AliveShards, st.LastScaleDecision))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Measured peak throughput at full size, load still on.
+	res.ElasticPeakRPS = measureWindow(&completed, cfg.PeakWindow)
+	close(stopPeak)
+	peakWG.Wait()
+
+	// Both-sides invariant, side one: every live shard green before any
+	// scale-down handoff runs.
+	if !fleetInvariantOK(g) {
+		res.InvariantOK = false
+	}
+
+	// Load off (a trickle keeps requests flowing THROUGH the scale-downs
+	// so a dropped request cannot hide); the fleet must drain itself back
+	// to min, one sealed handoff at a time.
+	stopLow := make(chan struct{})
+	lowWG := elasticLoad(g, cfg.LowWorkers, "cool", stopLow, &issued, &completed, &lost)
+	coolDeadline := time.Now().Add(cfg.CoolTimeout)
+	for {
+		st := g.Stats()
+		if st.CurrentShards <= cfg.MinShards {
+			res.FinalShards = st.CurrentShards
+			break
+		}
+		if time.Now().After(coolDeadline) {
+			close(stopLow)
+			lowWG.Wait()
+			return finish(fmt.Errorf("fleet never drained back to %d shards (at %d; last decision %q)",
+				cfg.MinShards, st.CurrentShards, st.LastScaleDecision))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stopLow)
+	lowWG.Wait()
+
+	// Both-sides invariant, side two: every surviving shard green after
+	// the last handoff (the merged windows included).
+	if !fleetInvariantOK(g) {
+		res.InvariantOK = false
+	}
+	return finish(nil)
+}

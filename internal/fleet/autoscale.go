@@ -1,0 +1,508 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the fleet's elasticity layer. The gateway already knows how
+// to add capacity (a fresh shard on its own platform, re-keyed under the
+// fleet sealing root, inserted into the HRW ring so only new sessions
+// rebalance onto it) and how to remove it safely (the sealed Drain handoff
+// migrates the departing history window to its successor before the
+// enclave is retired). The Autoscaler closes the loop: it samples the load
+// signals every shard already exports — pipeline admission occupancy, the
+// p95 request-latency tail, EPC heap pressure — and turns them into
+// spawn/retire decisions, the way Wally and CYCLOSA scale private-search
+// capacity horizontally with demand instead of provisioning for peak.
+//
+// The decision core (DecideScale) is a pure function of a policy and a
+// load sample, so hysteresis, cooldown, the min/max clamps, and the
+// k-anonymity floor are all table-testable without spinning up a single
+// enclave; the Autoscaler is a thin ticker around it.
+
+// Autoscaler defaults, applied by AutoscalePolicy.withDefaults.
+const (
+	// DefaultUpOccupancy and DefaultDownOccupancy are the admission-
+	// occupancy hysteresis band: above the first the fleet grows, and only
+	// when EVERY shard is below the second may it shrink. The wide gap is
+	// what keeps the fleet from flapping around a steady load.
+	DefaultUpOccupancy   = 0.75
+	DefaultDownOccupancy = 0.25
+	// DefaultUpEPCFraction is the enclave-heap share of the EPC limit
+	// above which the fleet scales up regardless of occupancy: history
+	// windows near the sealed-memory budget need more shards to spread
+	// across before paging sets in.
+	DefaultUpEPCFraction = 0.85
+	// DefaultScaleInterval is the load-sampling period and
+	// DefaultScaleCooldown the minimum spacing between scale events
+	// (spawning an enclave or draining one is expensive; decisions should
+	// see the PREVIOUS action's effect before making another).
+	DefaultScaleInterval = 250 * time.Millisecond
+	DefaultScaleCooldown = 2 * time.Second
+	// scaleOpTimeout bounds one autoscaler-initiated scale operation (the
+	// sealed drain handoff on scale-down).
+	scaleOpTimeout = 10 * time.Second
+)
+
+// AutoscalePolicy parameterizes the fleet autoscaler's decision core.
+// Zero values take the defaults above; the policy is pure configuration,
+// so the same struct drives the table-driven unit tests and a production
+// gateway.
+type AutoscalePolicy struct {
+	// UpOccupancy scales the fleet up when ANY shard's admission occupancy
+	// (pipeline in-flight over depth, or ecall concurrency over TCS on the
+	// blocking path) reaches it. DownOccupancy permits scale-down only
+	// when EVERY shard is at or below it; it must stay below UpOccupancy
+	// (the hysteresis band).
+	UpOccupancy   float64
+	DownOccupancy float64
+	// UpLatencyP95, when positive, scales up when any shard's p95 request
+	// latency reaches it, and blocks scale-down until the worst p95 is
+	// back under half of it. Zero disables the latency signal.
+	UpLatencyP95 time.Duration
+	// UpEPCFraction scales up when any shard's enclave heap reaches this
+	// share of its EPC limit, and blocks scale-down while it is breached
+	// (a retirement would merge MORE history into an already-pressured
+	// window).
+	UpEPCFraction float64
+	// Interval is the load-sampling period; Cooldown the minimum spacing
+	// between scale events.
+	Interval time.Duration
+	Cooldown time.Duration
+}
+
+// withDefaults fills zero fields.
+func (p AutoscalePolicy) withDefaults() AutoscalePolicy {
+	if p.UpOccupancy == 0 {
+		p.UpOccupancy = DefaultUpOccupancy
+	}
+	if p.DownOccupancy == 0 {
+		p.DownOccupancy = DefaultDownOccupancy
+	}
+	if p.UpEPCFraction == 0 {
+		p.UpEPCFraction = DefaultUpEPCFraction
+	}
+	if p.Interval <= 0 {
+		p.Interval = DefaultScaleInterval
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = DefaultScaleCooldown
+	}
+	return p
+}
+
+// validate rejects self-contradictory policies (after withDefaults).
+func (p AutoscalePolicy) validate() error {
+	if p.UpOccupancy <= 0 || p.DownOccupancy < 0 {
+		return fmt.Errorf("fleet: autoscale occupancy thresholds must be positive")
+	}
+	if p.DownOccupancy >= p.UpOccupancy {
+		return fmt.Errorf("fleet: autoscale DownOccupancy %.2f must stay below UpOccupancy %.2f (the hysteresis band)",
+			p.DownOccupancy, p.UpOccupancy)
+	}
+	if p.UpLatencyP95 < 0 {
+		return fmt.Errorf("fleet: negative autoscale UpLatencyP95")
+	}
+	if p.UpEPCFraction <= 0 {
+		return fmt.Errorf("fleet: autoscale UpEPCFraction must be positive")
+	}
+	return nil
+}
+
+// ShardLoad is one available shard's load sample, the decision core's only
+// view of the fleet.
+type ShardLoad struct {
+	Index      int
+	Occupancy  float64
+	LatencyP95 time.Duration
+	// EPCFraction is enclave heap over the platform EPC limit.
+	EPCFraction float64
+	// HistoryLen/HistoryCapacity describe the shard's obfuscation window;
+	// the k-anonymity floor reasons about them.
+	HistoryLen      int
+	HistoryCapacity int
+	// Sessions counts gateway session pins (scale-down prefers the
+	// coldest shard so the fewest brokers re-attest).
+	Sessions int
+}
+
+// ScaleAction is a decision's verb.
+type ScaleAction int
+
+// The three possible decisions.
+const (
+	ScaleNone ScaleAction = iota
+	ScaleUp
+	ScaleDown
+)
+
+// ScaleDecision is the decision core's output: what to do, to which shard
+// (ScaleDown only), and a human-readable reason surfaced through
+// Stats.LastScaleDecision.
+type ScaleDecision struct {
+	Action ScaleAction
+	// Target is the stable index of the shard to retire (ScaleDown only).
+	Target int
+	Reason string
+}
+
+// DecideScale is the pure autoscaling decision: given a (defaulted)
+// policy, the time since the last scale event, the current per-shard load
+// sample, and the size clamps, it returns at most one scale action.
+//
+// Shape of the policy:
+//
+//   - Cooldown first: no decision until the previous action's effect has
+//     had Cooldown to show up in the signals.
+//   - Scale up (to at most max) when any shard breaches any up signal:
+//     admission occupancy, p95 latency (when configured), or EPC heap
+//     pressure. One shard at a time — the next tick re-measures with the
+//     new capacity in place.
+//   - Scale down (to no fewer than min) only when EVERY shard is idle
+//     below the down-occupancy bound AND no up signal is anywhere near
+//     breach (the hysteresis band), retiring the coldest shard.
+//   - The k-anonymity floor: a retirement hands the shard's history
+//     window to a successor through the sealed Drain handoff, and the
+//     merged window must FIT a single shard's sliding-window bound. If it
+//     would overflow, FIFO eviction would silently discard real past
+//     queries — the fleet's privacy state, the pool Algorithm 1 draws
+//     fakes from — so the decision is refused: the fleet is already at
+//     the floor a single history window imposes. The check is
+//     conservative (worst surviving window + the candidate's must fit the
+//     tightest surviving capacity), so it never under-refuses.
+func DecideScale(p AutoscalePolicy, sinceLast time.Duration, loads []ShardLoad, min, max int) ScaleDecision {
+	if len(loads) == 0 {
+		return ScaleDecision{Action: ScaleNone, Reason: "no live shards"}
+	}
+	if sinceLast < p.Cooldown {
+		return ScaleDecision{Action: ScaleNone, Reason: fmt.Sprintf("cooldown (%v of %v)", sinceLast.Round(time.Millisecond), p.Cooldown)}
+	}
+	n := len(loads)
+	worst := loads[0]
+	for _, l := range loads[1:] {
+		if l.Occupancy > worst.Occupancy {
+			worst = l
+		}
+	}
+	var maxP95 time.Duration
+	var maxEPC float64
+	for _, l := range loads {
+		if l.LatencyP95 > maxP95 {
+			maxP95 = l.LatencyP95
+		}
+		if l.EPCFraction > maxEPC {
+			maxEPC = l.EPCFraction
+		}
+	}
+
+	// Any up signal breached?
+	var upReason string
+	switch {
+	case maxEPC >= p.UpEPCFraction:
+		upReason = fmt.Sprintf("epc pressure %.2f >= %.2f", maxEPC, p.UpEPCFraction)
+	case worst.Occupancy >= p.UpOccupancy:
+		upReason = fmt.Sprintf("shard %d occupancy %.2f >= %.2f", worst.Index, worst.Occupancy, p.UpOccupancy)
+	case p.UpLatencyP95 > 0 && maxP95 >= p.UpLatencyP95:
+		upReason = fmt.Sprintf("p95 %v >= %v", maxP95.Round(time.Millisecond), p.UpLatencyP95)
+	}
+	if upReason != "" {
+		if n >= max {
+			return ScaleDecision{Action: ScaleNone, Reason: "at max shards: " + upReason}
+		}
+		return ScaleDecision{Action: ScaleUp, Reason: upReason}
+	}
+
+	// Scale down only from deep inside the hysteresis band.
+	if n <= min {
+		return ScaleDecision{Action: ScaleNone, Reason: "steady (at min shards)"}
+	}
+	if worst.Occupancy > p.DownOccupancy {
+		return ScaleDecision{Action: ScaleNone, Reason: fmt.Sprintf("steady (occupancy %.2f above down bound %.2f)", worst.Occupancy, p.DownOccupancy)}
+	}
+	if p.UpLatencyP95 > 0 && maxP95 > p.UpLatencyP95/2 {
+		return ScaleDecision{Action: ScaleNone, Reason: fmt.Sprintf("steady (p95 %v above half the up bound)", maxP95.Round(time.Millisecond))}
+	}
+	if maxEPC > p.UpEPCFraction/2 {
+		// EPC hysteresis: a retirement merges the candidate's history into
+		// a survivor, roughly doubling that window's heap in the worst
+		// case — from above half the up bound, the merge itself could
+		// breach it and flap the fleet straight back up.
+		return ScaleDecision{Action: ScaleNone, Reason: fmt.Sprintf("steady (epc %.2f above half the up bound; a merge could breach it)", maxEPC)}
+	}
+
+	cand := coldestLoad(loads)
+	// The k-anonymity floor: the retired window must merge into a single
+	// survivor's window without overflowing it.
+	maxOtherLen, minOtherCap := 0, 0
+	for _, l := range loads {
+		if l.Index == cand.Index {
+			continue
+		}
+		if l.HistoryLen > maxOtherLen {
+			maxOtherLen = l.HistoryLen
+		}
+		if minOtherCap == 0 || (l.HistoryCapacity > 0 && l.HistoryCapacity < minOtherCap) {
+			minOtherCap = l.HistoryCapacity
+		}
+	}
+	if minOtherCap > 0 && cand.HistoryLen+maxOtherLen > minOtherCap {
+		return ScaleDecision{Action: ScaleNone, Reason: fmt.Sprintf(
+			"k-anonymity floor: merging shard %d's %d history entries could overflow a %d-entry window (%d held)",
+			cand.Index, cand.HistoryLen, minOtherCap, maxOtherLen)}
+	}
+	return ScaleDecision{Action: ScaleDown, Target: cand.Index,
+		Reason: fmt.Sprintf("idle (worst occupancy %.2f <= %.2f), retiring coldest shard %d", worst.Occupancy, p.DownOccupancy, cand.Index)}
+}
+
+// coldestLoad picks the scale-down victim: fewest pinned sessions (fewest
+// brokers forced to re-attest), then the smallest history window (cheapest
+// handoff), then the lowest occupancy, then the lowest index — a total
+// order, so the choice is deterministic.
+func coldestLoad(loads []ShardLoad) ShardLoad {
+	cand := loads[0]
+	for _, l := range loads[1:] {
+		switch {
+		case l.Sessions != cand.Sessions:
+			if l.Sessions < cand.Sessions {
+				cand = l
+			}
+		case l.HistoryLen != cand.HistoryLen:
+			if l.HistoryLen < cand.HistoryLen {
+				cand = l
+			}
+		case l.Occupancy != cand.Occupancy:
+			if l.Occupancy < cand.Occupancy {
+				cand = l
+			}
+		case l.Index < cand.Index:
+			cand = l
+		}
+	}
+	return cand
+}
+
+// --- gateway-side scale operations ---
+
+// loadSignals samples every available shard (dead and draining shards take
+// no new work, so they are not the capacity the decision is about).
+func (g *Gateway) loadSignals() []ShardLoad {
+	perShard := make(map[*shard]int)
+	g.mu.Lock()
+	for _, sh := range g.sessions {
+		perShard[sh]++
+	}
+	g.mu.Unlock()
+	var out []ShardLoad
+	for _, sh := range g.list() {
+		if !sh.available() {
+			continue
+		}
+		l := sh.proxy.Load()
+		out = append(out, ShardLoad{
+			Index:           sh.index,
+			Occupancy:       l.Occupancy,
+			LatencyP95:      l.LatencyP95,
+			EPCFraction:     l.EPCFraction,
+			HistoryLen:      l.HistoryLen,
+			HistoryCapacity: l.HistoryCapacity,
+			Sessions:        perShard[sh],
+		})
+	}
+	return out
+}
+
+// noteDecision records the most recent scale decision reason for Stats.
+func (g *Gateway) noteDecision(reason string) {
+	g.decisionMu.Lock()
+	g.lastDecision = reason
+	g.decisionMu.Unlock()
+}
+
+// ScaleUp spawns one new shard — its own platform and EPC, re-keyed under
+// the fleet sealing root, same measured template — and inserts it into the
+// HRW ring. Existing sessions stay pinned where they are; only new
+// sessions (and the plain-query keys that HRW-prefer the newcomer)
+// rebalance onto it. Returns the new shard's stable index.
+func (g *Gateway) ScaleUp(_ context.Context) (int, error) {
+	g.scaleMu.Lock()
+	defer g.scaleMu.Unlock()
+	if g.closed {
+		return 0, fmt.Errorf("fleet: gateway shut down")
+	}
+	if max := g.cfg.ShardsMax; max > 0 && g.availableCount() >= max {
+		return 0, fmt.Errorf("fleet: already at the %d-shard maximum", max)
+	}
+	g.shardMu.Lock()
+	idx := g.nextIdx
+	g.nextIdx++
+	g.shardMu.Unlock()
+	sh, err := g.buildShard(idx)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: spawn shard %d: %w", idx, err)
+	}
+	g.shardMu.Lock()
+	g.shards = append(g.shards, sh)
+	g.shardMu.Unlock()
+	g.scaleUps.Add(1)
+	return idx, nil
+}
+
+// ScaleDown retires the coldest available shard through the sealed Drain
+// handoff (history migrated to its successor, enclave destroyed, ring
+// entry removed). It refuses to shrink below the configured minimum.
+func (g *Gateway) ScaleDown(ctx context.Context) (*DrainReport, error) {
+	loads := g.loadSignals()
+	if len(loads) == 0 {
+		return nil, ErrNoLiveShard
+	}
+	return g.retireShard(ctx, coldestLoad(loads).Index)
+}
+
+// retireShard is the scale-down execution path: min clamp, the k-anonymity
+// floor against the ACTUAL successor, sealed drain, then ring removal.
+func (g *Gateway) retireShard(ctx context.Context, idx int) (*DrainReport, error) {
+	g.scaleMu.Lock()
+	defer g.scaleMu.Unlock()
+	if g.closed {
+		return nil, fmt.Errorf("fleet: gateway shut down")
+	}
+	min := g.cfg.ShardsMin
+	if min < 1 {
+		min = 1
+	}
+	if g.availableCount() <= min {
+		return nil, fmt.Errorf("fleet: already at the %d-shard minimum", min)
+	}
+	sh := g.shardByIndex(idx)
+	if sh == nil {
+		return nil, fmt.Errorf("fleet: unknown shard %d", idx)
+	}
+	// The decision core's floor is conservative; re-check against the
+	// shard Drain will actually hand the window to, so a racing drain or
+	// kill between decision and execution cannot sneak an overflowing
+	// merge through.
+	if succ := g.successor(sh); succ != nil {
+		cl, sl := sh.proxy.Load(), succ.proxy.Load()
+		if sl.HistoryCapacity > 0 && cl.HistoryLen+sl.HistoryLen > sl.HistoryCapacity {
+			return nil, fmt.Errorf(
+				"fleet: scale-down refused: merging %d history entries into shard %d (%d of %d held) would overflow its window (k-anonymity floor)",
+				cl.HistoryLen, succ.index, sl.HistoryLen, sl.HistoryCapacity)
+		}
+	}
+	rep, err := g.Drain(ctx, idx)
+	if err != nil {
+		return nil, err
+	}
+	g.removeShard(sh)
+	g.scaleDowns.Add(1)
+	return rep, nil
+}
+
+// removeShard drops a retired shard from the ring (its sessions were
+// already dropped by Drain; its stable index is never reused).
+func (g *Gateway) removeShard(sh *shard) {
+	g.shardMu.Lock()
+	defer g.shardMu.Unlock()
+	for i, cand := range g.shards {
+		if cand == sh {
+			g.shards = append(g.shards[:i], g.shards[i+1:]...)
+			return
+		}
+	}
+}
+
+// --- the autoscaler loop ---
+
+// Autoscaler drives DecideScale on a ticker against the gateway's live
+// load signals, executing at most one scale operation per tick.
+type Autoscaler struct {
+	g        *Gateway
+	min, max int
+	policy   AutoscalePolicy
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu         sync.Mutex
+	lastAction time.Time
+}
+
+func newAutoscaler(g *Gateway, min, max int, policy AutoscalePolicy) *Autoscaler {
+	return &Autoscaler{
+		g:      g,
+		min:    min,
+		max:    max,
+		policy: policy,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// run is the sampling loop (one goroutine per gateway).
+func (a *Autoscaler) run() {
+	defer close(a.done)
+	ticker := time.NewTicker(a.policy.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+			a.tick(time.Now())
+		}
+	}
+}
+
+// tick takes one sample, decides, and executes.
+func (a *Autoscaler) tick(now time.Time) {
+	loads := a.g.loadSignals()
+	a.mu.Lock()
+	var since time.Duration
+	if a.lastAction.IsZero() {
+		since = a.policy.Cooldown // a fresh fleet may act on its first tick
+	} else {
+		since = now.Sub(a.lastAction)
+	}
+	a.mu.Unlock()
+	d := DecideScale(a.policy, since, loads, a.min, a.max)
+	a.g.noteDecision(d.Reason)
+	switch d.Action {
+	case ScaleUp:
+		ctx, cancel := context.WithTimeout(context.Background(), scaleOpTimeout)
+		_, err := a.g.ScaleUp(ctx)
+		cancel()
+		if err == nil {
+			// Stamped AFTER the operation: the cooldown must separate the
+			// new capacity's observable effect from the next decision, so
+			// a slow spawn or drain does not eat the whole window.
+			a.noteAction(time.Now())
+		} else {
+			a.g.noteDecision("scale-up failed: " + err.Error())
+		}
+	case ScaleDown:
+		ctx, cancel := context.WithTimeout(context.Background(), scaleOpTimeout)
+		_, err := a.g.retireShard(ctx, d.Target)
+		cancel()
+		if err == nil {
+			a.noteAction(time.Now())
+		} else {
+			a.g.noteDecision("scale-down refused: " + err.Error())
+		}
+	}
+}
+
+func (a *Autoscaler) noteAction(now time.Time) {
+	a.mu.Lock()
+	a.lastAction = now
+	a.mu.Unlock()
+}
+
+// stopWait stops the loop and waits for an in-flight tick to finish.
+func (a *Autoscaler) stopWait() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	<-a.done
+}

@@ -1,0 +1,232 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	mrand "math/rand/v2"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xsearch/internal/attestation"
+	"xsearch/internal/broker"
+	"xsearch/internal/enclave"
+	"xsearch/internal/proxy"
+)
+
+// TestChaosFleetSoak is the fleet's state-churn soak: while plain queries
+// and attested broker sessions hammer the gateway, a chaos driver
+// concurrently kills shards, triggers sealed drains, and fires manual
+// scale events, with the real autoscaler loop running underneath and
+// pulling the idle fleet back toward its minimum the whole time. The soak
+// asserts the properties every scale/crash path must preserve:
+//
+//   - No lost replies: every issued query — plain or secure — yields
+//     exactly one answer within a bounded retry budget (the budget models
+//     the broker's normal re-attest recovery, not a hidden failure mode).
+//   - No goroutine leaks: spawned shards, retired enclaves, drained
+//     pipelines, and the autoscaler itself all clean up after Shutdown.
+//   - The EPC invariant (enclave heap == history + cache bytes) holds on
+//     every surviving shard after the churn stops.
+//
+// The destructive schedule is arranged so the fleet can never reach zero
+// available shards: at most one chaos op and one autoscaler retirement
+// are in flight at once, each requiring at least three available shards
+// at issue time (the autoscaler via ShardsMin=2), so the worst
+// interleaving bottoms out at one.
+//
+// The soak is sized to run race-clean inside tier-1: ~4s default, ~2s
+// with -short.
+func TestChaosFleetSoak(t *testing.T) {
+	duration := 4 * time.Second
+	if testing.Short() {
+		duration = 2 * time.Second
+	}
+	grace := 5 * time.Second
+	before := runtime.NumGoroutine()
+
+	g, err := New(Config{
+		Shards:    2,
+		ShardsMin: 2,
+		ShardsMax: 5,
+		Autoscale: &AutoscalePolicy{
+			Interval: 20 * time.Millisecond,
+			Cooldown: 100 * time.Millisecond,
+		},
+		ShardConfig:    proxy.Config{K: 2, EchoMode: true, Seed: 11},
+		HealthInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := g.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	tr := &http.Transport{}
+	hc := &http.Client{Transport: tr, Timeout: 5 * time.Second}
+
+	ctx := context.Background()
+	stopAt := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	var plainIssued, plainLost, secureIssued, secureLost atomic.Int64
+
+	// Plain-query churn: failover inside the gateway should absorb almost
+	// every chaos event; a query that still errs (its ring snapshot raced
+	// a kill) gets two retries before it counts as lost.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stopAt); i++ {
+				plainIssued.Add(1)
+				ok := false
+				for attempt := 0; attempt < 3 && !ok; attempt++ {
+					if _, err := g.ServeQuery(ctx, fmt.Sprintf("chaos w%d q%d", w, i)); err == nil {
+						ok = true
+					}
+				}
+				if !ok {
+					plainLost.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Secure-session churn: brokers attest, search, and get abandoned;
+	// killed/drained sessions recover through the broker's transparent
+	// re-attest. A fresh broker per burst keeps handshakes flowing so the
+	// routing table churns alongside the ring.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stopAt); i++ {
+				b, err := broker.New(broker.Config{
+					ProxyURL:   g.URL(),
+					ServiceKey: g.AttestationService().PublicKey(),
+					HTTPClient: hc,
+					Policy: attestation.Policy{
+						AcceptedMeasurements: []enclave.Measurement{g.Measurement()},
+					},
+				})
+				if err != nil {
+					t.Errorf("broker.New: %v", err)
+					return
+				}
+				if err := b.Connect(ctx); err != nil {
+					continue // handshake raced a kill; next burst re-attests
+				}
+				for q := 0; q < 4 && time.Now().Before(stopAt); q++ {
+					secureIssued.Add(1)
+					ok := false
+					for attempt := 0; attempt < 3 && !ok; attempt++ {
+						if _, err := b.Search(ctx, fmt.Sprintf("secure w%d s%d q%d", w, i, q)); err == nil {
+							ok = true
+						}
+					}
+					if !ok {
+						secureLost.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+
+	// The chaos driver: one destructive op at a time, each gated on at
+	// least three available shards so the concurrent autoscaler
+	// retirement (ShardsMin=2) can never drive the fleet to zero.
+	var kills, drains, ups, downs int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := mrand.New(mrand.NewPCG(7, 13))
+		for time.Now().Before(stopAt) {
+			time.Sleep(time.Duration(40+rng.IntN(80)) * time.Millisecond)
+			var avail []int
+			for _, ss := range g.Stats().Shards {
+				if ss.Alive && !ss.Draining {
+					avail = append(avail, ss.Index)
+				}
+			}
+			opCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			if len(avail) < 3 {
+				// Spawn capacity so the destructive ops become eligible
+				// (the autoscaler is pulling the idle fleet down the
+				// whole time, so this keeps the tug-of-war going).
+				if _, err := g.ScaleUp(opCtx); err == nil {
+					ups++
+				}
+			} else {
+				switch rng.IntN(3) {
+				case 0:
+					if err := g.Kill(opCtx, avail[rng.IntN(len(avail))]); err == nil {
+						kills++
+					}
+				case 1:
+					if _, err := g.Drain(opCtx, avail[rng.IntN(len(avail))]); err == nil {
+						drains++
+					}
+				case 2:
+					if _, err := g.ScaleDown(opCtx); err == nil {
+						downs++
+					}
+				}
+			}
+			cancel()
+		}
+	}()
+
+	wg.Wait()
+
+	st := g.Stats()
+	t.Logf("soak: %d plain / %d secure queries; chaos: %d kills, %d drains, %d manual ups, %d manual downs; fleet: ups=%d downs=%d drains=%d current=%d",
+		plainIssued.Load(), secureIssued.Load(), kills, drains, ups, downs,
+		st.ScaleUps, st.ScaleDowns, st.Drains, st.CurrentShards)
+	if plainIssued.Load() == 0 || secureIssued.Load() == 0 {
+		t.Fatal("soak drove no traffic")
+	}
+	if lost := plainLost.Load(); lost != 0 {
+		t.Fatalf("%d of %d plain queries lost", lost, plainIssued.Load())
+	}
+	if lost := secureLost.Load(); lost != 0 {
+		t.Fatalf("%d of %d secure queries lost", lost, secureIssued.Load())
+	}
+	if st.ScaleUps == 0 {
+		t.Fatalf("soak never scaled up: %+v", st)
+	}
+	if kills+drains+int(st.ScaleDowns) == 0 {
+		t.Fatalf("soak never removed a shard (kills=%d drains=%d downs=%d)", kills, drains, st.ScaleDowns)
+	}
+
+	// Every surviving shard must hold the EPC identity once quiescent.
+	for _, ss := range st.Shards {
+		if !ss.Alive {
+			continue
+		}
+		requireInvariant(t, fmt.Sprintf("surviving shard %d", ss.Index), ss.Proxy)
+	}
+
+	// Teardown, then the goroutine ledger must balance (with grace for
+	// HTTP keep-alives and runtime bookkeeping to unwind).
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := g.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	tr.CloseIdleConnections()
+	deadline := time.Now().Add(grace)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before soak, %d after shutdown", before, now)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -63,8 +63,23 @@ const DefaultHealthInterval = 100 * time.Millisecond
 
 // Config parameterizes a fleet.
 type Config struct {
-	// Shards is the number of proxy-enclave shards (at least 1).
+	// Shards is the number of proxy-enclave shards at startup (at least 1).
+	// With Autoscale set it is the initial size, clamped into
+	// [ShardsMin, ShardsMax].
 	Shards int
+	// ShardsMin and ShardsMax bound the elastic fleet: the autoscaler
+	// never retires below ShardsMin available shards (min 1) and never
+	// spawns above ShardsMax. Only consulted when Autoscale is set
+	// (ShardsMax also caps manual ScaleUp when positive).
+	ShardsMin int
+	ShardsMax int
+	// Autoscale, when non-nil, runs the gateway-level shard autoscaler:
+	// per-shard load signals (admission occupancy, p95 latency, EPC heap
+	// pressure) are sampled every Autoscale.Interval and the fleet scales
+	// up by spawning a shard on its own platform (re-keyed under the fleet
+	// sealing root, inserted into the HRW ring) or down by draining the
+	// coldest shard through the sealed handoff before retiring it.
+	Autoscale *AutoscalePolicy
 	// ShardConfig is the template every shard is built from — a full
 	// proxy.Config, so pools, caches, coalescing, rate limits, and the
 	// upstream registry all compose per shard. The fleet derives what must
@@ -109,18 +124,38 @@ func (s *shard) live() bool { return s.alive.Load() && s.proxy.Healthy() }
 func (s *shard) available() bool { return s.live() && !s.draining.Load() }
 
 // Gateway fronts the shard fleet: it routes sessions and plain queries by
-// rendezvous hashing, probes shard health, fails over on death, and
-// orchestrates sealed history handoff on drain.
+// rendezvous hashing, probes shard health, fails over on death,
+// orchestrates sealed history handoff on drain, and — when autoscaling is
+// configured — grows and shrinks the shard ring with load.
 type Gateway struct {
 	cfg     Config
-	shards  []*shard
 	service *attestation.Service
+	migSeed []byte
+	meas    enclave.Measurement
 
 	httpFront
 
+	// shardMu guards the mutable shard ring and the monotonically
+	// increasing shard index space (indices are stable identities and are
+	// never reused, so session pins and HRW names stay unambiguous across
+	// scale events).
+	shardMu sync.RWMutex
+	shards  []*shard
+	nextIdx int
+
+	// scaleMu serializes ring mutations (spawn, retire) so the fleet
+	// changes one shard at a time and the min/max clamps are race-free;
+	// closed (set by Shutdown under scaleMu) refuses further scale
+	// operations so a racing ScaleUp cannot spawn a shard the teardown
+	// snapshot will never destroy.
+	scaleMu sync.Mutex
+	closed  bool
+
+	auto *Autoscaler
+
 	mu       sync.Mutex
-	sessions map[string]int // session id -> shard index
-	order    []string       // FIFO insertion order for eviction
+	sessions map[string]*shard // session id -> pinned shard
+	order    []string          // FIFO insertion order for eviction
 
 	stopHealth chan struct{}
 	healthDone chan struct{}
@@ -136,27 +171,58 @@ type Gateway struct {
 	migratedQ    atomic.Uint64
 	migratedB    atomic.Int64
 	gwErrors     atomic.Uint64
+	scaleUps     atomic.Uint64
+	scaleDowns   atomic.Uint64
+
+	decisionMu   sync.Mutex
+	lastDecision string
 }
 
 // New builds the fleet: Shards proxy nodes from the shared template, one
-// attestation service, and the routing gateway (health loop running, HTTP
-// front not yet started).
+// attestation service, and the routing gateway (health loop — and, when
+// configured, the autoscaler — running; HTTP front not yet started).
 func New(cfg Config) (*Gateway, error) {
+	if cfg.Autoscale != nil {
+		if cfg.ShardsMin < 1 {
+			cfg.ShardsMin = 1
+		}
+		if cfg.ShardsMax == 0 {
+			cfg.ShardsMax = cfg.Shards
+		}
+		if cfg.ShardsMax < cfg.ShardsMin {
+			return nil, fmt.Errorf("fleet: ShardsMax %d below ShardsMin %d", cfg.ShardsMax, cfg.ShardsMin)
+		}
+		if cfg.Shards < cfg.ShardsMin {
+			cfg.Shards = cfg.ShardsMin
+		}
+		if cfg.Shards > cfg.ShardsMax {
+			cfg.Shards = cfg.ShardsMax
+		}
+		pol := cfg.Autoscale.withDefaults()
+		if err := pol.validate(); err != nil {
+			return nil, err
+		}
+		cfg.Autoscale = &pol
+	}
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("fleet: need at least 1 shard, got %d", cfg.Shards)
 	}
-	if cfg.ShardConfig.Platform != nil && cfg.Shards > 1 {
+	if cfg.ShardConfig.Platform != nil && (cfg.Shards > 1 || cfg.Autoscale != nil) {
 		// A shared platform would make every shard draw from ONE EPC —
 		// the exact bound sharding exists to lift — and double-count it in
 		// the aggregate stats. The fleet derives per-shard platforms; use
 		// MigrationSeed to control the shared sealing root.
-		return nil, fmt.Errorf("fleet: ShardConfig.Platform must be nil for a multi-shard fleet (each shard gets its own platform; set MigrationSeed for the shared sealing root)")
+		return nil, fmt.Errorf("fleet: ShardConfig.Platform must be nil for a multi-shard or autoscaled fleet (each shard gets its own platform; set MigrationSeed for the shared sealing root)")
 	}
 	if cfg.HealthInterval <= 0 {
 		cfg.HealthInterval = DefaultHealthInterval
 	}
 	if cfg.MaxSessions <= 0 {
-		cfg.MaxSessions = cfg.Shards * 4096
+		n := cfg.Shards
+		if cfg.ShardsMax > n {
+			n = cfg.ShardsMax
+		}
+		cfg.MaxSessions = n * 4096
 	}
 	migSeed := cfg.MigrationSeed
 	if migSeed == nil {
@@ -180,41 +246,95 @@ func New(cfg Config) (*Gateway, error) {
 	g := &Gateway{
 		cfg:        cfg,
 		service:    service,
-		sessions:   make(map[string]int),
+		migSeed:    migSeed,
+		sessions:   make(map[string]*shard),
 		stopHealth: make(chan struct{}),
 		healthDone: make(chan struct{}),
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		sc := cfg.ShardConfig
-		sc.AttestationService = service
-		sc.QuotingEnclave = nil // each shard enrolls its own QE with the shared service
-		if sc.Platform == nil {
-			// Every shard gets its own platform (its own EPC and cores —
-			// the point of sharding) but all derive the same fuse key, the
-			// fleet's provisioned migration sealing root.
-			sc.Platform = enclave.NewPlatform(enclave.WithFuseSeed(migSeed))
-		}
-		if sc.Seed != 0 {
-			// Distinct but reproducible obfuscation randomness per shard.
-			sc.Seed += uint64(i)
-		}
-		if sc.StatePath != "" {
-			sc.StatePath = fmt.Sprintf("%s-shard%d", cfg.ShardConfig.StatePath, i)
-		}
-		p, err := proxy.New(sc)
+		sh, err := g.buildShard(i)
 		if err != nil {
-			for _, sh := range g.shards {
-				_ = sh.proxy.Shutdown(context.Background())
+			for _, prev := range g.shards {
+				_ = prev.proxy.Shutdown(context.Background())
 			}
 			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
 		}
-		sh := &shard{index: i, name: fmt.Sprintf("shard-%d", i), proxy: p}
-		sh.alive.Store(true)
 		g.shards = append(g.shards, sh)
 	}
+	g.nextIdx = cfg.Shards
+	g.meas = g.shards[0].proxy.Measurement()
 	g.initHTTP()
+	if cfg.Autoscale != nil {
+		g.auto = newAutoscaler(g, cfg.ShardsMin, cfg.ShardsMax, *cfg.Autoscale)
+		go g.auto.run()
+	}
 	go g.healthLoop()
 	return g, nil
+}
+
+// buildShard instantiates one proxy-enclave node from the shared template:
+// its own platform (own EPC) derived from the fleet sealing root, a
+// distinct-but-reproducible obfuscation seed, and a per-index state path.
+// idx must be a fresh, never-reused shard index.
+func (g *Gateway) buildShard(idx int) (*shard, error) {
+	sc := g.cfg.ShardConfig
+	sc.AttestationService = g.service
+	sc.QuotingEnclave = nil // each shard enrolls its own QE with the shared service
+	if sc.Platform == nil {
+		// Every shard gets its own platform (its own EPC and cores — the
+		// point of sharding) but all derive the same fuse key, the fleet's
+		// provisioned migration sealing root, so a spawned shard can
+		// immediately receive (and later hand off) sealed history blobs.
+		sc.Platform = enclave.NewPlatform(enclave.WithFuseSeed(g.migSeed))
+	}
+	if sc.Seed != 0 {
+		// Distinct but reproducible obfuscation randomness per shard.
+		sc.Seed += uint64(idx)
+	}
+	if sc.StatePath != "" {
+		sc.StatePath = fmt.Sprintf("%s-shard%d", g.cfg.ShardConfig.StatePath, idx)
+	}
+	p, err := proxy.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	sh := &shard{index: idx, name: fmt.Sprintf("shard-%d", idx), proxy: p}
+	sh.alive.Store(true)
+	return sh, nil
+}
+
+// list snapshots the shard ring: callers iterate the copy without holding
+// the ring lock across proxy calls.
+func (g *Gateway) list() []*shard {
+	g.shardMu.RLock()
+	defer g.shardMu.RUnlock()
+	out := make([]*shard, len(g.shards))
+	copy(out, g.shards)
+	return out
+}
+
+// shardByIndex resolves a stable shard index to its ring entry (nil when
+// the index never existed or was retired by a scale-down).
+func (g *Gateway) shardByIndex(i int) *shard {
+	g.shardMu.RLock()
+	defer g.shardMu.RUnlock()
+	for _, sh := range g.shards {
+		if sh.index == i {
+			return sh
+		}
+	}
+	return nil
+}
+
+// availableCount reports how many shards can take new work right now.
+func (g *Gateway) availableCount() int {
+	n := 0
+	for _, sh := range g.list() {
+		if sh.available() {
+			n++
+		}
+	}
+	return n
 }
 
 // healthLoop probes each shard's enclave liveness every HealthInterval,
@@ -229,7 +349,7 @@ func (g *Gateway) healthLoop() {
 		case <-g.stopHealth:
 			return
 		case <-ticker.C:
-			for _, sh := range g.shards {
+			for _, sh := range g.list() {
 				if sh.alive.Load() && !sh.proxy.Healthy() {
 					g.noteDead(sh)
 				}
@@ -243,26 +363,30 @@ func (g *Gateway) healthLoop() {
 // so brokers re-attest instead of timing out against a dead enclave.
 func (g *Gateway) noteDead(sh *shard) {
 	if sh.alive.CompareAndSwap(true, false) {
-		g.dropShardSessions(sh.index)
+		g.dropShardSessions(sh)
 	}
 }
 
-// ShardCount returns the configured number of shards (live or not).
-func (g *Gateway) ShardCount() int { return len(g.shards) }
+// ShardCount returns the current size of the shard ring (live or not;
+// scale-downs remove retired shards, kills leave dead entries in place
+// until the ring is next compacted by a scale event).
+func (g *Gateway) ShardCount() int { return len(g.list()) }
 
 // Shard returns shard i's proxy node, for per-shard inspection (stats,
-// measurement) by operators, examples, and the bench harness.
+// measurement) by operators, examples, and the bench harness. i is the
+// shard's stable index, not its ring position.
 func (g *Gateway) Shard(i int) (*proxy.Proxy, error) {
-	if i < 0 || i >= len(g.shards) {
-		return nil, fmt.Errorf("fleet: shard %d out of range [0,%d)", i, len(g.shards))
+	sh := g.shardByIndex(i)
+	if sh == nil {
+		return nil, fmt.Errorf("fleet: unknown shard %d", i)
 	}
-	return g.shards[i].proxy, nil
+	return sh.proxy, nil
 }
 
 // Measurement returns the enclave identity clients pin. Every shard is
-// built from the same measured template, so all shards share one
-// MRENCLAVE; shard 0 speaks for the fleet.
-func (g *Gateway) Measurement() enclave.Measurement { return g.shards[0].proxy.Measurement() }
+// built from the same measured template, so all shards — including ones
+// the autoscaler spawns later — share one MRENCLAVE.
+func (g *Gateway) Measurement() enclave.Measurement { return g.meas }
 
 // AttestationService returns the fleet-shared verification service.
 func (g *Gateway) AttestationService() *attestation.Service { return g.service }
@@ -273,10 +397,10 @@ func (g *Gateway) AttestationService() *attestation.Service { return g.service }
 // through request failures and the health probe, which is what the
 // availability experiments exercise.
 func (g *Gateway) Kill(_ context.Context, i int) error {
-	if i < 0 || i >= len(g.shards) {
-		return fmt.Errorf("fleet: shard %d out of range [0,%d)", i, len(g.shards))
+	sh := g.shardByIndex(i)
+	if sh == nil {
+		return fmt.Errorf("fleet: unknown shard %d", i)
 	}
-	sh := g.shards[i]
 	if !sh.live() {
 		return fmt.Errorf("fleet: shard %d already dead", i)
 	}
@@ -308,10 +432,10 @@ type DrainReport struct {
 // the migrated window, the same bounded loss as the sliding window's own
 // FIFO eviction. Their brokers then re-attest onto live shards.
 func (g *Gateway) Drain(ctx context.Context, i int) (*DrainReport, error) {
-	if i < 0 || i >= len(g.shards) {
-		return nil, fmt.Errorf("fleet: shard %d out of range [0,%d)", i, len(g.shards))
+	sh := g.shardByIndex(i)
+	if sh == nil {
+		return nil, fmt.Errorf("fleet: unknown shard %d", i)
 	}
-	sh := g.shards[i]
 	if !sh.live() {
 		return nil, fmt.Errorf("fleet: shard %d is dead; drain needs a live shard", i)
 	}
@@ -335,7 +459,7 @@ func (g *Gateway) Drain(ctx context.Context, i int) (*DrainReport, error) {
 	}
 	sh.alive.Store(false)
 	_ = sh.proxy.Shutdown(ctx)
-	lost := g.dropShardSessions(i)
+	lost := g.dropShardSessions(sh)
 	g.drains.Add(1)
 	g.migratedQ.Add(uint64(added))
 	g.migratedB.Add(bytes)
@@ -361,16 +485,28 @@ func (g *Gateway) successor(sh *shard) *shard {
 	return nil
 }
 
-// Shutdown stops the health loop and HTTP front and destroys every live
-// shard (persisting per-shard sealed state where configured).
+// Shutdown stops the autoscaler, health loop, and HTTP front and destroys
+// every live shard (persisting per-shard sealed state where configured).
 func (g *Gateway) Shutdown(ctx context.Context) error {
+	if g.auto != nil {
+		// First, so no scale decision races the teardown: a tick in flight
+		// finishes before any shard is destroyed.
+		g.auto.stopWait()
+	}
+	// Then refuse manual scale operations: a ScaleUp that slipped past
+	// this point would spawn a shard after the teardown snapshot below
+	// and leak its enclave. Taking scaleMu also waits out any scale op
+	// already in flight.
+	g.scaleMu.Lock()
+	g.closed = true
+	g.scaleMu.Unlock()
 	g.stopOnce.Do(func() { close(g.stopHealth) })
 	<-g.healthDone
 	var err error
 	if g.http != nil {
 		err = g.http.Shutdown(ctx)
 	}
-	for _, sh := range g.shards {
+	for _, sh := range g.list() {
 		// Only orderly-shutdown shards that are actually still serving: a
 		// crashed shard whose flag the health loop has not yet cleared has
 		// nothing left to persist and would only report spurious errors.

@@ -33,10 +33,10 @@ func hrwScore(key, node string) uint64 {
 
 // rank returns every shard ordered by descending HRW score for key: the
 // preferred shard first, the failover candidates after. Callers still gate
-// each candidate on availability.
+// each candidate on availability. The ring is snapshotted, so a scale
+// event mid-request at worst costs the request one failover hop.
 func (g *Gateway) rank(key string) []*shard {
-	out := make([]*shard, len(g.shards))
-	copy(out, g.shards)
+	out := g.list()
 	if len(out) == 1 {
 		return out
 	}
@@ -59,9 +59,9 @@ func sessionKey(offer json.RawMessage) string {
 
 // --- session-routing table ---
 
-// remember pins session to shard idx, evicting the oldest pin when the
+// remember pins session to a shard, evicting the oldest pin when the
 // table is full (mirroring the per-shard session tables' FIFO policy).
-func (g *Gateway) remember(session string, idx int) {
+func (g *Gateway) remember(session string, sh *shard) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for len(g.sessions) >= g.cfg.MaxSessions && len(g.order) > 0 {
@@ -69,19 +69,16 @@ func (g *Gateway) remember(session string, idx int) {
 		g.order = g.order[1:]
 		delete(g.sessions, oldest)
 	}
-	g.sessions[session] = idx
+	g.sessions[session] = sh
 	g.order = append(g.order, session)
 }
 
 // lookup resolves a session to its pinned shard.
 func (g *Gateway) lookup(session string) (*shard, bool) {
 	g.mu.Lock()
-	idx, ok := g.sessions[session]
+	sh, ok := g.sessions[session]
 	g.mu.Unlock()
-	if !ok {
-		return nil, false
-	}
-	return g.shards[idx], true
+	return sh, ok
 }
 
 // forget drops one session pin (its order entry is skipped at eviction).
@@ -91,13 +88,13 @@ func (g *Gateway) forget(session string) {
 	g.mu.Unlock()
 }
 
-// dropShardSessions removes every session pinned to shard idx, returning
-// how many were lost (their brokers re-attest onto live shards).
-func (g *Gateway) dropShardSessions(idx int) int {
+// dropShardSessions removes every session pinned to the given shard,
+// returning how many were lost (their brokers re-attest onto live shards).
+func (g *Gateway) dropShardSessions(sh *shard) int {
 	g.mu.Lock()
 	n := 0
-	for s, i := range g.sessions {
-		if i == idx {
+	for s, pinned := range g.sessions {
+		if pinned == sh {
 			delete(g.sessions, s)
 			n++
 		}
@@ -107,12 +104,15 @@ func (g *Gateway) dropShardSessions(idx int) int {
 	return n
 }
 
-// ShardOf reports which shard a session is currently pinned to.
+// ShardOf reports which shard index a session is currently pinned to.
 func (g *Gateway) ShardOf(session string) (int, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	idx, ok := g.sessions[session]
-	return idx, ok
+	sh, ok := g.sessions[session]
+	if !ok {
+		return 0, false
+	}
+	return sh.index, true
 }
 
 // --- request routing ---
@@ -185,7 +185,7 @@ func (g *Gateway) Handshake(ctx context.Context, offer json.RawMessage, nonce []
 		}
 		resp, err := sh.proxy.Handshake(ctx, offer, nonce)
 		if err == nil {
-			g.remember(resp.Session, sh.index)
+			g.remember(resp.Session, sh)
 			return resp, nil
 		}
 		lastErr = err
@@ -348,7 +348,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 // handleHealthz reports fleet liveness: OK while at least one shard can
 // take new work.
 func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	for _, sh := range g.shards {
+	for _, sh := range g.list() {
 		if sh.available() {
 			w.WriteHeader(http.StatusOK)
 			return

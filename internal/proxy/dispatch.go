@@ -348,6 +348,8 @@ func (pl *pipelineRuntime) fireHedge(id uint64, delay time.Duration) {
 // run is the pipelined request path: admit, stage-1 ecall, then either the
 // short-circuit reply or a park-and-await.
 func (p *Proxy) run(ctx context.Context, req envelope) (envelopeReply, error) {
+	p.inflight.Add(1)
+	defer p.inflight.Add(-1)
 	pl := p.pipeline
 	if pl == nil {
 		return p.ecall(ctx, req)

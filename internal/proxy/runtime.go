@@ -47,9 +47,10 @@ func newConnTable(link *netsim.Link) *connTable {
 
 // enableFetcher attaches the async-fetch worker state (untrusted keep-alive
 // pools, cancellation registry, per-upstream latency histograms) used by
-// the "fetch" ocall the pipeline submits to.
-func (ct *connTable) enableFetcher(maxIdle int, idleTTL time.Duration) {
-	ct.fetch = newFetcher(ct, maxIdle, idleTTL)
+// the "fetch" ocall the pipeline submits to. timeout, when positive, bounds
+// each exchange's read phase (Config.FetchTimeout).
+func (ct *connTable) enableFetcher(maxIdle int, idleTTL, timeout time.Duration) {
+	ct.fetch = newFetcher(ct, maxIdle, idleTTL, timeout)
 }
 
 // delayedConn injects link latency around a request/response exchange.
@@ -271,6 +272,13 @@ type fetcher struct {
 	ct      *connTable
 	maxIdle int
 	idleTTL time.Duration
+	// timeout, when positive, is the per-exchange read deadline: an
+	// upstream that accepts but never responds fails the fetch after this
+	// long instead of pinning the worker until hedge/abandon/shutdown
+	// cancels it. The resulting reply carries an error, so the enclave's
+	// resume path counts it against the upstream's breaker like any other
+	// transport failure.
+	timeout time.Duration
 
 	mu       sync.Mutex
 	idle     map[string][]idleFetchConn // per host, oldest first
@@ -291,11 +299,12 @@ type fetchOp struct {
 	conn      net.Conn
 }
 
-func newFetcher(ct *connTable, maxIdle int, idleTTL time.Duration) *fetcher {
+func newFetcher(ct *connTable, maxIdle int, idleTTL, timeout time.Duration) *fetcher {
 	return &fetcher{
 		ct:       ct,
 		maxIdle:  maxIdle,
 		idleTTL:  idleTTL,
+		timeout:  timeout,
 		idle:     make(map[string][]idleFetchConn),
 		inflight: make(map[uint64]*fetchOp),
 		hist:     make(map[string]*metrics.Histogram),
@@ -375,14 +384,29 @@ func (f *fetcher) do(fa *fetchArg) fetchReply {
 			}
 			return f.outcome(op, fmt.Sprintf("send request: %v", err))
 		}
+		if f.timeout > 0 {
+			// One absolute deadline covers the whole framed response: an
+			// upstream that accepted but never answers (or stalls mid-body)
+			// fails here instead of pinning this worker indefinitely.
+			_ = conn.SetReadDeadline(time.Now().Add(f.timeout))
+		}
 		br := bufio.NewReader(conn)
 		body, status, keepAlive, err := readHTTPResponse(br)
 		if err != nil {
 			_ = conn.Close()
-			if reused && attempt == 0 && !f.isCancelled(op) {
+			// A deadline expiry is the upstream being slow, not the pooled
+			// stream being stale — a fresh dial would wait the whole
+			// timeout again, doubling the worst case, so only non-timeout
+			// failures on a reused conn earn the retry.
+			var ne net.Error
+			timedOut := errors.As(err, &ne) && ne.Timeout()
+			if reused && attempt == 0 && !timedOut && !f.isCancelled(op) {
 				continue
 			}
 			return f.outcome(op, fmt.Sprintf("read response: %v", err))
+		}
+		if f.timeout > 0 {
+			_ = conn.SetReadDeadline(time.Time{})
 		}
 		f.mu.Lock()
 		cancelled := op.cancelled

@@ -191,6 +191,17 @@ func WithHedging(delay time.Duration, max int) ProxyOption {
 	})
 }
 
+// WithFetchTimeout bounds each async engine fetch's read phase (requires
+// WithAsyncOcalls): an upstream that accepts the connection but never
+// responds fails the fetch after d — counted against its circuit breaker
+// like any refused response, so requests fail over to healthy upstreams —
+// instead of pinning an async worker until a hedge winner, caller
+// abandonment, or shutdown cancels it. Zero (the default) keeps the
+// previous behaviour: no per-fetch deadline.
+func WithFetchTimeout(d time.Duration) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) { c.FetchTimeout = d })
+}
+
 // WithResultCache enables the in-enclave obfuscated-result cache: filtered
 // results are kept for repeat queries, bounded to maxBytes total (charged
 // against the EPC like the history window) and ttl freshness. A zero ttl
@@ -264,6 +275,12 @@ type FleetShardStats = fleet.ShardStats
 // FleetDrainReport describes a completed planned drain.
 type FleetDrainReport = fleet.DrainReport
 
+// AutoscalePolicy parameterizes fleet autoscaling (WithAutoscale): the
+// occupancy hysteresis band, optional p95-latency and EPC-pressure up
+// signals, the sampling interval, and the cooldown between scale events.
+// Zero fields take the fleet defaults.
+type AutoscalePolicy = fleet.AutoscalePolicy
+
 // FleetOption configures NewFleet.
 type FleetOption interface {
 	applyFleet(*fleet.Config)
@@ -288,6 +305,24 @@ func WithShardConfig(opts ...ProxyOption) FleetOption {
 		for _, o := range opts {
 			o.applyProxy(&c.ShardConfig)
 		}
+	})
+}
+
+// WithAutoscale makes the fleet elastic between min and max shards: the
+// gateway samples per-shard load signals (pipeline admission occupancy,
+// p95 request latency, EPC heap pressure) on the policy's interval and
+// scales up by spawning a shard on its own simulated platform — re-keyed
+// under the fleet sealing root and inserted into the HRW ring, so new
+// sessions rebalance naturally while existing sessions stay pinned — and
+// scales down by draining the coldest shard through the sealed handoff
+// before retiring its enclave. Hysteresis and a cooldown keep the fleet
+// from flapping, and a scale-down is refused when the merged history
+// would overflow a single shard's window (the k-anonymity floor).
+func WithAutoscale(min, max int, policy AutoscalePolicy) FleetOption {
+	return fleetOptionFunc(func(c *fleet.Config) {
+		c.ShardsMin = min
+		c.ShardsMax = max
+		c.Autoscale = &policy
 	})
 }
 
@@ -342,6 +377,17 @@ func (f *Fleet) KillShard(ctx context.Context, i int) error { return f.inner.Kil
 // window to its successor as a sealed blob before destroying the enclave.
 func (f *Fleet) DrainShard(ctx context.Context, i int) (*FleetDrainReport, error) {
 	return f.inner.Drain(ctx, i)
+}
+
+// ScaleUp manually spawns one shard (own platform, fleet sealing root,
+// same measured template) and inserts it into the routing ring, returning
+// its stable index. Respects the WithAutoscale maximum when set.
+func (f *Fleet) ScaleUp(ctx context.Context) (int, error) { return f.inner.ScaleUp(ctx) }
+
+// ScaleDown manually retires the coldest shard through the sealed drain
+// handoff, respecting the configured minimum and the k-anonymity floor.
+func (f *Fleet) ScaleDown(ctx context.Context) (*FleetDrainReport, error) {
+	return f.inner.ScaleDown(ctx)
 }
 
 // --- Client ---
