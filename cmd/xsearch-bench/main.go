@@ -24,7 +24,7 @@ func main() {
 
 func run() error {
 	var (
-		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline,autoscale", "comma-separated figures to run")
+		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline,autoscale,batch", "comma-separated figures to run")
 		quick    = flag.Bool("quick", false, "scaled-down sizes (CI-friendly)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		useHTTP  = flag.Bool("http", false, "Figure 5 over real loopback HTTP (bare-metal runs)")
@@ -102,7 +102,7 @@ func run() error {
 		if raw, err := os.ReadFile(*baseline); err == nil {
 			_ = json.Unmarshal(raw, base)
 		}
-		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline,autoscale -baseline"
+		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline,autoscale,batch -baseline"
 	}
 	if want["scaling"] {
 		if err := runScaling(*quick, *seed, base); err != nil {
@@ -126,6 +126,11 @@ func run() error {
 	}
 	if want["autoscale"] {
 		if err := runAutoscaleFig(*quick, *seed, base); err != nil {
+			return err
+		}
+	}
+	if want["batch"] {
+		if err := runBatchFig(*quick, *seed, base); err != nil {
 			return err
 		}
 	}
@@ -367,6 +372,25 @@ type scalingBaseline struct {
 	AutoscaleScaleUps    uint64  `json:"autoscale_scale_ups"`
 	AutoscaleScaleDowns  uint64  `json:"autoscale_scale_downs"`
 	AutoscaleInvariantOK bool    `json:"autoscale_epc_invariant_ok"`
+	// Batch ablation: vectorized ecall submission against the unbatched
+	// async pipeline at the same TCS count and transition cost, plus the
+	// full batch-size/latency curve.
+	BatchUnbatchedRPS float64           `json:"batch_unbatched_rps"`
+	BatchUnbatchedP50 int64             `json:"batch_unbatched_p50_ns"`
+	BatchBestSpeedup  float64           `json:"batch_best_speedup"`
+	BatchInvariantOK  bool              `json:"batch_epc_invariant_ok"`
+	BatchCurve        []batchCurvePoint `json:"batch_curve"`
+}
+
+// batchCurvePoint is one committed point of the batch-size/latency curve.
+type batchCurvePoint struct {
+	BatchMax     int     `json:"batch_max"`
+	RPS          float64 `json:"rps"`
+	Speedup      float64 `json:"speedup"`
+	P50Ns        int64   `json:"p50_ns"`
+	P95Ns        int64   `json:"p95_ns"`
+	OccupancyP50 float64 `json:"occupancy_p50"`
+	OccupancyP95 float64 `json:"occupancy_p95"`
 }
 
 func runScaling(quick bool, seed uint64, base *scalingBaseline) error {
@@ -581,6 +605,56 @@ func runAutoscaleFig(quick bool, seed uint64, base *scalingBaseline) error {
 		base.AutoscaleScaleUps = res.ScaleUps
 		base.AutoscaleScaleDowns = res.ScaleDowns
 		base.AutoscaleInvariantOK = res.InvariantOK
+	}
+	return nil
+}
+
+func runBatchFig(quick bool, seed uint64, base *scalingBaseline) error {
+	cfg := experiments.DefaultBatchConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Workers, cfg.Requests = 16, 200
+		cfg.PipelineDepth = 32
+		cfg.BatchSizes = []int{2, 8}
+	}
+	res, err := experiments.RunBatch(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Batch ablation: vectorized ecall submission vs unbatched async pipeline\n")
+	fmt.Printf("# (%d enclave threads, %v per transition, %d workers x %d requests,\n",
+		cfg.TCSCount, cfg.TransitionCost, cfg.Workers, cfg.Requests)
+	fmt.Printf("# fill window %v)\n", cfg.BatchWindow)
+	fmt.Printf("%-10s  %-10s  %-8s  %-10s  %-10s  %-14s\n",
+		"batch max", "req/s", "speedup", "p50", "p95", "occupancy 50/95")
+	fmt.Printf("%-10s  %-10.0f  %-8s  %-10v  %-10v  %-14s\n", "off",
+		res.UnbatchedRPS, "1.00",
+		res.UnbatchedP50.Round(time.Microsecond), res.UnbatchedP95.Round(time.Microsecond), "-")
+	for _, pt := range res.Curve {
+		fmt.Printf("%-10.0f  %-10.0f  %-8.2f  %-10v  %-10v  %-14s\n",
+			pt.BatchMax, pt.RPS, pt.Speedup,
+			pt.P50.Round(time.Microsecond), pt.P95.Round(time.Microsecond),
+			fmt.Sprintf("%.0f/%.0f", pt.OccupancyP50, pt.OccupancyP95))
+	}
+	fmt.Printf("# group-commit batching buys %.1fx over the unbatched async hot path;\n", res.BestSpeedup)
+	fmt.Printf("# EPC invariant across the sweep: %t\n\n", res.InvariantOK)
+	if base != nil {
+		base.BatchUnbatchedRPS = res.UnbatchedRPS
+		base.BatchUnbatchedP50 = res.UnbatchedP50.Nanoseconds()
+		base.BatchBestSpeedup = res.BestSpeedup
+		base.BatchInvariantOK = res.InvariantOK
+		base.BatchCurve = base.BatchCurve[:0]
+		for _, pt := range res.Curve {
+			base.BatchCurve = append(base.BatchCurve, batchCurvePoint{
+				BatchMax:     int(pt.BatchMax),
+				RPS:          pt.RPS,
+				Speedup:      pt.Speedup,
+				P50Ns:        pt.P50.Nanoseconds(),
+				P95Ns:        pt.P95.Nanoseconds(),
+				OccupancyP50: pt.OccupancyP50,
+				OccupancyP95: pt.OccupancyP95,
+			})
+		}
 	}
 	return nil
 }

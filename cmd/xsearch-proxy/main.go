@@ -78,6 +78,8 @@ func run() error {
 		hedgeDelay  = flag.Duration("hedge-delay", 0, "hedge a pipelined fetch after this delay (0=p95-derived; needs -hedge-max)")
 		hedgeMax    = flag.Int("hedge-max", 0, "max hedge fetches per request (0=hedging off; needs -async)")
 		fetchWait   = flag.Duration("fetch-timeout", 0, "per-fetch read deadline in the async fetcher: a hung upstream fails (and counts against its breaker) after this (0=off; needs -async)")
+		batchMax    = flag.Int("batch-max", 0, "coalesce up to this many admitted requests into one vectorized ecall (0=off, min 2; needs -async)")
+		batchWindow = flag.Duration("batch-window", 0, "how long a partially filled batch waits for more requests (0=default 200µs; needs -batch-max)")
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: drain in-flight requests this long before destroying enclaves")
 	)
 	flag.Parse()
@@ -121,6 +123,15 @@ func run() error {
 	}
 	if *fetchWait > 0 {
 		opts = append(opts, xsearch.WithFetchTimeout(*fetchWait))
+	}
+	if *batchMax != 0 && !*asyncOcalls {
+		return fmt.Errorf("-batch-max requires -async")
+	}
+	if *batchWindow != 0 && *batchMax == 0 {
+		return fmt.Errorf("-batch-window has no effect without -batch-max")
+	}
+	if *batchMax != 0 {
+		opts = append(opts, xsearch.WithBatching(*batchMax, *batchWindow))
 	}
 	switch {
 	case *echo:
@@ -198,6 +209,10 @@ func run() error {
 	if st.AsyncSubmitted > 0 {
 		fmt.Printf("pipeline: %d async fetches (%d completed); hedges: %d issued, %d won, %d cancelled\n",
 			st.AsyncSubmitted, st.AsyncCompleted, st.HedgeAttempts, st.HedgeWins, st.HedgeCancelled)
+	}
+	if st.BatchesSubmitted > 0 {
+		fmt.Printf("batching: %d vectorized ecalls, request-batch occupancy p50=%.0f p95=%.0f\n",
+			st.BatchesSubmitted, st.BatchOccupancyP50, st.BatchOccupancyP95)
 	}
 	for _, u := range st.Upstreams {
 		fmt.Printf("upstream %s (w=%d): served %d, failures %d, rate-limited %d, cooling=%t, reuse %.0f%%\n",

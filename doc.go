@@ -141,13 +141,40 @@
 // counts against its breaker — instead of pinning an async worker until a
 // hedge winner, caller abandonment, or shutdown cancels it.
 //
+// # Batching
+//
+// Even fully pipelined, every request still pays two boundary crossings —
+// the stage-1 submission ecall and the resume ecall — and with transitions
+// priced (EENTER/EEXIT cost) that fixed tax bounds throughput regardless
+// of TCS count. WithBatching adds group commit at the ecall seam: admitted
+// requests queue briefly in front of a single batcher goroutine that
+// coalesces up to BatchMax of them into one vectorized "request-batch"
+// ecall — one obfuscator pass drawing noise for the whole batch, one EPC
+// settlement, one pending-table critical section, one ring submission
+// burst — and completions drain in batches through a matching
+// "resume-batch" ecall, dividing the transition tax by the batch
+// occupancy. The policy is adaptive: a genuinely idle proxy (sole request
+// in flight) submits immediately and pays no added latency, while a
+// loaded one waits up to BatchWindow for the batch to fill, trading a
+// bounded hold for amortization — under real load batching improves
+// latency as well as throughput, because requests stop queueing behind
+// other requests' transition spins. Batching rides the same hedging,
+// coalescing, and abandonment machinery as the unbatched pipeline (each
+// batch entry parks individually; hedges and claims re-enter through the
+// existing seams) and is part of the measured identity (ident v1.6). The
+// batch ablation (-figs batch) sweeps BatchMax against the unbatched
+// async pipeline at the same TCS count and commits the
+// batch-size/latency curve to BENCH_baseline.json.
+//
 // Proxy.Stats reports the node gauges (per-upstream pool reuse, breaker
 // and rate-limit state in Stats.Upstreams — sorted by host for stable
 // diffs — cache hit ratio, coalesce ratio, async/hedge counters, and
-// p50/p95/p99 query latency from a fixed-bucket histogram) and
+// p50/p95/p99 query latency from a fixed-bucket histogram, and
+// batch-submission counts with request-batch occupancy percentiles) and
 // Fleet.Stats aggregates them across shards next to the gateway's routing
-// counters; the scaling, fanout, fleet, and pipeline ablations in
-// cmd/xsearch-bench (-figs scaling,fanout,fleet,pipeline) measure the
+// counters; the scaling, fanout, fleet, pipeline, autoscale, and batch
+// ablations in cmd/xsearch-bench (-figs
+// scaling,fanout,fleet,pipeline,autoscale,batch) measure the
 // configurations side by side and can write BENCH_baseline.json for
 // perf-regression tracking.
 //

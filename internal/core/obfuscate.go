@@ -131,3 +131,32 @@ func (ob *Obfuscator) Obfuscate(query string) (ObfuscatedQuery, int64) {
 	delta := ob.history.Add(query)
 	return ObfuscatedQuery{Subqueries: subs, OriginalIndex: position}, delta
 }
+
+// ObfuscateBatch runs Algorithm 1 over a batch of queries under a single
+// acquisition of the obfuscator's lock, preserving the sequential
+// semantics of calling Obfuscate once per query in order: each query is
+// recorded into the history before the next draws its fakes, so later
+// entries may sample earlier ones as noise. The aggregate history byte
+// delta is returned once so the caller can settle the EPC charge in one
+// step. This is the batched request ecall's amortization: one lock
+// acquisition draws noise for the whole batch.
+func (ob *Obfuscator) ObfuscateBatch(queries []string) ([]ObfuscatedQuery, int64) {
+	out := make([]ObfuscatedQuery, len(queries))
+	var total int64
+	ob.mu.Lock()
+	for i, query := range queries {
+		fakes := ob.history.Sample(ob.k, ob.rng.IntN)
+		position := 0
+		if n := len(fakes) + 1; n > 1 {
+			position = ob.rng.IntN(n)
+		}
+		subs := make([]string, 0, len(fakes)+1)
+		subs = append(subs, fakes[:position]...)
+		subs = append(subs, query)
+		subs = append(subs, fakes[position:]...)
+		total += ob.history.Add(query)
+		out[i] = ObfuscatedQuery{Subqueries: subs, OriginalIndex: position}
+	}
+	ob.mu.Unlock()
+	return out, total
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunBatchValidation(t *testing.T) {
+	if _, err := RunBatch(BatchConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+// The acceptance bar of the batching layer: with transitions priced and
+// TCS slots scarce, vectorized ecalls must demonstrably beat the unbatched
+// async pipeline (>= 1.3x at BatchMax >= 8; measured well above — the
+// slack keeps the test robust on loaded CI machines), and the EPC
+// invariant must hold across every run of the sweep.
+func TestRunBatchSpeedsUp(t *testing.T) {
+	cfg := BatchConfig{
+		Workers:        16,
+		Requests:       200,
+		EngineService:  time.Millisecond,
+		TCSCount:       2,
+		TransitionCost: 200 * time.Microsecond,
+		PipelineDepth:  32,
+		BatchWindow:    2 * time.Millisecond,
+		BatchSizes:     []int{2, 8},
+		DocsPerTopic:   10,
+		Seed:           1,
+	}
+	if raceEnabled {
+		cfg.Requests = 100
+	}
+	res, err := RunBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnbatchedRPS <= 0 {
+		t.Fatalf("no baseline throughput: %.0f", res.UnbatchedRPS)
+	}
+	var deep *BatchPoint
+	for i := range res.Curve {
+		if res.Curve[i].BatchMax >= 8 {
+			deep = &res.Curve[i]
+		}
+	}
+	if deep == nil {
+		t.Fatal("sweep produced no BatchMax >= 8 point")
+	}
+	if deep.Speedup < 1.3 {
+		t.Errorf("batching at max %v only %.2fx of unbatched async (want >= 1.3x; baseline %.0f rps, batched %.0f rps)",
+			deep.BatchMax, deep.Speedup, res.UnbatchedRPS, deep.RPS)
+	}
+	if deep.OccupancyP95 < 2 {
+		t.Errorf("request-batch occupancy p95 = %v: batches never actually coalesced", deep.OccupancyP95)
+	}
+	if !res.InvariantOK {
+		t.Error("EPC invariant broken during the batch ablation")
+	}
+}

@@ -41,6 +41,28 @@ import (
 // The soak is sized to run race-clean inside tier-1: ~4s default, ~2s
 // with -short.
 func TestChaosFleetSoak(t *testing.T) {
+	runChaosFleetSoak(t, proxy.Config{K: 2, EchoMode: true, Seed: 11})
+}
+
+// TestChaosFleetSoakBatched reruns the chaos soak with every shard running
+// the batched ecall seam: kills, drains, and scale events now land while
+// request batches are mid-flight through the vectorized ecalls, so a
+// destroy can interleave with a batch's submission burst and a completion
+// batch can race a retiring shard. The same properties must hold — zero
+// lost replies, no goroutine leaks, the EPC invariant on every survivor —
+// and the batcher must actually have carried traffic.
+func TestChaosFleetSoakBatched(t *testing.T) {
+	runChaosFleetSoak(t, proxy.Config{
+		K:             2,
+		EchoMode:      true,
+		Seed:          11,
+		AsyncOcalls:   true,
+		PipelineDepth: 16,
+		BatchMax:      8,
+	})
+}
+
+func runChaosFleetSoak(t *testing.T, shardCfg proxy.Config) {
 	duration := 4 * time.Second
 	if testing.Short() {
 		duration = 2 * time.Second
@@ -56,7 +78,7 @@ func TestChaosFleetSoak(t *testing.T) {
 			Interval: 20 * time.Millisecond,
 			Cooldown: 100 * time.Millisecond,
 		},
-		ShardConfig:    proxy.Config{K: 2, EchoMode: true, Seed: 11},
+		ShardConfig:    shardCfg,
 		HealthInterval: 10 * time.Millisecond,
 	})
 	if err != nil {
@@ -200,6 +222,9 @@ func TestChaosFleetSoak(t *testing.T) {
 	}
 	if kills+drains+int(st.ScaleDowns) == 0 {
 		t.Fatalf("soak never removed a shard (kills=%d drains=%d downs=%d)", kills, drains, st.ScaleDowns)
+	}
+	if shardCfg.BatchMax > 0 && st.BatchesSubmitted == 0 {
+		t.Fatal("batched soak submitted no vectorized ecalls")
 	}
 
 	// Every surviving shard must hold the EPC identity once quiescent.

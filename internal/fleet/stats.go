@@ -75,6 +75,11 @@ type Stats struct {
 	HedgeAttempts    uint64 `json:"hedge_attempts,omitempty"`
 	HedgeWins        uint64 `json:"hedge_wins,omitempty"`
 	HedgeCancelled   uint64 `json:"hedge_cancelled,omitempty"`
+	// Ecall batching gauges: vectorized boundary crossings summed over live
+	// shards, and the worst per-shard request-batch occupancy p95
+	// (occupancy distributions, like latency percentiles, do not merge).
+	BatchesSubmitted     uint64  `json:"batches_submitted,omitempty"`
+	BatchOccupancyP95Max float64 `json:"batch_occupancy_p95_max,omitempty"`
 	// LatencyP99Max is the worst per-shard p99 query latency — percentiles
 	// do not merge across histograms, so the fleet reports the most
 	// conservative tail (per-shard percentiles live in Shards[i].Proxy).
@@ -136,6 +141,10 @@ func (g *Gateway) Stats() Stats {
 			s.HedgeAttempts += ss.Proxy.HedgeAttempts
 			s.HedgeWins += ss.Proxy.HedgeWins
 			s.HedgeCancelled += ss.Proxy.HedgeCancelled
+			s.BatchesSubmitted += ss.Proxy.BatchesSubmitted
+			if ss.Proxy.BatchOccupancyP95 > s.BatchOccupancyP95Max {
+				s.BatchOccupancyP95Max = ss.Proxy.BatchOccupancyP95
+			}
 			if ss.Proxy.LatencyP99 > s.LatencyP99Max {
 				s.LatencyP99Max = ss.Proxy.LatencyP99
 			}

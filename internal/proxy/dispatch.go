@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,6 +38,17 @@ type pipelineRuntime struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	workers  sync.WaitGroup
+
+	// Ecall batching (BatchMax >= 2): admitted plain/secure requests are
+	// funneled through submitQ into one group-commit batcher goroutine
+	// that vectorizes stage-1 crossings, and the resume workers drain
+	// completions in batches of the same bound. Handshakes and the
+	// control ecalls stay singletons. submitQ is nil when batching is
+	// off.
+	batchMax    int
+	batchWindow time.Duration
+	submitQ     chan *batchItem
+	bstats      *batchStats
 }
 
 // pendingOutcome is what the dispatcher delivers to a parked request
@@ -53,23 +66,42 @@ type pendingOutcome struct {
 // overlapping without hogging TCS slots.
 const resumeWorkerCount = 4
 
-func newPipelineRuntime(p *Proxy, depth int) *pipelineRuntime {
-	return &pipelineRuntime{
-		p:         p,
-		depth:     depth,
-		sem:       make(chan struct{}, depth),
-		waiters:   make(map[uint64]chan pendingOutcome),
-		unclaimed: make(map[uint64]pendingOutcome),
-		abandoned: make(map[uint64]struct{}),
-		stop:      make(chan struct{}),
+func newPipelineRuntime(p *Proxy, depth, batchMax int, batchWindow time.Duration) *pipelineRuntime {
+	pl := &pipelineRuntime{
+		p:           p,
+		depth:       depth,
+		sem:         make(chan struct{}, depth),
+		waiters:     make(map[uint64]chan pendingOutcome),
+		unclaimed:   make(map[uint64]pendingOutcome),
+		abandoned:   make(map[uint64]struct{}),
+		stop:        make(chan struct{}),
+		batchMax:    batchMax,
+		batchWindow: batchWindow,
 	}
+	if batchMax > 1 {
+		// Buffered to the admission depth: a sender that won admission
+		// always finds queue space, so enqueueing never blocks behind
+		// the batcher's in-flight ecall.
+		pl.submitQ = make(chan *batchItem, depth)
+		pl.bstats = newBatchStats(batchMax)
+	}
+	return pl
 }
 
-// start spawns the resume workers.
+// start spawns the resume workers (batched variants when batching is on)
+// and the request batcher.
 func (pl *pipelineRuntime) start() {
 	for i := 0; i < resumeWorkerCount; i++ {
 		pl.workers.Add(1)
-		go pl.resumeLoop()
+		if pl.batchMax > 1 {
+			go pl.resumeLoopBatched()
+		} else {
+			go pl.resumeLoop()
+		}
+	}
+	if pl.submitQ != nil {
+		pl.workers.Add(1)
+		go pl.batcherLoop()
 	}
 }
 
@@ -135,6 +167,67 @@ func (pl *pipelineRuntime) handleCompletion(raw []byte) {
 	if err != nil {
 		return // enclave destroyed mid-flight
 	}
+	pl.routeResume(out)
+}
+
+// resumeLoopBatched is resumeLoop's batching variant: the first ready
+// completion is taken blocking, every other already-ready completion (up
+// to BatchMax) rides the same "resume-batch" ecall, amortizing the
+// re-entry transition across the batch. Per-entry verdicts are routed
+// exactly as the singleton loop routes them.
+func (pl *pipelineRuntime) resumeLoopBatched() {
+	defer pl.workers.Done()
+	comp := pl.p.encl.Completions()
+	for {
+		select {
+		case <-pl.stop:
+			return
+		case c := <-comp:
+			batch := make([][]byte, 0, pl.batchMax)
+			if c.Err == nil {
+				batch = append(batch, c.Result)
+			}
+		drain:
+			for len(batch) < pl.batchMax {
+				select {
+				case c2 := <-comp:
+					if c2.Err == nil {
+						batch = append(batch, c2.Result)
+					}
+				default:
+					break drain
+				}
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			pl.handleCompletionBatch(batch)
+		}
+	}
+}
+
+func (pl *pipelineRuntime) handleCompletionBatch(batch [][]byte) {
+	pl.bstats.submitted.Add(1)
+	out, err := pl.p.encl.ECall(context.Background(), "resume-batch", encodeBatch(batch))
+	if err != nil {
+		return // enclave destroyed mid-flight
+	}
+	replies, err := decodeBatch(out)
+	if err != nil {
+		return
+	}
+	for _, raw := range replies {
+		var item batchItemReply
+		if err := json.Unmarshal(raw, &item); err != nil || item.Err != "" {
+			continue
+		}
+		pl.routeResume(item.Reply)
+	}
+}
+
+// routeResume routes one resume verdict — from a singleton or batched
+// re-entry — to whoever is parked on it.
+func (pl *pipelineRuntime) routeResume(out []byte) {
 	var rr resumeReply
 	if err := json.Unmarshal(out, &rr); err != nil {
 		return
@@ -218,7 +311,7 @@ func (pl *pipelineRuntime) await(ctx context.Context, reply envelopeReply) (enve
 
 	if reply.CanHedge {
 		delay := pl.p.hedgeDelayFor(reply.Upstream)
-		timer := time.AfterFunc(delay, func() { pl.fireHedge(id, delay) })
+		timer := time.AfterFunc(delay, func() { pl.fireHedge(id) })
 		defer timer.Stop()
 	}
 
@@ -260,6 +353,18 @@ func (pl *pipelineRuntime) consume(ctx context.Context, id uint64, out pendingOu
 func (pl *pipelineRuntime) abandon(id uint64, ch chan pendingOutcome) {
 	pl.mu.Lock()
 	delete(pl.waiters, id)
+	if out, ok := pl.unclaimed[id]; ok {
+		// The outcome was stashed before any waiter registered — the
+		// batched submit path abandons ids whose caller never reached
+		// await(), so the stash (not the caller's channel) may hold the
+		// delivery. Consume it here or it lingers forever.
+		delete(pl.unclaimed, id)
+		pl.mu.Unlock()
+		if out.claim {
+			pl.discardClaim(id)
+		}
+		return
+	}
 	select {
 	case out := <-ch:
 		pl.mu.Unlock()
@@ -319,10 +424,14 @@ func (pl *pipelineRuntime) claim(ctx context.Context, id uint64) (envelopeReply,
 
 // fireHedge asks the enclave to hedge a still-parked request; the enclave
 // decides (health, HedgeMax, flight state), the runtime only times. When
-// another hedge remains in budget, the timer re-arms at the same delay; a
-// timer firing after the request finalized gets {Hedged: false} and the
-// chain stops.
-func (pl *pipelineRuntime) fireHedge(id uint64, delay time.Duration) {
+// another hedge remains in budget, the timer re-arms against the upstream
+// the hedge actually went to — its own p95 when warm, the documented
+// DefaultHedgeDelay while cold. The primary's delay is stale at that
+// point: re-using it would fire the next hedge near-immediately when the
+// primary's history sits at the autoHedgeFloor, or effectively never when
+// its p95 towers over the fresh upstream's. A timer firing after the
+// request finalized gets {Hedged: false} and the chain stops.
+func (pl *pipelineRuntime) fireHedge(id uint64) {
 	select {
 	case <-pl.stop:
 		return
@@ -341,7 +450,8 @@ func (pl *pipelineRuntime) fireHedge(id uint64, delay time.Duration) {
 		return
 	}
 	if hr.Hedged && hr.CanHedge {
-		time.AfterFunc(delay, func() { pl.fireHedge(id, delay) })
+		next := pl.p.hedgeDelayFor(hr.Upstream)
+		time.AfterFunc(next, func() { pl.fireHedge(id) })
 	}
 }
 
@@ -363,7 +473,13 @@ func (p *Proxy) run(ctx context.Context, req envelope) (envelopeReply, error) {
 	}
 	defer func() { <-pl.sem }()
 
-	reply, err := p.ecall(ctx, req)
+	var reply envelopeReply
+	var err error
+	if pl.submitQ != nil && req.Type != typeHandshake {
+		reply, err = pl.runBatched(ctx, req)
+	} else {
+		reply, err = p.ecall(ctx, req)
+	}
 	if err != nil || reply.Pending == 0 {
 		return reply, err
 	}
@@ -400,3 +516,235 @@ const (
 	// request.
 	autoHedgeFloor = time.Millisecond
 )
+
+// batchItem is one admitted request riding the group-commit batcher. The
+// done channel is buffered so delivery never blocks; gone flags a caller
+// that stopped waiting (context cancelled, pipeline stopping) so whichever
+// side ends up consuming the raced outcome abandons the parked entry.
+type batchItem struct {
+	arg  []byte
+	done chan batchItemOutcome
+	gone atomic.Bool
+}
+
+type batchItemOutcome struct {
+	reply envelopeReply
+	err   error
+}
+
+// runBatched routes an admitted plain/secure request through the ecall
+// batcher instead of a singleton "request" ecall. The caller still parks
+// in await() for its final outcome; only the boundary crossing is shared.
+func (pl *pipelineRuntime) runBatched(ctx context.Context, req envelope) (envelopeReply, error) {
+	arg, err := json.Marshal(req)
+	if err != nil {
+		return envelopeReply{}, err
+	}
+	item := &batchItem{arg: arg, done: make(chan batchItemOutcome, 1)}
+	select {
+	case pl.submitQ <- item:
+	case <-ctx.Done():
+		return envelopeReply{}, fmt.Errorf("proxy: batch submit: %w", ctx.Err())
+	case <-pl.stop:
+		return envelopeReply{}, fmt.Errorf("proxy: pipeline stopped")
+	}
+	select {
+	case out := <-item.done:
+		return out.reply, out.err
+	case <-ctx.Done():
+		pl.forsake(item)
+		return envelopeReply{}, fmt.Errorf("proxy: batched request: %w", ctx.Err())
+	case <-pl.stop:
+		pl.forsake(item)
+		return envelopeReply{}, fmt.Errorf("proxy: pipeline stopped")
+	}
+}
+
+// forsake marks a batch item whose caller stopped waiting, then drains an
+// outcome that raced in. Both the forsaking caller and the delivering
+// batcher attempt the same drain after observing gone; the buffered
+// channel holds at most one outcome, so exactly one side wins it and owns
+// abandoning the parked entry — the other side's receive simply misses.
+func (pl *pipelineRuntime) forsake(item *batchItem) {
+	item.gone.Store(true)
+	select {
+	case out := <-item.done:
+		if out.err == nil && out.reply.Pending != 0 {
+			pl.abandonPending(out.reply.Pending)
+		}
+	default:
+	}
+}
+
+// abandonPending abandons a parked id on behalf of a caller that stopped
+// waiting before its batched stage-1 outcome arrived. The fresh channel
+// can never hold a delivery (no waiter was ever registered for it);
+// abandon's unclaimed-stash check covers an outcome that already landed.
+func (pl *pipelineRuntime) abandonPending(id uint64) {
+	pl.abandon(id, make(chan pendingOutcome, 1))
+}
+
+// batcherLoop is group commit at the ecall seam: the first queued request
+// is taken blocking, whatever else is already queued is drained
+// opportunistically, and only a system that shows depth earns a
+// BatchWindow wait toward a full batch. Depth is the admission gauge, not
+// the instantaneous queue: more requests admitted than collected means
+// concurrency is present — submissions are en route or will be the moment
+// a completion lands — even when the scheduler hands them over one at a
+// time (on a small core count the queue practically never shows two
+// waiters at once, yet the load is there). A genuinely idle proxy (sole
+// request in flight) submits immediately and pays no batching latency; a
+// loaded one coalesces until BatchMax entries or BatchWindow, whichever
+// first. The batcher is deliberately a single goroutine: while its batch
+// ecall runs, newly admitted requests pile into submitQ, so the next
+// batch is naturally fuller — load, not a tuning knob, decides the
+// amortization.
+func (pl *pipelineRuntime) batcherLoop() {
+	defer pl.workers.Done()
+	for {
+		var first *batchItem
+		select {
+		case <-pl.stop:
+			return
+		case first = <-pl.submitQ:
+		}
+		batch := append(make([]*batchItem, 0, pl.batchMax), first)
+	drain:
+		for len(batch) < pl.batchMax {
+			select {
+			case it := <-pl.submitQ:
+				batch = append(batch, it)
+			default:
+				break drain
+			}
+		}
+		if len(batch) < pl.batchMax && pl.batchWindow > 0 &&
+			(len(batch) > 1 || pl.inFlight() > len(batch)) {
+			timer := time.NewTimer(pl.batchWindow)
+		fill:
+			for len(batch) < pl.batchMax {
+				select {
+				case it := <-pl.submitQ:
+					batch = append(batch, it)
+				case <-timer.C:
+					break fill
+				case <-pl.stop:
+					break fill
+				}
+			}
+			timer.Stop()
+		}
+		pl.dispatchBatch(batch)
+	}
+}
+
+// dispatchBatch submits one request batch through the vectorized ecall
+// and routes per-entry replies back to the queued callers. A failed batch
+// ecall (enclave destroyed mid-flight) errors every entry — a queued
+// caller is never left parked.
+func (pl *pipelineRuntime) dispatchBatch(batch []*batchItem) {
+	pl.bstats.record(len(batch))
+	blobs := make([][]byte, len(batch))
+	for i, it := range batch {
+		blobs[i] = it.arg
+	}
+	out, err := pl.p.encl.ECall(context.Background(), "request-batch", encodeBatch(blobs))
+	if err != nil {
+		pl.failBatch(batch, err)
+		return
+	}
+	replies, err := decodeBatch(out)
+	if err != nil || len(replies) != len(batch) {
+		pl.failBatch(batch, fmt.Errorf("proxy: bad batch reply: %v", err))
+		return
+	}
+	for i, it := range batch {
+		var entry batchItemReply
+		var outc batchItemOutcome
+		if err := json.Unmarshal(replies[i], &entry); err != nil {
+			outc.err = fmt.Errorf("proxy: bad batch entry reply: %w", err)
+		} else if entry.Err != "" {
+			outc.err = fmt.Errorf("%s", entry.Err)
+		} else if err := json.Unmarshal(entry.Reply, &outc.reply); err != nil {
+			outc.err = fmt.Errorf("proxy: bad batch entry reply: %w", err)
+		}
+		pl.deliverBatchItem(it, outc)
+	}
+}
+
+func (pl *pipelineRuntime) failBatch(batch []*batchItem, err error) {
+	for _, it := range batch {
+		pl.deliverBatchItem(it, batchItemOutcome{err: err})
+	}
+}
+
+// deliverBatchItem hands one entry's stage-1 outcome to its queued
+// caller, then re-checks the gone flag: a caller that forsook the item
+// concurrently may have missed this delivery, in which case this side
+// drains it and abandons the parked entry (see forsake for the
+// exactly-one-consumer argument).
+func (pl *pipelineRuntime) deliverBatchItem(it *batchItem, out batchItemOutcome) {
+	it.done <- out
+	if it.gone.Load() {
+		select {
+		case late := <-it.done:
+			if late.err == nil && late.reply.Pending != 0 {
+				pl.abandonPending(late.reply.Pending)
+			}
+		default:
+		}
+	}
+}
+
+// batchStats tracks batched boundary crossings: a total counter (request
+// plus resume batches) and an occupancy histogram over request batches —
+// how many requests shared one transition, the distribution BatchWindow
+// trades latency against.
+type batchStats struct {
+	submitted atomic.Uint64
+	mu        sync.Mutex
+	occ       []uint64 // index = request-batch occupancy
+}
+
+func newBatchStats(max int) *batchStats {
+	return &batchStats{occ: make([]uint64, max+1)}
+}
+
+func (bs *batchStats) record(n int) {
+	bs.submitted.Add(1)
+	if n >= len(bs.occ) {
+		n = len(bs.occ) - 1
+	}
+	bs.mu.Lock()
+	bs.occ[n]++
+	bs.mu.Unlock()
+}
+
+// percentiles returns the request-batch occupancy p50/p95 (0 when no
+// request batch has been submitted yet).
+func (bs *batchStats) percentiles() (p50, p95 float64) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	var total uint64
+	for _, c := range bs.occ {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	pct := func(p float64) float64 {
+		target := uint64(math.Ceil(p / 100 * float64(total)))
+		if target < 1 {
+			target = 1
+		}
+		var cum uint64
+		for i, c := range bs.occ {
+			cum += c
+			if cum >= target {
+				return float64(i)
+			}
+		}
+		return float64(len(bs.occ) - 1)
+	}
+	return pct(50), pct(95)
+}

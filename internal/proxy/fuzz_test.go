@@ -49,3 +49,44 @@ func FuzzParseResponse(f *testing.F) {
 		_ = keepAlive
 	})
 }
+
+// FuzzDecodeBatch fuzzes the batched-ecall frame decoder: the count and
+// length prefixes are hostile input (the untrusted batcher frames them),
+// so no prefix may panic the decoder, drive an oversized allocation, or
+// yield entries that do not round-trip through encodeBatch.
+func FuzzDecodeBatch(f *testing.F) {
+	// Well-formed single- and multi-entry frames.
+	f.Add(encodeBatch([][]byte{[]byte(`{"type":"plain","query":"q"}`)}))
+	f.Add(encodeBatch([][]byte{[]byte("a"), []byte(""), []byte("ccc")}))
+	// Truncated header, zero count, hostile count, oversized entry length.
+	f.Add([]byte{1, 0})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Add([]byte{1, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f})
+	// Entry truncated mid-payload and trailing garbage.
+	f.Add([]byte{1, 0, 0, 0, 9, 0, 0, 0, 'x', 'y'})
+	f.Add(append(encodeBatch([][]byte{[]byte("ok")}), 0xAA))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := decodeBatch(data)
+		if err != nil {
+			return
+		}
+		if len(entries) == 0 || len(entries) > maxBatchEntries {
+			t.Fatalf("accepted frame with %d entries", len(entries))
+		}
+		var total int
+		for i, e := range entries {
+			if len(e) > maxBatchEntryBytes {
+				t.Fatalf("entry %d is %d bytes, beyond the %d cap", i, len(e), maxBatchEntryBytes)
+			}
+			total += len(e)
+		}
+		if total > len(data) {
+			t.Fatalf("entries total %d bytes from a %d-byte frame", total, len(data))
+		}
+		if !bytes.Equal(encodeBatch(entries), data) {
+			t.Fatal("accepted frame does not round-trip through encodeBatch")
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -659,4 +660,289 @@ func (ts *trustedState) handleClaim(_ enclave.Env, arg []byte) ([]byte, error) {
 	out := make([]core.Result, len(results))
 	copy(out, results)
 	return ts.finishReply(w.kind, w.session, out, errstr)
+}
+
+// batchEntry is handleRequestBatch's per-entry staging state. An entry is
+// settled (out/err final) as soon as its outcome is known; later phases
+// skip settled entries.
+type batchEntry struct {
+	kind    string
+	session string
+	query   string
+	count   int
+	key     string
+	oq      core.ObfuscatedQuery
+	p       *pendingReq
+	att     *pendingAttempt // nil for coalesced followers
+	host    string
+	errstr  string // stage error recorded under the table lock, framed after
+	out     []byte
+	err     error
+	settled bool
+}
+
+func (e *batchEntry) settle(out []byte, err error) {
+	e.out, e.err, e.settled = out, err, true
+}
+
+func (e *batchEntry) fail(err error) { e.settle(nil, err) }
+
+// handleRequestBatch is the "request-batch" ecall: several admitted
+// requests cross the boundary in one transition. Per-entry semantics are
+// identical to the singleton "request" ecall — each entry ends with
+// exactly the reply (or error) it would have gotten alone, framed
+// per-entry by batchItemReply — while the fixed costs are paid once per
+// batch: one EENTER pair, one obfuscator-lock acquisition drawing noise
+// for every query, one aggregate EPC settlement for the history delta,
+// one pending-table critical section, and one burst of fetch submissions
+// into the async ring. Handshakes never batch (the untrusted batcher
+// routes them to the singleton ecall; one arriving here is a per-entry
+// error, not a batch failure).
+//
+// Identical queries inside one batch do NOT coalesce onto each other:
+// the coalescing key is published only after a leader's fetch is airborne
+// (the singleton path's rule), and publication happens after the whole
+// burst, so same-key entries each lead their own flight — exactly the
+// window two concurrent singleton ecalls already race through.
+func (ts *trustedState) handleRequestBatch(env enclave.Env, arg []byte) ([]byte, error) {
+	raw, err := decodeBatch(arg)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]*batchEntry, len(raw))
+
+	// Phase 1: per-entry decode/decrypt, mirroring handlePlain and
+	// handleSecure up to the obfuscation step. Records from one session
+	// arrive in submission order, so channel sequencing is preserved.
+	for i, blob := range raw {
+		e := &batchEntry{}
+		entries[i] = e
+		var req envelope
+		if err := json.Unmarshal(blob, &req); err != nil {
+			e.fail(fmt.Errorf("proxy: bad envelope: %w", err))
+			continue
+		}
+		switch req.Type {
+		case typePlain:
+			if strings.TrimSpace(req.Query) == "" {
+				e.fail(fmt.Errorf("proxy: empty query"))
+				continue
+			}
+			e.kind, e.query, e.count = typePlain, req.Query, ts.perList
+		case typeSecure:
+			ts.mu.Lock()
+			sess, ok := ts.sessions[req.Session]
+			ts.mu.Unlock()
+			if !ok {
+				e.fail(fmt.Errorf("proxy: unknown session %q", req.Session))
+				continue
+			}
+			plaintext, err := sess.channel.Open(req.Record)
+			if err != nil {
+				e.fail(fmt.Errorf("proxy: open record: %w", err))
+				continue
+			}
+			var sreq secureRequest
+			if err := json.Unmarshal(plaintext, &sreq); err != nil {
+				e.fail(fmt.Errorf("proxy: bad secure request: %w", err))
+				continue
+			}
+			count := sreq.Count
+			if count <= 0 || count > 100 {
+				count = ts.perList
+			}
+			e.kind, e.session, e.query, e.count = typeSecure, req.Session, sreq.Query, count
+		default:
+			e.fail(fmt.Errorf("proxy: request type %q cannot batch", req.Type))
+		}
+	}
+
+	// Phase 2: one obfuscation pass for the whole batch, one EPC
+	// settlement for the aggregate history delta. An EPC-exhausted Alloc
+	// fails every live entry the way it would have failed each singleton.
+	var queries []string
+	for _, e := range entries {
+		if !e.settled {
+			queries = append(queries, e.query)
+		}
+	}
+	if len(queries) > 0 {
+		oqs, delta := ts.obfuscator.ObfuscateBatch(queries)
+		if delta > 0 {
+			if err := env.Alloc(delta); err != nil {
+				for _, e := range entries {
+					if !e.settled {
+						e.settle(ts.stageError(e.kind, e.session, fmt.Sprintf("proxy: history alloc: %v", err)))
+					}
+				}
+			}
+		} else if delta < 0 {
+			env.Free(-delta)
+		}
+		j := 0
+		for _, e := range entries {
+			if !e.settled {
+				e.oq = oqs[j]
+				j++
+			}
+		}
+	}
+
+	// Phase 3: echo short-circuit and per-entry cache probe.
+	for _, e := range entries {
+		if e.settled {
+			continue
+		}
+		if ts.echoMode {
+			e.settle(ts.finishReply(e.kind, e.session, []core.Result{}, ""))
+			continue
+		}
+		e.key = cacheKey(e.query, e.count)
+		if ts.cache != nil {
+			if cached, ok := ts.cache.Get(e.key, time.Now(), env.Free); ok {
+				ts.cacheHits.Hit()
+				e.settle(ts.finishReply(e.kind, e.session, cached, ""))
+				continue
+			}
+			ts.cacheHits.Miss()
+		}
+	}
+
+	// Phase 4: one pending-table critical section builds every entry's
+	// flight — follower attach, or leader create + candidate + attempt
+	// reservation (registered BEFORE submission, the table's invariant).
+	pt := ts.pending
+	coalesce := ts.flights != nil
+	pt.mu.Lock()
+	for _, e := range entries {
+		if e.settled {
+			continue
+		}
+		pt.nextID++
+		p := &pendingReq{id: pt.nextID, kind: e.kind, session: e.session, key: e.key}
+		if coalesce {
+			if leader, ok := pt.byKey[e.key]; ok && !leader.done {
+				p.leader = leader
+				leader.waiters = append(leader.waiters, p)
+				pt.byID[p.id] = p
+				e.p = p
+				continue
+			}
+		}
+		p.oq = e.oq
+		p.path = "/search?q=" + queryEscape(e.oq.Query()) + "&count=" + strconv.Itoa(e.count)
+		p.keep = ts.asyncKeepAlive
+		p.tried = make(map[*upstream]bool)
+		u := ts.nextCandidate(p)
+		if u == nil {
+			if p.lastErr == "" {
+				p.lastErr = "proxy: no engine upstream available (all cooling down)"
+			}
+			e.errstr = p.lastErr
+			continue
+		}
+		e.att = pt.reserveAttempt(p, u, false)
+		pt.byID[p.id] = p
+		e.p = p
+		e.host = u.host
+	}
+	pt.mu.Unlock()
+	for _, e := range entries {
+		if e.settled {
+			continue
+		}
+		if e.errstr != "" {
+			e.settle(ts.stageError(e.kind, e.session, e.errstr))
+			continue
+		}
+		if coalesce {
+			if e.att == nil {
+				ts.coalesce.Hit()
+			} else {
+				ts.coalesce.Miss()
+			}
+		}
+	}
+
+	// Phase 5: burst every leader's primary fetch into the async ring.
+	// OCallAsync re-checks the enclave's destroy signal around each ring
+	// send, so each submission in the burst individually observes a
+	// destroy: a destroy mid-burst deterministically fails this entry and
+	// every remaining one with ErrDestroyed instead of leaving them
+	// parked with no fetch in flight (no resume would ever finalize
+	// them). Never under the table lock: a full ring blocks, and the
+	// resume path needs the lock to drain it.
+	for _, e := range entries {
+		if e.settled || e.att == nil {
+			continue
+		}
+		if err := ts.submitFetch(env, e.p, e.att); err != nil {
+			pt.unreserve(e.att)
+			pt.mu.Lock()
+			e.p.done = true
+			delete(pt.byID, e.p.id)
+			pt.mu.Unlock()
+			e.att = nil
+			e.settle(ts.stageError(e.kind, e.session, err.Error()))
+		}
+	}
+
+	// Phase 6: publish coalescing keys for the airborne leaders, under
+	// the singleton path's late-publication rule (only a live leader with
+	// its fetch in flight may collect followers; a concurrent leader that
+	// published first keeps the key).
+	if coalesce {
+		pt.mu.Lock()
+		for _, e := range entries {
+			if e.settled || e.att == nil {
+				continue
+			}
+			if existing, ok := pt.byKey[e.key]; !e.p.done && (!ok || existing.done) {
+				pt.byKey[e.key] = e.p
+			}
+		}
+		pt.mu.Unlock()
+	}
+
+	// Phase 7: frame the parked replies. Followers carry only the pending
+	// id; leaders also name their upstream so the runtime can derive the
+	// hedge delay per entry, exactly as the singleton reply does.
+	for _, e := range entries {
+		if e.settled {
+			continue
+		}
+		if e.att == nil {
+			e.settle(json.Marshal(envelopeReply{Pending: e.p.id}))
+			continue
+		}
+		e.settle(json.Marshal(envelopeReply{
+			Pending:  e.p.id,
+			Upstream: e.host,
+			CanHedge: ts.hedgeMax > 0 && len(ts.registry.ups) > 1,
+		}))
+	}
+	outs := make([][]byte, len(entries))
+	for i, e := range entries {
+		outs[i] = marshalBatchItem(e.out, e.err)
+	}
+	return encodeBatch(outs), nil
+}
+
+// handleResumeBatch is the "resume-batch" ecall: every completion the
+// resume worker had ready re-enters in one transition. Each entry runs
+// the exact singleton resume logic — failover, hedge-loser accounting,
+// and coalesced-follower wake-ups keep their per-request semantics — so
+// only the EENTER pair is amortized; a failover submitted by one entry
+// uses the same per-call destroy guarantee as the singleton path.
+func (ts *trustedState) handleResumeBatch(env enclave.Env, arg []byte) ([]byte, error) {
+	raw, err := decodeBatch(arg)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([][]byte, len(raw))
+	for i, blob := range raw {
+		out, err := ts.handleResume(env, blob)
+		outs[i] = marshalBatchItem(out, err)
+	}
+	return encodeBatch(outs), nil
 }

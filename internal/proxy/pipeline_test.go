@@ -458,7 +458,7 @@ func TestPipelineSessionChurnRace(t *testing.T) {
 // consume, not dropped: dropping parks the request forever and leaks its
 // admission slot.
 func TestDeliverBeforeAwaitIsStashed(t *testing.T) {
-	pl := newPipelineRuntime(nil, 1)
+	pl := newPipelineRuntime(nil, 1, 0, 0)
 	pl.deliver(7, pendingOutcome{err: fmt.Errorf("fast dial failure")})
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
@@ -479,7 +479,7 @@ func TestDeliverBeforeAwaitIsStashed(t *testing.T) {
 // The converse: an outcome for a request whose caller genuinely gave up
 // (context cancelled while parked) is dropped, not stashed forever.
 func TestAbandonedOutcomeDroppedNotStashed(t *testing.T) {
-	pl := newPipelineRuntime(nil, 1)
+	pl := newPipelineRuntime(nil, 1, 0, 0)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {

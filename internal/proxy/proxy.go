@@ -125,6 +125,24 @@ type Config struct {
 	// per-fetch deadline. Requires AsyncOcalls (the blocking path's socket
 	// ocalls are paced by the caller's context).
 	FetchTimeout time.Duration
+	// BatchMax enables the adaptive ecall batcher when >= 2: admitted
+	// requests are coalesced into vectorized "request-batch" ecalls of up
+	// to BatchMax entries, and ready completions re-enter through
+	// "resume-batch" ecalls of the same bound, amortizing the fixed
+	// enclave transition cost (and the per-crossing obfuscator-lock and
+	// EPC traffic) across the batch. Zero disables batching — every
+	// request pays its own EENTER pair, the pre-batching behaviour.
+	// Requires AsyncOcalls; capped by PipelineDepth (a batch is drawn
+	// from admitted requests and can never fill past the admission
+	// bound).
+	BatchMax int
+	// BatchWindow is how long a forming request batch waits for more
+	// entries once the queue shows depth (two or more waiting): a shallow
+	// queue submits immediately (latency-first), a deepening one
+	// coalesces until BatchMax entries or BatchWindow elapses, whichever
+	// first. Zero means DefaultBatchWindow; only consulted when BatchMax
+	// is set.
+	BatchWindow time.Duration
 	// EngineLink injects WAN latency on the proxy <-> engine path
 	// (experiments); nil means none.
 	EngineLink *netsim.Link
@@ -235,9 +253,31 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.FetchTimeout > 0 && !cfg.AsyncOcalls {
 		return nil, fmt.Errorf("proxy: FetchTimeout applies to the async fetcher; it requires AsyncOcalls")
 	}
+	if cfg.BatchMax < 0 {
+		return nil, fmt.Errorf("proxy: negative BatchMax")
+	}
+	if cfg.BatchMax == 1 {
+		return nil, fmt.Errorf("proxy: BatchMax 1 is the unbatched path (use 0 to disable batching)")
+	}
+	if cfg.BatchWindow < 0 {
+		return nil, fmt.Errorf("proxy: negative BatchWindow")
+	}
+	if cfg.BatchMax > 0 && !cfg.AsyncOcalls {
+		return nil, fmt.Errorf("proxy: ecall batching rides the async pipeline (BatchMax requires AsyncOcalls)")
+	}
+	if cfg.BatchWindow > 0 && cfg.BatchMax == 0 {
+		return nil, fmt.Errorf("proxy: BatchWindow has no effect without BatchMax")
+	}
 	if cfg.AsyncOcalls {
 		if cfg.PipelineDepth <= 0 {
 			cfg.PipelineDepth = DefaultPipelineDepth
+		}
+		if cfg.BatchMax > cfg.PipelineDepth {
+			return nil, fmt.Errorf("proxy: BatchMax %d above PipelineDepth %d: a batch is drawn from admitted requests and can never fill past the admission bound",
+				cfg.BatchMax, cfg.PipelineDepth)
+		}
+		if cfg.BatchMax > 0 && cfg.BatchWindow == 0 {
+			cfg.BatchWindow = DefaultBatchWindow
 		}
 		for _, e := range engines {
 			if len(e.RootsPEM) > 0 {
@@ -254,15 +294,25 @@ func New(cfg Config) (*Proxy, error) {
 		// drain the completion ring the async workers are blocked pushing
 		// to — a four-way deadlock Shutdown cannot break.
 		workersNeed := cfg.PipelineDepth * (1 + cfg.HedgeMax)
+		// A batched stage-1 ecall bursts up to BatchMax submissions while
+		// holding its TCS, so the ring must guarantee that much free
+		// space even in the transient where every admitted request still
+		// has its full attempt budget in flight (an abandoned request's
+		// cancelled fetches briefly overlap their replacements). Without
+		// the headroom a burst can block mid-batch on a full ring with a
+		// TCS held — the same four-way-deadlock shape the base
+		// requirement exists to exclude, now reachable by one ecall.
+		workersNeed += cfg.BatchMax
+		needNote := hedgeFactorNote(cfg.HedgeMax) + batchBurstNote(cfg.BatchMax)
 		if cfg.EnclaveConfig.AsyncWorkers == 0 {
 			cfg.EnclaveConfig.AsyncWorkers = workersNeed
 		} else if cfg.EnclaveConfig.AsyncWorkers < workersNeed {
 			return nil, fmt.Errorf("proxy: EnclaveConfig.AsyncWorkers %d below the pipeline's requirement %d (PipelineDepth%s): undersized rings can deadlock the pipeline — raise AsyncWorkers or lower PipelineDepth",
-				cfg.EnclaveConfig.AsyncWorkers, workersNeed, hedgeFactorNote(cfg.HedgeMax))
+				cfg.EnclaveConfig.AsyncWorkers, workersNeed, needNote)
 		}
 		if d := cfg.EnclaveConfig.AsyncRingDepth; d != 0 && d < workersNeed {
 			return nil, fmt.Errorf("proxy: EnclaveConfig.AsyncRingDepth %d below the pipeline's requirement %d (PipelineDepth%s): undersized rings can deadlock the pipeline — raise AsyncRingDepth or lower PipelineDepth",
-				d, workersNeed, hedgeFactorNote(cfg.HedgeMax))
+				d, workersNeed, needNote)
 		}
 	}
 	platform := cfg.Platform
@@ -325,12 +375,13 @@ func New(cfg Config) (*Proxy, error) {
 	for i, e := range engines {
 		engineIdent[i] = fmt.Sprintf("%s*%d", e.Host, e.Weight)
 	}
-	ident := fmt.Sprintf("xsearch-proxy v1.5 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s coalesce=%t breaker=%d/%s rate=%g/%d async=%t/%d hedge=%s/%d",
+	ident := fmt.Sprintf("xsearch-proxy v1.6 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s coalesce=%t breaker=%d/%s rate=%g/%d async=%t/%d hedge=%s/%d batch=%d/%s",
 		cfg.K, cfg.HistoryCapacity, strings.Join(engineIdent, " "), cfg.EchoMode,
 		cfg.PoolSize, cfg.CacheBytes, cfg.CacheTTL,
 		!cfg.DisableCoalescing, cfg.UpstreamFailThreshold, cfg.UpstreamCooldown,
 		cfg.UpstreamRateLimit, cfg.UpstreamRateBurst,
-		cfg.AsyncOcalls, cfg.PipelineDepth, cfg.HedgeDelay, cfg.HedgeMax)
+		cfg.AsyncOcalls, cfg.PipelineDepth, cfg.HedgeDelay, cfg.HedgeMax,
+		cfg.BatchMax, cfg.BatchWindow)
 	if err := builder.AddData([]byte(ident)); err != nil {
 		return nil, err
 	}
@@ -382,6 +433,17 @@ func New(cfg Config) (*Proxy, error) {
 		}
 		if err := builder.RegisterECall("abandon", trusted.handleAbandon); err != nil {
 			return nil, err
+		}
+		if cfg.BatchMax > 0 {
+			// Vectorized boundary crossings are their own measured
+			// surface: a batching build attests differently from a
+			// singleton-ecall one.
+			if err := builder.RegisterECall("request-batch", trusted.handleRequestBatch); err != nil {
+				return nil, err
+			}
+			if err := builder.RegisterECall("resume-batch", trusted.handleResumeBatch); err != nil {
+				return nil, err
+			}
 		}
 	}
 	encl, err := builder.Build()
@@ -435,7 +497,7 @@ func New(cfg Config) (*Proxy, error) {
 		latency:  metrics.NewHistogram(),
 	}
 	if cfg.AsyncOcalls {
-		p.pipeline = newPipelineRuntime(p, cfg.PipelineDepth)
+		p.pipeline = newPipelineRuntime(p, cfg.PipelineDepth, cfg.BatchMax, cfg.BatchWindow)
 		p.pipeline.start()
 	}
 	mux := http.NewServeMux()
@@ -499,8 +561,17 @@ const (
 	DefaultPipelineDepth = 64
 	// DefaultHedgeDelay is the hedge delay used while an upstream has too
 	// few observed fetches for a p95-derived delay (Config.HedgeDelay
-	// zero).
+	// zero). It applies per upstream: a hedge chain re-arms against the
+	// upstream the previous hedge actually went to, so a cold hedge
+	// target gets this documented default rather than the primary's
+	// stale p95 (which could fire the next hedge immediately, or never).
 	DefaultHedgeDelay = 10 * time.Millisecond
+	// DefaultBatchWindow is how long a deepening request batch waits for
+	// more entries before submitting (Config.BatchMax set, BatchWindow
+	// zero). Small against any engine round trip: the window trades a
+	// bounded latency add for fuller batches only when the queue already
+	// shows depth.
+	DefaultBatchWindow = 200 * time.Microsecond
 	// snapshotTimeout bounds Shutdown's sealed-history snapshot ecall,
 	// which runs on its own context so a drain deadline that expired on
 	// stragglers cannot skip state persistence.
@@ -520,6 +591,15 @@ const (
 func hedgeFactorNote(hedgeMax int) string {
 	if hedgeMax > 0 {
 		return fmt.Sprintf(" ×%d with hedging", 1+hedgeMax)
+	}
+	return ""
+}
+
+// batchBurstNote annotates the async-sizing errors with the batch-burst
+// headroom term.
+func batchBurstNote(batchMax int) string {
+	if batchMax > 0 {
+		return fmt.Sprintf(" +%d batch-burst headroom", batchMax)
 	}
 	return ""
 }
@@ -613,11 +693,27 @@ func (p *Proxy) Crash() {
 	p.encl.Destroy()
 }
 
-// Healthy reports whether the proxy's enclave is still able to serve: a
-// destroyed enclave (crash, Shutdown, fleet drain) rejects every ecall and
-// never recovers, so a false result is permanent. Fleet gateways use it as
+// Healthy reports whether the proxy is still able to serve: a destroyed
+// enclave (crash, Shutdown, fleet drain) rejects every ecall and never
+// recovers, and a stopped pipeline dispatcher rejects every new request
+// even while the enclave briefly outlives it during an orderly teardown —
+// in that window requests fail with "pipeline stopped", and a gateway that
+// believed the shard healthy would blame the request instead of failing
+// over. A false result is permanent either way. Fleet gateways use this as
 // the shard liveness probe.
-func (p *Proxy) Healthy() bool { return !p.encl.Destroyed() }
+func (p *Proxy) Healthy() bool {
+	if p.encl.Destroyed() {
+		return false
+	}
+	if pl := p.pipeline; pl != nil {
+		select {
+		case <-pl.stop:
+			return false
+		default:
+		}
+	}
+	return true
+}
 
 // LoadSignals is the compact per-node load sample the fleet autoscaler
 // consumes: admission occupancy, the request-latency tail, EPC heap
@@ -795,6 +891,14 @@ type Stats struct {
 	HedgeAttempts  uint64 `json:"hedge_attempts,omitempty"`
 	HedgeWins      uint64 `json:"hedge_wins,omitempty"`
 	HedgeCancelled uint64 `json:"hedge_cancelled,omitempty"`
+	// Ecall batching gauges (zero when BatchMax is off). BatchesSubmitted
+	// counts vectorized boundary crossings (request and resume batches);
+	// the occupancy percentiles describe how many requests shared one
+	// request-batch crossing — the signal BatchWindow trades latency
+	// against.
+	BatchesSubmitted  uint64  `json:"batches_submitted,omitempty"`
+	BatchOccupancyP50 float64 `json:"batch_occupancy_p50,omitempty"`
+	BatchOccupancyP95 float64 `json:"batch_occupancy_p95,omitempty"`
 	// End-to-end query latency percentiles (plain + secure paths),
 	// recorded on a fixed-bucket histogram with no hot-path allocations.
 	LatencyCount uint64        `json:"latency_count,omitempty"`
@@ -826,6 +930,10 @@ func (p *Proxy) Stats() Stats {
 		s.HedgeAttempts = p.trusted.hedgeAttempts.Load()
 		s.HedgeWins = p.trusted.hedgeWins.Load()
 		s.HedgeCancelled = p.trusted.hedgeCancelled.Load()
+		if bs := pl.bstats; bs != nil {
+			s.BatchesSubmitted = bs.submitted.Load()
+			s.BatchOccupancyP50, s.BatchOccupancyP95 = bs.percentiles()
+		}
 	}
 	if snap := p.latency.Snapshot(); snap.Count > 0 {
 		s.LatencyCount = snap.Count

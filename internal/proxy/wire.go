@@ -9,7 +9,9 @@
 package proxy
 
 import (
+	"encoding/binary"
 	"encoding/json"
+	"fmt"
 
 	"xsearch/internal/core"
 	"xsearch/internal/securechannel"
@@ -181,4 +183,95 @@ type SecureEnvelope struct {
 // parseOffer decodes a securechannel offer from raw JSON.
 func parseOffer(raw json.RawMessage) (securechannel.Offer, error) {
 	return securechannel.UnmarshalOffer(raw)
+}
+
+// Batched ecall framing. The "request-batch" and "resume-batch" ecalls
+// carry several independent JSON payloads across one enclave transition;
+// the framing is deliberately dumb — a u32 entry count, then a u32 length
+// prefix per entry — so the trusted decoder can validate wholly hostile
+// input with two bounds checks per entry before any length drives an
+// allocation.
+const (
+	// maxBatchEntries bounds one batched ecall's entry count — far above
+	// any admissible BatchMax (capped at PipelineDepth), it exists so a
+	// hostile count prefix cannot size a giant allocation.
+	maxBatchEntries = 4096
+	// maxBatchEntryBytes bounds one framed entry. Resume entries embed a
+	// fetch reply whose body is capped at maxEngineResponse (8 MiB); the
+	// JSON base64 expansion plus framing slack fits under 16 MiB.
+	maxBatchEntryBytes = 16 << 20
+)
+
+// encodeBatch frames entries for a batched ecall (either direction).
+func encodeBatch(entries [][]byte) []byte {
+	n := 4
+	for _, e := range entries {
+		n += 4 + len(e)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(entries)))
+	for _, e := range entries {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(e)))
+		out = append(out, e...)
+	}
+	return out
+}
+
+// decodeBatch reverses encodeBatch, treating the input as hostile.
+func decodeBatch(data []byte) ([][]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("proxy: batch frame truncated (%d bytes)", len(data))
+	}
+	count := binary.LittleEndian.Uint32(data)
+	if count == 0 {
+		return nil, fmt.Errorf("proxy: empty batch")
+	}
+	if count > maxBatchEntries {
+		return nil, fmt.Errorf("proxy: batch count %d exceeds cap %d", count, maxBatchEntries)
+	}
+	data = data[4:]
+	entries := make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("proxy: batch entry %d truncated", i)
+		}
+		n := binary.LittleEndian.Uint32(data)
+		if n > maxBatchEntryBytes {
+			return nil, fmt.Errorf("proxy: batch entry %d length %d exceeds cap %d", i, n, maxBatchEntryBytes)
+		}
+		data = data[4:]
+		if len(data) < int(n) {
+			return nil, fmt.Errorf("proxy: batch entry %d truncated (%d of %d bytes)", i, len(data), n)
+		}
+		entries = append(entries, data[:n:n])
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("proxy: %d trailing bytes after batch", len(data))
+	}
+	return entries, nil
+}
+
+// batchItemReply is one entry of a batched ecall's reply frame: the exact
+// payload the equivalent singleton ecall would have returned, or the error
+// it would have failed with. Per-entry errors must travel inside the frame
+// — a batch ecall only fails as a whole for malformed framing.
+type batchItemReply struct {
+	Reply json.RawMessage `json:"reply,omitempty"`
+	Err   string          `json:"err,omitempty"`
+}
+
+// marshalBatchItem folds a singleton handler's (reply, error) pair into
+// one framed batch entry.
+func marshalBatchItem(reply []byte, err error) []byte {
+	item := batchItemReply{Reply: reply}
+	if err != nil {
+		item.Reply = nil
+		item.Err = err.Error()
+	}
+	out, merr := json.Marshal(item)
+	if merr != nil {
+		out, _ = json.Marshal(batchItemReply{Err: "proxy: marshal batch item"})
+	}
+	return out
 }

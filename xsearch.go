@@ -202,6 +202,23 @@ func WithFetchTimeout(d time.Duration) ProxyOption {
 	return proxyOptionFunc(func(c *proxy.Config) { c.FetchTimeout = d })
 }
 
+// WithBatching coalesces admitted requests into vectorized enclave
+// crossings (requires WithAsyncOcalls): up to max requests share one
+// "request-batch" ecall — one enclave transition, one obfuscator pass, one
+// EPC settlement — and completions drain in batches the same way. The
+// batcher is adaptive: a shallow queue submits immediately (an idle proxy
+// pays no batching latency), a deepening queue coalesces until max entries
+// or window elapses, whichever first. max must be at least 2 and at most
+// the pipeline depth; a zero window uses the default (200µs). Handshakes
+// and per-request semantics (hedging, failover, coalescing) are untouched
+// — only the boundary crossing is shared.
+func WithBatching(max int, window time.Duration) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) {
+		c.BatchMax = max
+		c.BatchWindow = window
+	})
+}
+
 // WithResultCache enables the in-enclave obfuscated-result cache: filtered
 // results are kept for repeat queries, bounded to maxBytes total (charged
 // against the EPC like the history window) and ttl freshness. A zero ttl
