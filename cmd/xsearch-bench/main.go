@@ -24,7 +24,7 @@ func main() {
 
 func run() error {
 	var (
-		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline,autoscale,batch", "comma-separated figures to run")
+		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline,autoscale,batch,answer", "comma-separated figures to run")
 		quick    = flag.Bool("quick", false, "scaled-down sizes (CI-friendly)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		useHTTP  = flag.Bool("http", false, "Figure 5 over real loopback HTTP (bare-metal runs)")
@@ -102,7 +102,7 @@ func run() error {
 		if raw, err := os.ReadFile(*baseline); err == nil {
 			_ = json.Unmarshal(raw, base)
 		}
-		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline,autoscale,batch -baseline"
+		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline,autoscale,batch,answer -baseline"
 	}
 	if want["scaling"] {
 		if err := runScaling(*quick, *seed, base); err != nil {
@@ -131,6 +131,11 @@ func run() error {
 	}
 	if want["batch"] {
 		if err := runBatchFig(*quick, *seed, base); err != nil {
+			return err
+		}
+	}
+	if want["answer"] {
+		if err := runAnswerFig(*quick, *seed, base); err != nil {
 			return err
 		}
 	}
@@ -340,7 +345,7 @@ type scalingBaseline struct {
 	// Fleet ablation: throughput at 1/2/4 shards behind the session-
 	// routing gateway, the 4-vs-1 speedup, and the kill-one-shard
 	// availability run (errors must stay zero and the per-shard EPC
-	// invariant heap == history + cache must hold).
+	// invariant heap == history + cache + index must hold).
 	Fleet1ShardRPS   float64 `json:"fleet_1shard_rps"`
 	Fleet2ShardRPS   float64 `json:"fleet_2shard_rps"`
 	Fleet4ShardRPS   float64 `json:"fleet_4shard_rps"`
@@ -380,6 +385,12 @@ type scalingBaseline struct {
 	BatchBestSpeedup  float64           `json:"batch_best_speedup"`
 	BatchInvariantOK  bool              `json:"batch_epc_invariant_ok"`
 	BatchCurve        []batchCurvePoint `json:"batch_curve"`
+	// Answer-tier ablation: the in-enclave index against the no-index
+	// baseline on the identical repeat-heavy workload, one curve point per
+	// repeat ratio.
+	AnswerBestUpstreamCut float64            `json:"answer_best_upstream_cut"`
+	AnswerInvariantOK     bool               `json:"answer_epc_invariant_ok"`
+	AnswerCurve           []answerCurvePoint `json:"answer_curve"`
 }
 
 // batchCurvePoint is one committed point of the batch-size/latency curve.
@@ -391,6 +402,19 @@ type batchCurvePoint struct {
 	P95Ns        int64   `json:"p95_ns"`
 	OccupancyP50 float64 `json:"occupancy_p50"`
 	OccupancyP95 float64 `json:"occupancy_p95"`
+}
+
+// answerCurvePoint is one committed point of the answer-tier curve.
+type answerCurvePoint struct {
+	RepeatRatio      float64 `json:"repeat_ratio"`
+	LocalHitRatio    float64 `json:"local_hit_ratio"`
+	BaselineUpstream uint64  `json:"baseline_upstream_reqs"`
+	IndexedUpstream  uint64  `json:"indexed_upstream_reqs"`
+	UpstreamCut      float64 `json:"upstream_cut"`
+	BaselineP50Ns    int64   `json:"baseline_p50_ns"`
+	IndexedP50Ns     int64   `json:"indexed_p50_ns"`
+	BaselineP99Ns    int64   `json:"baseline_p99_ns"`
+	IndexedP99Ns     int64   `json:"indexed_p99_ns"`
 }
 
 func runScaling(quick bool, seed uint64, base *scalingBaseline) error {
@@ -653,6 +677,54 @@ func runBatchFig(quick bool, seed uint64, base *scalingBaseline) error {
 				P95Ns:        pt.P95.Nanoseconds(),
 				OccupancyP50: pt.OccupancyP50,
 				OccupancyP95: pt.OccupancyP95,
+			})
+		}
+	}
+	return nil
+}
+
+func runAnswerFig(quick bool, seed uint64, base *scalingBaseline) error {
+	cfg := experiments.DefaultAnswerConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Workers, cfg.Requests = 8, 160
+		cfg.RepeatRatios = []float64{0.25, 0.9}
+	}
+	res, err := experiments.RunAnswer(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Answer-tier ablation: in-enclave index vs no-index baseline on the\n")
+	fmt.Printf("# identical repeat-heavy workload (%d workers x %d requests per run,\n",
+		cfg.Workers, cfg.Requests)
+	fmt.Printf("# %v engine service, %d B index)\n", cfg.EngineService, cfg.IndexBytes)
+	fmt.Printf("%-8s  %-10s  %-20s  %-8s  %-18s  %-18s\n",
+		"repeat", "local hit", "upstream base/idx", "cut", "p50 base/idx", "p99 base/idx")
+	for _, pt := range res.Curve {
+		fmt.Printf("%-8.2f  %-10.2f  %-20s  %-8.2f  %-18s  %-18s\n",
+			pt.RepeatRatio, pt.LocalHitRatio,
+			fmt.Sprintf("%d/%d", pt.BaselineUpstream, pt.IndexedUpstream),
+			pt.UpstreamCut,
+			fmt.Sprintf("%v/%v", pt.BaselineP50.Round(time.Microsecond), pt.IndexedP50.Round(time.Microsecond)),
+			fmt.Sprintf("%v/%v", pt.BaselineP99.Round(time.Microsecond), pt.IndexedP99.Round(time.Microsecond)))
+	}
+	fmt.Printf("# the answer tier cuts upstream requests up to %.1fx with zero extra round trips;\n", res.BestUpstreamCut)
+	fmt.Printf("# EPC invariant across the sweep: %t\n\n", res.InvariantOK)
+	if base != nil {
+		base.AnswerBestUpstreamCut = res.BestUpstreamCut
+		base.AnswerInvariantOK = res.InvariantOK
+		base.AnswerCurve = base.AnswerCurve[:0]
+		for _, pt := range res.Curve {
+			base.AnswerCurve = append(base.AnswerCurve, answerCurvePoint{
+				RepeatRatio:      pt.RepeatRatio,
+				LocalHitRatio:    pt.LocalHitRatio,
+				BaselineUpstream: pt.BaselineUpstream,
+				IndexedUpstream:  pt.IndexedUpstream,
+				UpstreamCut:      pt.UpstreamCut,
+				BaselineP50Ns:    pt.BaselineP50.Nanoseconds(),
+				IndexedP50Ns:     pt.IndexedP50.Nanoseconds(),
+				BaselineP99Ns:    pt.BaselineP99.Nanoseconds(),
+				IndexedP99Ns:     pt.IndexedP99.Nanoseconds(),
 			})
 		}
 	}

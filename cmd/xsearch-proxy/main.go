@@ -64,6 +64,9 @@ func run() error {
 		pool        = flag.Int("pool", 0, "idle engine connections kept alive in the enclave, per upstream (0=default 8, negative=off)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "in-enclave result cache bound in bytes (0=off; charged to the EPC)")
 		cacheTTL    = flag.Duration("cache-ttl", 0, "result cache entry lifetime (0=default 60s)")
+		indexBytes  = flag.Int64("index-bytes", 0, "in-enclave answer-tier index bound in bytes (0=off; charged to the EPC)")
+		indexTTL    = flag.Duration("index-ttl", 0, "answer-tier indexed document lifetime (0=default 120s)")
+		indexScore  = flag.Float64("index-min-score", 0, "answer-tier confidence floor: min TF-IDF score to serve locally (0=default)")
 		breakFails  = flag.Int("breaker-failures", 0, "consecutive failures that open an upstream's circuit breaker (0=default 3)")
 		breakerCool = flag.Duration("breaker-cooldown", 0, "how long an open breaker excludes its upstream (0=default 1s)")
 		noCoalesce  = flag.Bool("no-coalesce", false, "disable single-flight coalescing of concurrent identical queries")
@@ -96,6 +99,12 @@ func run() error {
 	}
 	if *cacheBytes != 0 {
 		opts = append(opts, xsearch.WithResultCache(*cacheBytes, *cacheTTL))
+	}
+	if (*indexTTL != 0 || *indexScore != 0) && *indexBytes == 0 {
+		return fmt.Errorf("-index-ttl/-index-min-score have no effect without -index-bytes")
+	}
+	if *indexBytes != 0 {
+		opts = append(opts, xsearch.WithLocalIndex(*indexBytes, *indexTTL, *indexScore))
 	}
 	if *noCoalesce {
 		opts = append(opts, xsearch.WithoutCoalescing())
@@ -202,6 +211,11 @@ func run() error {
 		st.PoolReuseRatio*100, st.PoolReuses, st.PoolDials,
 		st.CacheHitRatio*100, st.CacheHits, st.CacheMisses, st.CacheB,
 		st.CoalesceRatio*100, st.CoalesceShared, st.CoalesceLed)
+	if st.IndexHits+st.IndexMisses > 0 || st.IndexDocs > 0 {
+		fmt.Printf("answer tier: %.0f%% index hits (%d hits, %d misses), %d docs / %d bytes; local-hit ratio %.0f%%\n",
+			st.IndexHitRatio*100, st.IndexHits, st.IndexMisses, st.IndexDocs, st.IndexB,
+			st.LocalHitRatio*100)
+	}
 	if st.LatencyCount > 0 {
 		fmt.Printf("latency: p50=%v p95=%v p99=%v (%d samples)\n",
 			st.LatencyP50, st.LatencyP95, st.LatencyP99, st.LatencyCount)

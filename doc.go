@@ -83,7 +83,7 @@
 // — the untrusted host moves opaque bytes; only the successor's enclave,
 // holding the fleet's provisioned sealing root, can open them. Throughput
 // scales near-linearly with shards while the per-shard EPC invariant
-// (heap == history + cache) keeps holding.
+// (heap == history + cache + index) keeps holding.
 //
 // Autoscaling (WithAutoscale) makes the ring elastic between a minimum
 // and maximum shard count: the gateway samples the load signals every
@@ -172,11 +172,37 @@
 // p50/p95/p99 query latency from a fixed-bucket histogram, and
 // batch-submission counts with request-batch occupancy percentiles) and
 // Fleet.Stats aggregates them across shards next to the gateway's routing
-// counters; the scaling, fanout, fleet, pipeline, autoscale, and batch
-// ablations in cmd/xsearch-bench (-figs
-// scaling,fanout,fleet,pipeline,autoscale,batch) measure the
+// counters; the scaling, fanout, fleet, pipeline, autoscale, batch, and
+// answer ablations in cmd/xsearch-bench (-figs
+// scaling,fanout,fleet,pipeline,autoscale,batch,answer) measure the
 // configurations side by side and can write BENCH_baseline.json for
 // perf-regression tracking.
+//
+// # Answer tier
+//
+// Beyond the exact-match result cache, WithLocalIndex (off by default)
+// builds a trusted, mutable TF-IDF inverted index over recently fetched
+// results inside each proxy enclave, beside the history and the cache.
+// The trusted request stage probes cache → local index → upstream: a
+// rephrased or near-repeat query whose terms match enough recently
+// fetched documents (a confidence floor of minimum score and minimum
+// matching documents guards relevance) is answered entirely in-enclave,
+// with zero upstream round trips — the engine never learns the query
+// was asked again. The index is forward-private on update: inserts run
+// only inside the already-measured winner/resume ecalls the fetch was
+// paying anyway, memory charges are arena-quantized so the untrusted
+// host observes only coarse, term-count-independent allocation sizes,
+// and no per-term allocation pattern crosses the boundary. Every byte
+// is charged through the same env.Alloc/env.Free contract as the
+// history and the cache, extending the EPC invariant to heap == history
+// + cache + index; eviction is FIFO by document with TTL expiry. On a
+// planned drain the index migrates to the successor shard as a sealed
+// blob through the same handoff seam as the history, and the enclave
+// identity (ident v1.7) measures the index configuration. Proxy.Stats
+// reports IndexHits/IndexDocs/IndexBytes and a LocalHitRatio combining
+// cache and index serving; the answer ablation (-figs answer) sweeps
+// repeat-heavy workloads against the no-index baseline and commits the
+// local-hit/upstream-cut curve to BENCH_baseline.json.
 //
 // # Quick start
 //

@@ -117,11 +117,13 @@ func run() error {
 	after := fleet.Stats()
 	fmt.Printf("phase 3 (shard 2 drained): %d history queries (%d B) sealed and merged into shard %d\n",
 		rep.MigratedQueries, rep.MigratedBytes, rep.Successor)
-	fmt.Printf("  successor history: %d -> %d queries; enclave heap still equals history+cache: %t\n",
+	fmt.Printf("  successor history: %d -> %d queries; enclave heap still equals history+cache+index: %t\n",
 		before.Shards[rep.Successor].Proxy.HistoryLen,
 		after.Shards[rep.Successor].Proxy.HistoryLen,
 		after.Shards[rep.Successor].Proxy.Enclave.HeapBytes ==
-			after.Shards[rep.Successor].Proxy.HistoryB+after.Shards[rep.Successor].Proxy.CacheB)
+			after.Shards[rep.Successor].Proxy.HistoryB+
+				after.Shards[rep.Successor].Proxy.CacheB+
+				after.Shards[rep.Successor].Proxy.IndexB)
 	if err := searchAll("drained"); err != nil {
 		return err
 	}

@@ -111,7 +111,7 @@ func TestFleetPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("AliveShards = %d after kill+drain", st.AliveShards)
 	}
 	succ := st.Shards[2].Proxy
-	if succ.Enclave.HeapBytes != succ.HistoryB+succ.CacheB {
+	if succ.Enclave.HeapBytes != succ.HistoryB+succ.CacheB+succ.IndexB {
 		t.Fatalf("EPC invariant broken on survivor: heap=%d history=%d cache=%d",
 			succ.Enclave.HeapBytes, succ.HistoryB, succ.CacheB)
 	}

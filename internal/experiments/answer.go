@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"xsearch/internal/metrics"
+	"xsearch/internal/proxy"
+)
+
+// AnswerConfig sizes the answer-tier ablation. The measured claim: on a
+// repeat-heavy workload — the regime the paper's §6 capacity analysis
+// worries about, where hot queries return rephrased rather than verbatim —
+// the in-enclave TF-IDF index answers the repeats locally, cutting the
+// upstream request rate the engines see and collapsing those requests'
+// latency from a network round trip to an in-enclave probe. The ablation
+// drives the identical workload through a proxy without and with the
+// index across a sweep of repeat ratios, recording local-hit ratio,
+// upstream requests saved, and the p50/p99 shift.
+type AnswerConfig struct {
+	// Workers concurrent clients issue Requests queries per run.
+	Workers  int
+	Requests int
+	// EngineService is the loopback engine's per-request latency — the
+	// round-trip cost a local hit avoids.
+	EngineService time.Duration
+	// RepeatRatios is the sweep: the fraction of queries that are
+	// rephrasings of a small hot set (the rest are distinct cold queries).
+	RepeatRatios []float64
+	// IndexBytes/IndexTTL size the answer tier for the indexed runs.
+	IndexBytes int64
+	IndexTTL   time.Duration
+	// DocsPerTopic sizes the engine corpus; Seed fixes randomness.
+	DocsPerTopic int
+	Seed         uint64
+}
+
+// DefaultAnswerConfig is the full-size ablation.
+func DefaultAnswerConfig() AnswerConfig {
+	return AnswerConfig{
+		Workers:       16,
+		Requests:      400,
+		EngineService: 2 * time.Millisecond,
+		RepeatRatios:  []float64{0.25, 0.5, 0.75, 0.9},
+		IndexBytes:    4 << 20,
+		IndexTTL:      time.Hour,
+		DocsPerTopic:  20,
+		Seed:          1,
+	}
+}
+
+// AnswerPoint is one repeat-ratio point: the same workload measured
+// without and with the answer tier.
+type AnswerPoint struct {
+	RepeatRatio float64
+	// LocalHitRatio is the indexed run's fraction of probed queries
+	// served in-enclave.
+	LocalHitRatio float64
+	// Upstream requests the engine actually saw over the identical
+	// fixed workload, and the cut factor (baseline/indexed) — the
+	// "upstream saved" axis. Counts, not rates: the indexed run also
+	// finishes sooner, so a rate would understate the saving.
+	BaselineUpstream uint64
+	IndexedUpstream  uint64
+	UpstreamCut      float64
+	// Client-observed latency percentiles for both runs.
+	BaselineP50 time.Duration
+	IndexedP50  time.Duration
+	BaselineP99 time.Duration
+	IndexedP99  time.Duration
+}
+
+// AnswerResult carries the ablation's measurements.
+type AnswerResult struct {
+	// Curve is one point per configured repeat ratio.
+	Curve []AnswerPoint
+	// BestUpstreamCut is the largest upstream-request reduction across
+	// the sweep.
+	BestUpstreamCut float64
+	// InvariantOK reports heap == history + cache + index after every run.
+	InvariantOK bool
+}
+
+// answerHotSet is the rephrased hot set: topical queries whose corpus
+// matches return documents, so the indexed run has something to index and
+// the rephrasings something to hit.
+var answerHotSet = []string{
+	"chicken recipe oven baking",
+	"mortgage refinance loan rates",
+	"flights hotel paris resort",
+	"garden roses compost mulch",
+	"playoff scores roster draft",
+	"laptop wireless router software",
+	"camera digital lens tripod",
+	"novel author mystery bestseller",
+}
+
+// answerQuery derives the i-th query of the deterministic workload: a
+// rotation-rephrased hot query with probability ratio, a distinct
+// long-tail query otherwise. Rotations share the original's terms but not
+// its string, so no exact-match tier could serve them; long-tail queries
+// share no terms with the hot set, so the index can never serve them and
+// they always cost an upstream round trip in both runs.
+func answerQuery(i int, ratio float64) string {
+	// A 20-slot repeat pattern keeps the mix representative even for
+	// short quick-mode runs (any Requests >= 20 sees both classes).
+	if float64(i%20) < ratio*20 {
+		base := answerHotSet[i%len(answerHotSet)]
+		words := strings.Fields(base)
+		rot := (i / len(answerHotSet)) % len(words)
+		rotated := make([]string, 0, len(words))
+		rotated = append(rotated, words[rot:]...)
+		rotated = append(rotated, words[:rot]...)
+		return strings.Join(rotated, " ")
+	}
+	return fmt.Sprintf("longtail %d miss", i)
+}
+
+// RunAnswer measures the answer tier against the no-index baseline.
+func RunAnswer(cfg AnswerConfig) (*AnswerResult, error) {
+	if cfg.Workers <= 0 || cfg.Requests <= 0 || len(cfg.RepeatRatios) == 0 {
+		return nil, fmt.Errorf("answer: need workers, requests and a repeat-ratio sweep")
+	}
+	srv, err := pipelineEngine(PipelineConfig{
+		DocsPerTopic: cfg.DocsPerTopic,
+		Seed:         cfg.Seed,
+	}, cfg.EngineService)
+	if err != nil {
+		return nil, err
+	}
+	defer shutdownServer(srv)
+
+	res := &AnswerResult{InvariantOK: true}
+	runOne := func(ratio float64, indexed bool) (upstream uint64, localHit float64, p50, p99 time.Duration, err error) {
+		pc := proxy.Config{
+			K:       2,
+			Engines: []proxy.EngineSpec{{Host: srv.Addr()}},
+			Seed:    cfg.Seed,
+		}
+		if indexed {
+			pc.IndexBytes = cfg.IndexBytes
+			pc.IndexTTL = cfg.IndexTTL
+		}
+		p, err := proxy.New(pc)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		defer shutdownProxy(p)
+		// Warm the history so obfuscation has fakes to draw, and seed the
+		// hot set so the first measured rephrase can hit.
+		for i := 0; i < 4; i++ {
+			if _, err := p.ServeQuery(context.Background(), fmt.Sprintf("answer warm %d", i)); err != nil {
+				return 0, 0, 0, 0, err
+			}
+		}
+		for _, q := range answerHotSet {
+			if _, err := p.ServeQuery(context.Background(), q); err != nil {
+				return 0, 0, 0, 0, err
+			}
+		}
+		preUp := upstreamServed(p)
+		hist := metrics.NewHistogram()
+		if _, err := driveAnswer(p, cfg.Workers, cfg.Requests, ratio, hist); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		snap := hist.Snapshot()
+		st := p.Stats()
+		res.InvariantOK = res.InvariantOK && proxyInvariantOK(p)
+		return upstreamServed(p) - preUp, st.LocalHitRatio, snap.P50, snap.P99, nil
+	}
+
+	for _, ratio := range cfg.RepeatRatios {
+		baseUp, _, baseP50, baseP99, err := runOne(ratio, false)
+		if err != nil {
+			return nil, fmt.Errorf("answer baseline ratio %.2f: %w", ratio, err)
+		}
+		idxUp, localHit, idxP50, idxP99, err := runOne(ratio, true)
+		if err != nil {
+			return nil, fmt.Errorf("answer indexed ratio %.2f: %w", ratio, err)
+		}
+		pt := AnswerPoint{
+			RepeatRatio:      ratio,
+			LocalHitRatio:    localHit,
+			BaselineUpstream: baseUp,
+			IndexedUpstream:  idxUp,
+			BaselineP50:      baseP50,
+			IndexedP50:       idxP50,
+			BaselineP99:      baseP99,
+			IndexedP99:       idxP99,
+		}
+		// An indexed run that needed zero upstream requests saved all of
+		// them; score it as if it had needed one so the cut stays finite.
+		pt.UpstreamCut = float64(baseUp) / float64(max(idxUp, 1))
+		if pt.UpstreamCut > res.BestUpstreamCut {
+			res.BestUpstreamCut = pt.UpstreamCut
+		}
+		res.Curve = append(res.Curve, pt)
+	}
+	return res, nil
+}
+
+// upstreamServed sums the engine exchanges the upstream actually saw.
+func upstreamServed(p *proxy.Proxy) uint64 {
+	var n uint64
+	for _, u := range p.Stats().Upstreams {
+		n += u.Served
+	}
+	return n
+}
+
+// driveAnswer replays the deterministic repeat-heavy workload from
+// concurrent workers, recording per-request latency.
+func driveAnswer(p *proxy.Proxy, workers, total int, ratio float64, hist *metrics.Histogram) (time.Duration, error) {
+	return driveQueries(p, workers, total, hist, func(i int) string {
+		return answerQuery(i, ratio)
+	})
+}

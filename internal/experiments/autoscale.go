@@ -21,7 +21,7 @@ import (
 // claims under test: the fleet grows 1→max under load and shrinks back to
 // min when it lifts, NO request is lost across any spawn/drain/retire
 // event, elastic peak throughput tracks the static max-size line, and the
-// per-shard EPC invariant (heap == history + cache) is green on both sides
+// per-shard EPC invariant (heap == history + cache + index) is green on both sides
 // of every sealed scale-down handoff.
 type AutoscaleConfig struct {
 	// MinShards..MaxShards is the elastic range (the ramp should traverse
@@ -93,7 +93,7 @@ type AutoscaleResult struct {
 	// Scale-event accounting from the gateway.
 	ScaleUps   uint64
 	ScaleDowns uint64
-	// InvariantOK reports heap == history + cache on every live shard
+	// InvariantOK reports heap == history + cache + index on every live shard
 	// before the first scale-down and after the last one (both sides of
 	// every sealed handoff; between the two the fleet only drains).
 	InvariantOK bool

@@ -91,7 +91,7 @@ type BatchResult struct {
 	Curve []BatchPoint
 	// BestSpeedup is the curve's best throughput gain over the baseline.
 	BestSpeedup float64
-	// InvariantOK reports heap == history + cache after every run.
+	// InvariantOK reports heap == history + cache + index after every run.
 	InvariantOK bool
 }
 

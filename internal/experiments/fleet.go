@@ -21,7 +21,7 @@ import (
 // escape — and added shards buy near-linear throughput until the engine
 // or host saturates. The availability half drives a shard-killed-mid-run
 // phase and counts failed requests (the gateway must hold zero), checking
-// the per-shard EPC invariant (heap == history + cache) at every phase
+// the per-shard EPC invariant (heap == history + cache + index) at every phase
 // boundary.
 type FleetConfig struct {
 	// ShardCounts are the fleet sizes to measure (e.g. 1, 2, 4).
@@ -65,7 +65,7 @@ type FleetPoint struct {
 	Shards     int
 	Throughput float64
 	// InvariantOK reports whether every live shard satisfied
-	// heap == history + cache after the run.
+	// heap == history + cache + index after the run.
 	InvariantOK bool
 }
 
@@ -139,13 +139,13 @@ func newBenchFleet(cfg FleetConfig, n int, engineAddr string) (*fleet.Gateway, e
 	})
 }
 
-// fleetInvariantOK checks heap == history + cache on every live shard.
+// fleetInvariantOK checks heap == history + cache + index on every live shard.
 func fleetInvariantOK(g *fleet.Gateway) bool {
 	for _, ss := range g.Stats().Shards {
 		if !ss.Alive {
 			continue
 		}
-		if ss.Proxy.Enclave.HeapBytes != ss.Proxy.HistoryB+ss.Proxy.CacheB {
+		if ss.Proxy.Enclave.HeapBytes != ss.Proxy.HistoryB+ss.Proxy.CacheB+ss.Proxy.IndexB {
 			return false
 		}
 	}

@@ -18,7 +18,7 @@ func TestRunFleetValidation(t *testing.T) {
 // scale throughput of a concurrency-bound enclave (2 shards >= 1.4x one;
 // measured ~1.9x — the slack keeps the test robust on loaded CI machines),
 // a shard crash mid-run must lose zero requests, and every live shard must
-// satisfy heap == history + cache at each phase boundary.
+// satisfy heap == history + cache + index at each phase boundary.
 func TestRunFleetScalesAndSurvivesKill(t *testing.T) {
 	cfg := FleetConfig{
 		ShardCounts:   []int{1, 2},

@@ -21,7 +21,7 @@ import (
 // with one artificially slow upstream in the rotation, the no-hedge p99 is
 // the slow upstream's latency; hedged, the tail collapses to roughly
 // hedge-delay + fast-upstream latency. The EPC invariant (enclave heap ==
-// history + cache) is asserted after every phase.
+// history + cache + index) is asserted after every phase.
 type PipelineConfig struct {
 	// Workers concurrent clients issue Requests distinct queries per
 	// throughput run.
@@ -80,7 +80,7 @@ type PipelineResult struct {
 	// Hedge accounting from the hedged run.
 	HedgeAttempts uint64
 	HedgeWins     uint64
-	// InvariantOK reports heap == history + cache after every phase.
+	// InvariantOK reports heap == history + cache + index after every phase.
 	InvariantOK bool
 }
 
@@ -130,15 +130,23 @@ func shutdownProxy(p *proxy.Proxy) {
 	_ = p.Shutdown(ctx)
 }
 
-// proxyInvariantOK checks heap == history + cache on one node.
+// proxyInvariantOK checks heap == history + cache + index on one node.
 func proxyInvariantOK(p *proxy.Proxy) bool {
 	s := p.Stats()
-	return s.Enclave.HeapBytes == s.HistoryB+s.CacheB
+	return s.Enclave.HeapBytes == s.HistoryB+s.CacheB+s.IndexB
 }
 
 // drivePipeline issues total distinct queries from workers concurrent
 // clients, optionally recording per-request latency.
 func drivePipeline(p *proxy.Proxy, workers, total int, label string, hist *metrics.Histogram) (time.Duration, error) {
+	return driveQueries(p, workers, total, hist, func(i int) string {
+		return fmt.Sprintf("%s query %d", label, i)
+	})
+}
+
+// driveQueries issues total queries derived by queryFor from workers
+// concurrent clients, optionally recording per-request latency.
+func driveQueries(p *proxy.Proxy, workers, total int, hist *metrics.Histogram, queryFor func(int) string) (time.Duration, error) {
 	var next atomic.Int64
 	var errMu sync.Mutex
 	var firstErr error
@@ -153,7 +161,7 @@ func drivePipeline(p *proxy.Proxy, workers, total int, label string, hist *metri
 				if i >= int64(total) {
 					return
 				}
-				q := fmt.Sprintf("%s query %d", label, i)
+				q := queryFor(int(i))
 				reqStart := time.Now()
 				if _, err := p.ServeQuery(context.Background(), q); err != nil {
 					errMu.Lock()

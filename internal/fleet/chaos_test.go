@@ -29,7 +29,7 @@ import (
 //     the broker's normal re-attest recovery, not a hidden failure mode).
 //   - No goroutine leaks: spawned shards, retired enclaves, drained
 //     pipelines, and the autoscaler itself all clean up after Shutdown.
-//   - The EPC invariant (enclave heap == history + cache bytes) holds on
+//   - The EPC invariant (enclave heap == history + cache + index bytes) holds on
 //     every surviving shard after the churn stops.
 //
 // The destructive schedule is arranged so the fleet can never reach zero
@@ -62,7 +62,53 @@ func TestChaosFleetSoakBatched(t *testing.T) {
 	})
 }
 
-func runChaosFleetSoak(t *testing.T, shardCfg proxy.Config) {
+// TestChaosFleetSoakIndexed reruns the chaos soak with the answer tier
+// enabled on every shard and a real corpus engine behind the fleet (echo
+// mode returns empty result lists, which would leave the index empty):
+// kills, drains, and scale events now land while index inserts, evictions,
+// and sealed index handoffs are in flight, and a repeat-heavy topical
+// workload keeps the tier churning. The same properties must hold — zero
+// lost replies, no goroutine leaks, the extended EPC invariant on every
+// survivor — plus the index must have carried documents within its byte
+// bound.
+func TestChaosFleetSoakIndexed(t *testing.T) {
+	_, srv := newIndexTestEngine(t)
+	runChaosFleetSoak(t, proxy.Config{
+		K:          2,
+		Engines:    []proxy.EngineSpec{{Host: srv.Addr()}},
+		Seed:       11,
+		IndexBytes: 32 << 10, // small enough that eviction churns under load
+		IndexTTL:   time.Hour,
+	}, func() {
+		// Stop the engine server before the goroutine ledger is read: its
+		// keep-alive connection handlers (opened by the shards' pools
+		// during the soak) are part of this test's footprint, not a fleet
+		// leak. http.Server.Shutdown is idempotent, so the t.Cleanup
+		// shutdown remains safe.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+}
+
+// chaosTopics phrases the plain-worker queries from the corpus vocabulary
+// when the soak runs against a real engine, so fetches return documents
+// and the answer tier sees inserts; workers rotate and rephrase them into
+// a repeat-heavy stream.
+var chaosTopics = []string{
+	"chicken recipe oven baking",
+	"mortgage refinance loan rates",
+	"flights hotel paris resort",
+	"garden roses compost mulch",
+	"playoff scores roster draft",
+	"laptop wireless router software",
+}
+
+// preLeakCheck hooks run after the gateway shutdown and before the
+// goroutine-leak accounting, so a variant can unwind test-owned
+// infrastructure (e.g. its engine server) that is not part of the fleet's
+// ledger.
+func runChaosFleetSoak(t *testing.T, shardCfg proxy.Config, preLeakCheck ...func()) {
 	duration := 4 * time.Second
 	if testing.Short() {
 		duration = 2 * time.Second
@@ -104,10 +150,20 @@ func runChaosFleetSoak(t *testing.T, shardCfg proxy.Config) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; time.Now().Before(stopAt); i++ {
+				q := fmt.Sprintf("chaos w%d q%d", w, i)
+				if len(shardCfg.Engines) > 0 {
+					// Real engine behind the fleet: a repeat-heavy topical
+					// stream so fetches return documents and the answer
+					// tier (when enabled) sees inserts and probes.
+					q = chaosTopics[(w+i)%len(chaosTopics)]
+					if i%4 == 0 {
+						q = fmt.Sprintf("%s w%d q%d", q, w, i)
+					}
+				}
 				plainIssued.Add(1)
 				ok := false
 				for attempt := 0; attempt < 3 && !ok; attempt++ {
-					if _, err := g.ServeQuery(ctx, fmt.Sprintf("chaos w%d q%d", w, i)); err == nil {
+					if _, err := g.ServeQuery(ctx, q); err == nil {
 						ok = true
 					}
 				}
@@ -235,6 +291,32 @@ func runChaosFleetSoak(t *testing.T, shardCfg proxy.Config) {
 		requireInvariant(t, fmt.Sprintf("surviving shard %d", ss.Index), ss.Proxy)
 	}
 
+	if shardCfg.IndexBytes > 0 {
+		// The indexed soak must end with a working answer tier: drive a few
+		// post-churn topical queries (survivors spawned in the final moments
+		// may not have served traffic yet), then require indexed documents
+		// within the configured byte bound on the quiescent fleet.
+		for i := 0; i < len(chaosTopics); i++ {
+			if _, err := g.ServeQuery(ctx, chaosTopics[i]); err != nil {
+				t.Fatalf("post-soak query %d: %v", i, err)
+			}
+		}
+		ist := g.Stats()
+		if ist.IndexDocs == 0 {
+			t.Fatal("indexed soak ended with an empty answer tier fleet-wide")
+		}
+		for _, ss := range ist.Shards {
+			if !ss.Alive {
+				continue
+			}
+			if ss.Proxy.IndexB > shardCfg.IndexBytes {
+				t.Fatalf("shard %d index bytes %d exceed bound %d",
+					ss.Index, ss.Proxy.IndexB, shardCfg.IndexBytes)
+			}
+			requireInvariant(t, fmt.Sprintf("post-soak shard %d", ss.Index), ss.Proxy)
+		}
+	}
+
 	// Teardown, then the goroutine ledger must balance (with grace for
 	// HTTP keep-alives and runtime bookkeeping to unwind).
 	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
@@ -243,6 +325,9 @@ func runChaosFleetSoak(t *testing.T, shardCfg proxy.Config) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 	tr.CloseIdleConnections()
+	for _, hook := range preLeakCheck {
+		hook()
+	}
 	deadline := time.Now().Add(grace)
 	for {
 		now := runtime.NumGoroutine()

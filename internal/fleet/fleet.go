@@ -418,6 +418,11 @@ type DrainReport struct {
 	// carried (bytes is the successor's net EPC delta).
 	MigratedQueries int   `json:"migrated_queries"`
 	MigratedBytes   int64 `json:"migrated_bytes"`
+	// MigratedIndexDocs and MigratedIndexBytes are what the sealed
+	// answer-tier index handoff carried (documents added at the successor
+	// and its net EPC delta).
+	MigratedIndexDocs  int   `json:"migrated_index_docs,omitempty"`
+	MigratedIndexBytes int64 `json:"migrated_index_bytes,omitempty"`
 	// SessionsLost is how many routed sessions died with the shard; their
 	// brokers re-attest onto live shards.
 	SessionsLost int `json:"sessions_lost"`
@@ -457,6 +462,20 @@ func (g *Gateway) Drain(ctx context.Context, i int) (*DrainReport, error) {
 		sh.draining.Store(false)
 		return nil, fmt.Errorf("fleet: merge into shard %d: %w", succ.index, err)
 	}
+	// The answer-tier index rides the same sealed seam: snapshot inside
+	// the drained enclave, merge inside the successor's. A shard without
+	// an index snapshots nil and the successor's merge is a no-op, so the
+	// drain path stays uniform.
+	idxBlob, err := sh.proxy.SnapshotIndex(ctx)
+	if err != nil {
+		sh.draining.Store(false)
+		return nil, fmt.Errorf("fleet: snapshot index shard %d: %w", i, err)
+	}
+	idxAdded, idxBytes, err := succ.proxy.MergeIndex(ctx, idxBlob)
+	if err != nil {
+		sh.draining.Store(false)
+		return nil, fmt.Errorf("fleet: merge index into shard %d: %w", succ.index, err)
+	}
 	sh.alive.Store(false)
 	_ = sh.proxy.Shutdown(ctx)
 	lost := g.dropShardSessions(sh)
@@ -464,11 +483,13 @@ func (g *Gateway) Drain(ctx context.Context, i int) (*DrainReport, error) {
 	g.migratedQ.Add(uint64(added))
 	g.migratedB.Add(bytes)
 	return &DrainReport{
-		Shard:           i,
-		Successor:       succ.index,
-		MigratedQueries: added,
-		MigratedBytes:   bytes,
-		SessionsLost:    lost,
+		Shard:              i,
+		Successor:          succ.index,
+		MigratedQueries:    added,
+		MigratedBytes:      bytes,
+		MigratedIndexDocs:  idxAdded,
+		MigratedIndexBytes: idxBytes,
+		SessionsLost:       lost,
 	}, nil
 }
 

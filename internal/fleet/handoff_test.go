@@ -17,18 +17,19 @@ import (
 )
 
 // requireInvariant asserts the per-shard EPC identity the whole memory
-// story rests on: enclave heap == history bytes + cache bytes.
+// story rests on: enclave heap == history bytes + cache bytes + index
+// bytes.
 func requireInvariant(t *testing.T, label string, ps proxy.Stats) {
 	t.Helper()
-	if ps.Enclave.HeapBytes != ps.HistoryB+ps.CacheB {
-		t.Fatalf("%s: EPC invariant broken: heap=%d history=%d cache=%d",
-			label, ps.Enclave.HeapBytes, ps.HistoryB, ps.CacheB)
+	if ps.Enclave.HeapBytes != ps.HistoryB+ps.CacheB+ps.IndexB {
+		t.Fatalf("%s: EPC invariant broken: heap=%d history=%d cache=%d index=%d",
+			label, ps.Enclave.HeapBytes, ps.HistoryB, ps.CacheB, ps.IndexB)
 	}
 }
 
 // TestDrainSealedHandoff covers the planned-drain path end to end: a shard
 // drained mid-session hands its history window to its successor as a
-// sealed blob, the heap == history + cache invariant holds on both shards
+// sealed blob, the heap == history + cache + index invariant holds on both shards
 // before the drain and on the successor after it, the drained sessions
 // recover by re-attesting, and SimAttack re-identification does not
 // improve after the migration (the merged fake pool is no easier to

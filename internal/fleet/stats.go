@@ -67,6 +67,15 @@ type Stats struct {
 	CacheB      int64  `json:"cache_bytes"`
 	EnclaveHeap int64  `json:"enclave_heap_bytes"`
 	EPCUsed     int64  `json:"epc_used_bytes"`
+	// Answer-tier aggregates: indexed documents and EPC bytes across live
+	// shards, index probe hits, and the fleet-wide local-hit ratio (the
+	// fraction of probed queries served without an upstream round trip),
+	// recomputed from the summed hit/miss counters so it is a true fleet
+	// ratio rather than an average of per-shard ratios.
+	IndexDocs     int     `json:"index_docs,omitempty"`
+	IndexB        int64   `json:"index_bytes,omitempty"`
+	IndexHits     uint64  `json:"index_hits,omitempty"`
+	LocalHitRatio float64 `json:"local_hit_ratio,omitempty"`
 	// Async pipeline and hedging gauges, summed over live shards (zero
 	// when shards run the blocking path).
 	AsyncSubmitted   uint64 `json:"async_submitted,omitempty"`
@@ -119,6 +128,7 @@ func (g *Gateway) Stats() Stats {
 	merged := make(map[string]proxy.UpstreamStats)
 	ring := g.list()
 	s.CurrentShards = len(ring)
+	var localHits, localTotal uint64
 	for _, sh := range ring {
 		ss := ShardStats{
 			Index:    sh.index,
@@ -133,6 +143,18 @@ func (g *Gateway) Stats() Stats {
 			s.HistoryLen += ss.Proxy.HistoryLen
 			s.HistoryB += ss.Proxy.HistoryB
 			s.CacheB += ss.Proxy.CacheB
+			s.IndexDocs += ss.Proxy.IndexDocs
+			s.IndexB += ss.Proxy.IndexB
+			s.IndexHits += ss.Proxy.IndexHits
+			// Per-shard denominator: cache probes when the shard runs a
+			// cache (the index only probes on cache misses), index probes
+			// otherwise — the same rule Proxy.Stats applies per node.
+			localHits += ss.Proxy.CacheHits + ss.Proxy.IndexHits
+			if t := ss.Proxy.CacheHits + ss.Proxy.CacheMisses; t > 0 {
+				localTotal += t
+			} else {
+				localTotal += ss.Proxy.IndexHits + ss.Proxy.IndexMisses
+			}
 			s.EnclaveHeap += ss.Proxy.Enclave.HeapBytes
 			s.EPCUsed += ss.Proxy.Enclave.EPCUsed
 			s.AsyncSubmitted += ss.Proxy.AsyncSubmitted
@@ -176,5 +198,8 @@ func (g *Gateway) Stats() Stats {
 		s.Upstreams = append(s.Upstreams, m)
 	}
 	sort.Slice(s.Upstreams, func(i, j int) bool { return s.Upstreams[i].Host < s.Upstreams[j].Host })
+	if localTotal > 0 {
+		s.LocalHitRatio = float64(localHits) / float64(localTotal)
+	}
 	return s
 }

@@ -375,7 +375,7 @@ func TestCoalescingDisabledFetchesPerRequest(t *testing.T) {
 
 // A coalesced result must be charged to the EPC exactly once: after a
 // storm of concurrent identical queries with the cache on, the enclave
-// heap must equal history + cache exactly (the PR 1 invariant), and the
+// heap must equal history + cache + index exactly (the PR 1 invariant), and the
 // cache must hold one entry.
 func TestCoalescedResultChargedOnce(t *testing.T) {
 	const workers = 16
@@ -409,7 +409,7 @@ func TestCoalescedResultChargedOnce(t *testing.T) {
 	if s.CacheLen != 1 {
 		t.Errorf("cache holds %d entries for one distinct query", s.CacheLen)
 	}
-	if s.Enclave.HeapBytes != s.HistoryB+s.CacheB {
+	if s.Enclave.HeapBytes != s.HistoryB+s.CacheB+s.IndexB {
 		t.Errorf("heap %d != history %d + cache %d (coalesced result double- or under-charged)",
 			s.Enclave.HeapBytes, s.HistoryB, s.CacheB)
 	}

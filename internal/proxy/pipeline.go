@@ -215,6 +215,13 @@ func (ts *trustedState) beginAsync(env enclave.Env, kind, session, query string,
 		}
 		ts.cacheHits.Miss()
 	}
+	if ts.index != nil {
+		if hits, ok := ts.index.Query(query, count, time.Now(), env.Free); ok {
+			ts.indexHits.Hit()
+			return ts.finishReply(kind, session, hits, "")
+		}
+		ts.indexHits.Miss()
+	}
 
 	pt := ts.pending
 	pt.mu.Lock()
@@ -404,6 +411,12 @@ func (ts *trustedState) handleResume(env enclave.Env, arg []byte) ([]byte, error
 			// Charged to the EPC exactly once, by the flight leader —
 			// followers only copy.
 			ts.cache.Put(p.key, results, time.Now(), env.Alloc, env.Free)
+		}
+		if ts.index != nil {
+			// Forward-private insert: runs inside the already-measured
+			// resume ecall with arena-quantized charges, so the host
+			// observes no term-dependent allocation pattern.
+			ts.index.Insert(results, time.Now(), env.Alloc, env.Free)
 		}
 	}
 
@@ -788,7 +801,7 @@ func (ts *trustedState) handleRequestBatch(env enclave.Env, arg []byte) ([]byte,
 		}
 	}
 
-	// Phase 3: echo short-circuit and per-entry cache probe.
+	// Phase 3: echo short-circuit and per-entry cache → local-index probe.
 	for _, e := range entries {
 		if e.settled {
 			continue
@@ -805,6 +818,14 @@ func (ts *trustedState) handleRequestBatch(env enclave.Env, arg []byte) ([]byte,
 				continue
 			}
 			ts.cacheHits.Miss()
+		}
+		if ts.index != nil {
+			if hits, ok := ts.index.Query(e.query, e.count, time.Now(), env.Free); ok {
+				ts.indexHits.Hit()
+				e.settle(ts.finishReply(e.kind, e.session, hits, ""))
+				continue
+			}
+			ts.indexHits.Miss()
 		}
 	}
 

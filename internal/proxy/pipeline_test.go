@@ -38,14 +38,14 @@ func newDelayEngine(t *testing.T, delay time.Duration) (*searchengine.Engine, *s
 	return engine, srv
 }
 
-// assertEPCInvariant checks heap == history + cache, the accounting
+// assertEPCInvariant checks heap == history + cache + index, the accounting
 // contract every pipeline stage must preserve.
 func assertEPCInvariant(t *testing.T, p *Proxy) {
 	t.Helper()
 	s := p.Stats()
-	if s.Enclave.HeapBytes != s.HistoryB+s.CacheB {
-		t.Errorf("EPC invariant broken: heap=%d history=%d cache=%d",
-			s.Enclave.HeapBytes, s.HistoryB, s.CacheB)
+	if s.Enclave.HeapBytes != s.HistoryB+s.CacheB+s.IndexB {
+		t.Errorf("EPC invariant broken: heap=%d history=%d cache=%d index=%d",
+			s.Enclave.HeapBytes, s.HistoryB, s.CacheB, s.IndexB)
 	}
 }
 

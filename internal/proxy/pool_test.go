@@ -329,7 +329,7 @@ func TestCacheServesRepeatsWithoutEngine(t *testing.T) {
 }
 
 // The cache's EPC contract: every cached byte is charged to the enclave
-// heap, so heap == history + cache exactly (nothing else allocates).
+// heap, so heap == history + cache + index exactly (nothing else allocates).
 func TestCacheChargedToEPC(t *testing.T) {
 	st := newTestStack(t, func(c *Config) { c.CacheBytes = 1 << 20 })
 	for i := 0; i < 4; i++ {
@@ -339,7 +339,7 @@ func TestCacheChargedToEPC(t *testing.T) {
 	if s.CacheB == 0 {
 		t.Fatal("cache stored nothing")
 	}
-	if s.Enclave.HeapBytes != s.HistoryB+s.CacheB {
+	if s.Enclave.HeapBytes != s.HistoryB+s.CacheB+s.IndexB {
 		t.Errorf("heap %d != history %d + cache %d",
 			s.Enclave.HeapBytes, s.HistoryB, s.CacheB)
 	}
@@ -363,7 +363,7 @@ func TestCacheExpiryRefetches(t *testing.T) {
 	}
 	// Lazy expiry freed the stale entry's bytes before re-inserting: the
 	// heap identity must still hold.
-	if s.Enclave.HeapBytes != s.HistoryB+s.CacheB {
+	if s.Enclave.HeapBytes != s.HistoryB+s.CacheB+s.IndexB {
 		t.Errorf("heap %d != history %d + cache %d after expiry",
 			s.Enclave.HeapBytes, s.HistoryB, s.CacheB)
 	}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xsearch/internal/answer"
 	"xsearch/internal/attestation"
 	"xsearch/internal/core"
 	"xsearch/internal/enclave"
@@ -71,6 +72,21 @@ type Config struct {
 	// CacheTTL bounds cached-entry freshness. Zero means DefaultCacheTTL
 	// (only consulted when CacheBytes > 0).
 	CacheTTL time.Duration
+	// IndexBytes bounds the in-enclave answer index: a mutable TF-IDF
+	// inverted index over recently fetched results that serves repeat and
+	// rephrased queries with zero upstream round trips. Charged against
+	// the EPC like the history and cache (heap == history + cache +
+	// index), with arena-quantized charges so the host's EPC trace never
+	// keys on indexed terms. Zero disables the answer tier.
+	IndexBytes int64
+	// IndexTTL bounds indexed-document freshness. Zero means
+	// DefaultIndexTTL (only consulted when IndexBytes > 0).
+	IndexTTL time.Duration
+	// IndexMinScore is the answer tier's confidence floor: the
+	// best-matching indexed document must score at least this (TF-IDF
+	// cosine) or the query falls through to the upstream pipeline. Zero
+	// means answer.DefaultMinScore; only consulted when IndexBytes > 0.
+	IndexMinScore float64
 	// UpstreamFailThreshold is how many consecutive failures open an
 	// upstream's circuit breaker. Zero means DefaultUpstreamFailThreshold.
 	UpstreamFailThreshold int
@@ -215,6 +231,12 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	if cfg.CacheBytes > 0 && cfg.CacheTTL == 0 {
 		cfg.CacheTTL = DefaultCacheTTL
+	}
+	if cfg.IndexMinScore < 0 {
+		return nil, fmt.Errorf("proxy: negative IndexMinScore")
+	}
+	if cfg.IndexBytes > 0 && cfg.IndexTTL == 0 {
+		cfg.IndexTTL = DefaultIndexTTL
 	}
 	if cfg.UpstreamFailThreshold <= 0 {
 		cfg.UpstreamFailThreshold = DefaultUpstreamFailThreshold
@@ -365,6 +387,13 @@ func New(cfg Config) (*Proxy, error) {
 		}
 		trusted.cache = cache
 	}
+	if cfg.IndexBytes > 0 {
+		index, err := answer.New(cfg.IndexBytes, cfg.IndexTTL, cfg.IndexMinScore)
+		if err != nil {
+			return nil, err
+		}
+		trusted.index = index
+	}
 
 	builder := platform.NewBuilder(cfg.EnclaveConfig)
 	// The measured "code": version string plus configuration that changes
@@ -375,9 +404,10 @@ func New(cfg Config) (*Proxy, error) {
 	for i, e := range engines {
 		engineIdent[i] = fmt.Sprintf("%s*%d", e.Host, e.Weight)
 	}
-	ident := fmt.Sprintf("xsearch-proxy v1.6 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s coalesce=%t breaker=%d/%s rate=%g/%d async=%t/%d hedge=%s/%d batch=%d/%s",
+	ident := fmt.Sprintf("xsearch-proxy v1.7 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s index=%d/%s/%g coalesce=%t breaker=%d/%s rate=%g/%d async=%t/%d hedge=%s/%d batch=%d/%s",
 		cfg.K, cfg.HistoryCapacity, strings.Join(engineIdent, " "), cfg.EchoMode,
 		cfg.PoolSize, cfg.CacheBytes, cfg.CacheTTL,
+		cfg.IndexBytes, cfg.IndexTTL, cfg.IndexMinScore,
 		!cfg.DisableCoalescing, cfg.UpstreamFailThreshold, cfg.UpstreamCooldown,
 		cfg.UpstreamRateLimit, cfg.UpstreamRateBurst,
 		cfg.AsyncOcalls, cfg.PipelineDepth, cfg.HedgeDelay, cfg.HedgeMax,
@@ -416,6 +446,15 @@ func New(cfg Config) (*Proxy, error) {
 		return nil, err
 	}
 	if err := builder.RegisterECall("merge", trusted.handleMerge); err != nil {
+		return nil, err
+	}
+	// The answer index's sealed handoff seam, measured like the history's
+	// snapshot/merge pair (registered unconditionally so the drain path
+	// is uniform; with the index off they carry an empty index).
+	if err := builder.RegisterECall("snapshot-index", trusted.handleSnapshotIndex); err != nil {
+		return nil, err
+	}
+	if err := builder.RegisterECall("merge-index", trusted.handleMergeIndex); err != nil {
 		return nil, err
 	}
 	if cfg.AsyncOcalls {
@@ -550,6 +589,10 @@ const (
 	// DefaultCacheTTL bounds result-cache freshness when Config.CacheTTL
 	// is zero.
 	DefaultCacheTTL = 60 * time.Second
+	// DefaultIndexTTL bounds answer-index document freshness when
+	// Config.IndexTTL is zero. Longer than the cache TTL: the index
+	// serves rephrasings, whose value outlives an exact repeat's.
+	DefaultIndexTTL = 120 * time.Second
 	// DefaultUpstreamFailThreshold consecutive failures open an engine
 	// upstream's circuit breaker.
 	DefaultUpstreamFailThreshold = 3
@@ -844,6 +887,32 @@ func (p *Proxy) MergeHistory(ctx context.Context, blob []byte) (added int, bytes
 	return rep.Added, rep.Bytes, nil
 }
 
+// SnapshotIndex returns the answer index as an enclave-sealed blob
+// (MRSIGNER policy, its own AAD): the host can move it but never read
+// it. With the index disabled it returns an empty blob that MergeIndex
+// treats as a no-op, so the fleet's drain path is uniform.
+func (p *Proxy) SnapshotIndex(ctx context.Context) ([]byte, error) {
+	return p.encl.ECall(ctx, "snapshot-index", nil)
+}
+
+// MergeIndex unseals an answer-index blob produced by SnapshotIndex on a
+// same-vendor enclave sharing this platform's sealing root and merges
+// its still-fresh documents into the local index, charging the EPC per
+// document under the index lock (so heap == history + cache + index
+// holds at every step). An empty blob, or a merge into a node with the
+// index disabled, is a no-op. Returns documents added and bytes charged.
+func (p *Proxy) MergeIndex(ctx context.Context, blob []byte) (added int, bytes int64, err error) {
+	out, err := p.encl.ECall(ctx, "merge-index", blob)
+	if err != nil {
+		return 0, 0, err
+	}
+	var rep mergeReply
+	if err := json.Unmarshal(out, &rep); err != nil {
+		return 0, 0, fmt.Errorf("proxy: merge-index reply: %w", err)
+	}
+	return rep.Added, rep.Bytes, nil
+}
+
 // Stats reports request counters plus enclave resource accounting and the
 // scaling layer's gauges (connection reuse, cache effectiveness).
 type Stats struct {
@@ -867,6 +936,18 @@ type Stats struct {
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// Answer index (the in-enclave answer tier): indexed documents, their
+	// charged (arena-quantized) EPC footprint, and hits/misses over the
+	// index probes that follow a cache miss. LocalHitRatio is the
+	// fraction of probed queries answered entirely inside the enclave —
+	// by the exact-key cache or the index — with zero upstream round
+	// trips.
+	IndexDocs     int     `json:"index_docs,omitempty"`
+	IndexB        int64   `json:"index_bytes,omitempty"`
+	IndexHits     uint64  `json:"index_hits,omitempty"`
+	IndexMisses   uint64  `json:"index_misses,omitempty"`
+	IndexHitRatio float64 `json:"index_hit_ratio,omitempty"`
+	LocalHitRatio float64 `json:"local_hit_ratio,omitempty"`
 	// Single-flight coalescing: shared/led partition every engine-bound
 	// fetch (cache hits never reach a flight), so CoalesceRatio =
 	// shared/(shared+led) — the fraction of engine-bound requests that
@@ -981,6 +1062,26 @@ func (p *Proxy) Stats() Stats {
 		if total := s.CacheHits + s.CacheMisses; total > 0 {
 			s.CacheHitRatio = float64(s.CacheHits) / float64(total)
 		}
+	}
+	if idx := p.trusted.index; idx != nil {
+		s.IndexDocs = idx.Docs()
+		s.IndexB = idx.Bytes()
+		s.IndexHits, s.IndexMisses = p.trusted.indexHits.Counts()
+		if total := s.IndexHits + s.IndexMisses; total > 0 {
+			s.IndexHitRatio = float64(s.IndexHits) / float64(total)
+		}
+	}
+	// LocalHitRatio: probed queries answered without an upstream round
+	// trip. With the cache on, every probed query counts one cache lookup
+	// (the index probe only runs on cache misses); cache-off index-on
+	// counts index probes alone.
+	localHits := s.CacheHits + s.IndexHits
+	localTotal := s.CacheHits + s.CacheMisses
+	if p.trusted.cache == nil {
+		localTotal = s.IndexHits + s.IndexMisses
+	}
+	if localTotal > 0 {
+		s.LocalHitRatio = float64(localHits) / float64(localTotal)
 	}
 	return s
 }

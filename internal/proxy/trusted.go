@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xsearch/internal/answer"
 	"xsearch/internal/core"
 	"xsearch/internal/enclave"
 	"xsearch/internal/metrics"
@@ -49,6 +50,13 @@ type trustedState struct {
 	cacheHits metrics.RatioCounter
 	flights   *core.FlightGroup
 	coalesce  metrics.RatioCounter
+	// index is the answer tier (nil when disabled): a mutable TF-IDF
+	// index over recently fetched results, probed after a cache miss and
+	// before the upstream pipeline. It charges arena-quantized bytes to
+	// the EPC under its own lock; inserts happen only inside the
+	// already-measured winner/resume ecalls.
+	index     *answer.Index
+	indexHits metrics.RatioCounter
 
 	// Async pipeline state (nil/zero when Config.AsyncOcalls is off):
 	// the parked-request table, the hedge budget per request, and whether
@@ -71,6 +79,10 @@ type trustedState struct {
 
 // historyAAD versions the sealed-history format.
 var historyAAD = []byte("xsearch-history-v1")
+
+// indexAAD versions the sealed answer-index format. Distinct from
+// historyAAD so the host can never replay a blob across the two seams.
+var indexAAD = []byte("xsearch-index-v1")
 
 // handleRestore is the "restore" ecall: unseal a persisted history blob
 // and load it into the window, charging the EPC for the restored bytes.
@@ -149,6 +161,50 @@ func (ts *trustedState) handleMerge(env enclave.Env, arg []byte) ([]byte, error)
 		env.Free(refund)
 	}
 	return json.Marshal(mergeReply{Added: len(queries), Bytes: delta})
+}
+
+// handleSnapshotIndex is the "snapshot-index" ecall: seal the answer
+// index for the fleet's drain handoff. With the index disabled it
+// returns an empty blob the receiving merge treats as a no-op, keeping
+// the drain path uniform across configurations.
+func (ts *trustedState) handleSnapshotIndex(_ enclave.Env, _ []byte) ([]byte, error) {
+	if ts.index == nil {
+		return nil, nil
+	}
+	if ts.sealer == nil {
+		return nil, fmt.Errorf("proxy: sealing not configured")
+	}
+	plaintext, err := ts.index.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return ts.sealer.Seal(plaintext, indexAAD)
+}
+
+// handleMergeIndex is the "merge-index" ecall, the receiving half of the
+// answer tier's sealed handoff: unseal an index blob another same-vendor
+// enclave snapshotted and merge its still-fresh documents into the local
+// index. Each document is charged to the EPC under the index lock
+// exactly like a live insert, so heap == history + cache + index holds
+// at every step and a charge failure skips the document instead of
+// corrupting the meter. An empty blob — or a node with the index
+// disabled — is a no-op.
+func (ts *trustedState) handleMergeIndex(env enclave.Env, arg []byte) ([]byte, error) {
+	if len(arg) == 0 || ts.index == nil {
+		return json.Marshal(mergeReply{})
+	}
+	if ts.sealer == nil {
+		return nil, fmt.Errorf("proxy: sealing not configured")
+	}
+	plaintext, err := ts.sealer.Unseal(arg, indexAAD)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: unseal index: %w", err)
+	}
+	added, bytes, err := ts.index.Merge(plaintext, time.Now(), env.Alloc, env.Free)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(mergeReply{Added: added, Bytes: bytes})
 }
 
 type sessionState struct {
@@ -312,6 +368,17 @@ func (ts *trustedState) searchAndFilter(env enclave.Env, query string, count int
 		}
 		ts.cacheHits.Miss()
 	}
+	// The answer tier: after the exact-key cache misses, a TF-IDF probe
+	// over recently fetched results can still answer a rephrased or
+	// near-repeat query entirely in-enclave. Below the confidence floor
+	// it falls through to the upstream pipeline.
+	if ts.index != nil {
+		if hits, ok := ts.index.Query(query, count, time.Now(), env.Free); ok {
+			ts.indexHits.Hit()
+			return hits, nil
+		}
+		ts.indexHits.Miss()
+	}
 	if ts.flights == nil {
 		return ts.fetchFilterStore(env, oq, key, count)
 	}
@@ -353,6 +420,13 @@ func (ts *trustedState) fetchFilterStore(env enclave.Env, oq core.ObfuscatedQuer
 		// when the charge fails (EPC exhausted) the entry is simply not
 		// stored and the query still succeeds.
 		ts.cache.Put(key, filtered, time.Now(), env.Alloc, env.Free)
+	}
+	if ts.index != nil {
+		// Forward-private insert: runs inside this already-measured
+		// winner ecall (no per-insert boundary crossing) and charges
+		// arena-quantized bytes, so the host's EPC trace learns nothing
+		// about the indexed terms it didn't learn from the fetch itself.
+		ts.index.Insert(filtered, time.Now(), env.Alloc, env.Free)
 	}
 	return filtered, nil
 }

@@ -230,6 +230,21 @@ func WithResultCache(maxBytes int64, ttl time.Duration) ProxyOption {
 	})
 }
 
+// WithLocalIndex enables the in-enclave answer tier: a forward-private
+// TF-IDF index over recently fetched results that serves rephrased and
+// near-repeat queries without an upstream round trip. maxBytes bounds the
+// index (charged against the EPC like the history window and result
+// cache), ttl bounds document freshness (zero uses the default, 120s), and
+// minScore is the confidence floor below which a probe falls through to
+// the upstream pipeline (zero or negative uses the default).
+func WithLocalIndex(maxBytes int64, ttl time.Duration, minScore float64) ProxyOption {
+	return proxyOptionFunc(func(c *proxy.Config) {
+		c.IndexBytes = maxBytes
+		c.IndexTTL = ttl
+		c.IndexMinScore = minScore
+	})
+}
+
 // NewProxy builds the enclave-hosted proxy.
 func NewProxy(opts ...ProxyOption) (*Proxy, error) {
 	var cfg proxy.Config

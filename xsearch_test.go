@@ -136,7 +136,7 @@ func TestPublicAPIAsyncPipeline(t *testing.T) {
 	if st.AsyncSubmitted == 0 {
 		t.Error("async pipeline never engaged")
 	}
-	if st.Enclave.HeapBytes != st.HistoryB+st.CacheB {
+	if st.Enclave.HeapBytes != st.HistoryB+st.CacheB+st.IndexB {
 		t.Errorf("EPC invariant broken: heap=%d history=%d cache=%d",
 			st.Enclave.HeapBytes, st.HistoryB, st.CacheB)
 	}
