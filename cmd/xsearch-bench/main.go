@@ -24,7 +24,7 @@ func main() {
 
 func run() error {
 	var (
-		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline,autoscale,batch,answer", "comma-separated figures to run")
+		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline,autoscale,batch,answer,obs", "comma-separated figures to run")
 		quick    = flag.Bool("quick", false, "scaled-down sizes (CI-friendly)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		useHTTP  = flag.Bool("http", false, "Figure 5 over real loopback HTTP (bare-metal runs)")
@@ -102,7 +102,7 @@ func run() error {
 		if raw, err := os.ReadFile(*baseline); err == nil {
 			_ = json.Unmarshal(raw, base)
 		}
-		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline,autoscale,batch,answer -baseline"
+		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline,autoscale,batch,answer,obs -baseline"
 	}
 	if want["scaling"] {
 		if err := runScaling(*quick, *seed, base); err != nil {
@@ -136,6 +136,11 @@ func run() error {
 	}
 	if want["answer"] {
 		if err := runAnswerFig(*quick, *seed, base); err != nil {
+			return err
+		}
+	}
+	if want["obs"] {
+		if err := runObsFig(*quick, *seed, base); err != nil {
 			return err
 		}
 	}
@@ -391,6 +396,16 @@ type scalingBaseline struct {
 	AnswerBestUpstreamCut float64            `json:"answer_best_upstream_cut"`
 	AnswerInvariantOK     bool               `json:"answer_epc_invariant_ok"`
 	AnswerCurve           []answerCurvePoint `json:"answer_curve"`
+	// Observability ablation: the identical async workload with the
+	// observability layer off and on. Overhead must stay under 5%.
+	ObsBaselineRPS float64  `json:"obs_baseline_rps"`
+	ObsEnabledRPS  float64  `json:"obs_enabled_rps"`
+	ObsOverhead    float64  `json:"obs_overhead"`
+	ObsBaselineP50 int64    `json:"obs_baseline_p50_ns"`
+	ObsEnabledP50  int64    `json:"obs_enabled_p50_ns"`
+	ObsStages      []string `json:"obs_stages_covered"`
+	ObsEvents      int      `json:"obs_events_logged"`
+	ObsInvariantOK bool     `json:"obs_epc_invariant_ok"`
 }
 
 // batchCurvePoint is one committed point of the batch-size/latency curve.
@@ -727,6 +742,41 @@ func runAnswerFig(quick bool, seed uint64, base *scalingBaseline) error {
 				IndexedP99Ns:     pt.IndexedP99.Nanoseconds(),
 			})
 		}
+	}
+	return nil
+}
+
+func runObsFig(quick bool, seed uint64, base *scalingBaseline) error {
+	cfg := experiments.DefaultObsConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Workers, cfg.Requests, cfg.Repeats = 16, 200, 2
+		cfg.PipelineDepth = 32
+	}
+	res, err := experiments.RunObs(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Observability ablation: identical async workload, layer off vs on\n")
+	fmt.Printf("# (%d workers x %d requests, best of %d, %v engine service)\n",
+		cfg.Workers, cfg.Requests, cfg.Repeats, cfg.EngineService)
+	fmt.Printf("%-14s  %-10s  %-10s  %-10s\n", "variant", "req/s", "p50", "p95")
+	fmt.Printf("%-14s  %-10.0f  %-10v  %-10v\n", "obs off",
+		res.BaselineRPS, res.BaselineP50.Round(time.Microsecond), res.BaselineP95.Round(time.Microsecond))
+	fmt.Printf("%-14s  %-10.0f  %-10v  %-10v\n", "obs on",
+		res.ObsRPS, res.ObsP50.Round(time.Microsecond), res.ObsP95.Round(time.Microsecond))
+	fmt.Printf("# overhead %.1f%% (target < 5%%); stages covered: %s; %d events in the ring;\n",
+		res.Overhead*100, strings.Join(res.StagesCovered, " → "), res.EventsLogged)
+	fmt.Printf("# EPC invariant on both variants: %t\n\n", res.InvariantOK)
+	if base != nil {
+		base.ObsBaselineRPS = res.BaselineRPS
+		base.ObsEnabledRPS = res.ObsRPS
+		base.ObsOverhead = res.Overhead
+		base.ObsBaselineP50 = res.BaselineP50.Nanoseconds()
+		base.ObsEnabledP50 = res.ObsP50.Nanoseconds()
+		base.ObsStages = res.StagesCovered
+		base.ObsEvents = res.EventsLogged
+		base.ObsInvariantOK = res.InvariantOK
 	}
 	return nil
 }

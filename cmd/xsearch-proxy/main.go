@@ -9,6 +9,7 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -84,6 +85,9 @@ func run() error {
 		batchMax    = flag.Int("batch-max", 0, "coalesce up to this many admitted requests into one vectorized ecall (0=off, min 2; needs -async)")
 		batchWindow = flag.Duration("batch-window", 0, "how long a partially filled batch waits for more requests (0=default 200µs; needs -batch-max)")
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: drain in-flight requests this long before destroying enclaves")
+		obsOn       = flag.Bool("obs", false, "observability: per-stage latency histograms, Prometheus /metrics, /events ring, pprof (content-free telemetry)")
+		eventsCap   = flag.Int("events", 0, "structured event ring capacity (0=default 1024; implies event logging)")
+		logJSON     = flag.Bool("log-json", false, "mirror every structured event to stderr as one JSON object per line")
 	)
 	flag.Parse()
 
@@ -141,6 +145,19 @@ func run() error {
 	}
 	if *batchMax != 0 {
 		opts = append(opts, xsearch.WithBatching(*batchMax, *batchWindow))
+	}
+	if *obsOn {
+		opts = append(opts, xsearch.WithObservability())
+	}
+	if *eventsCap < 0 {
+		return fmt.Errorf("-events must be non-negative")
+	}
+	if *eventsCap > 0 || *logJSON {
+		var stream io.Writer
+		if *logJSON {
+			stream = os.Stderr
+		}
+		opts = append(opts, xsearch.WithEventLog(*eventsCap, stream))
 	}
 	switch {
 	case *echo:

@@ -204,6 +204,47 @@
 // repeat-heavy workloads against the no-index baseline and commits the
 // local-hit/upstream-cut curve to BENCH_baseline.json.
 //
+// # Observability
+//
+// WithObservability (off by default) turns on a privacy-safe telemetry
+// layer designed for this paper's threat model, where the host reading
+// the telemetry IS the adversary. Two hard rules govern everything it
+// emits. First, telemetry is content-free: no query text, result text,
+// or any value derived from either ever reaches a metric, event, or log
+// line — stage names, shard indices, and configured upstream hosts are
+// the only label values, all from closed sets fixed at build or config
+// time. Second, telemetry is constant-shape: the set of exported series
+// does not depend on what users queried, so an adversary diffing two
+// scrapes learns nothing SimAttack could use.
+//
+// The layer has four parts. Per-request stage tracing records each hot
+// path stage — admit, obfuscate, probe, submit, fetch, hedge, resume,
+// filter, reply — into fixed-bucket per-stage latency histograms,
+// exported only as aggregates (per-request events never exist, so they
+// cannot leak). A Prometheus text-format /metrics endpoint on the proxy
+// admin mux exports the full Stats surface; the fleet gateway serves a
+// merged view (counts summed, percentile tails from the worst shard,
+// the same conservative rule as Fleet.Stats) with a per-shard ?shard=N
+// selector, which /stats also honors. A structured event log
+// ring-buffers JSON events for fleet lifecycle transitions — scale
+// decisions with their DecideScale inputs, scale-ups/downs, drains,
+// kills, shard deaths, failovers, breaker transitions, hedge fires —
+// exposed via /events and optionally streamed to stderr (-log-json);
+// WithEventLog sizes the ring independently of the tracing. Fourth,
+// pprof handlers ride the admin mux (profiles describe the untrusted
+// runtime, never enclave-resident query state). The obs ablation
+// (-figs obs) measures the layer's throughput cost against the same
+// workload with it off (target: under 5%), and a CI telemetry-lint gate
+// (scripts/telemetry-lint.sh) statically asserts no content-carrying
+// identifier reaches a telemetry call site outside the enclave.
+//
+// Stats snapshots, with or without the layer, are read without a global
+// pause: each field is individually consistent (atomic or lock-guarded
+// at its source) but fields may be microseconds apart, so cross-field
+// arithmetic such as heap == history + cache + index can be transiently
+// off by in-flight requests. Quiesce the proxy before asserting exact
+// cross-field invariants.
+//
 // # Quick start
 //
 //	engine := xsearch.NewEngine()

@@ -432,23 +432,25 @@ func (e *Enclave) Destroy() {
 	e.heapBytes = 0
 }
 
-// Stats is a snapshot of an enclave's resource accounting.
+// Stats is a snapshot of an enclave's resource accounting. The JSON tags
+// serve the proxy's /stats and /metrics observability surface, which
+// embeds this struct: resource aggregates only, nothing content-derived.
 type Stats struct {
-	ECalls      uint64
-	OCalls      uint64
-	HeapBytes   int64
-	PeakHeap    int64
-	StaticBytes int64
-	EPCUsed     int64
-	EPCLimit    int64
-	PageFaults  uint64
+	ECalls      uint64 `json:"ecalls"`
+	OCalls      uint64 `json:"ocalls"`
+	HeapBytes   int64  `json:"heap_bytes"`
+	PeakHeap    int64  `json:"peak_heap_bytes"`
+	StaticBytes int64  `json:"static_bytes"`
+	EPCUsed     int64  `json:"epc_used"`
+	EPCLimit    int64  `json:"epc_limit"`
+	PageFaults  uint64 `json:"page_faults"`
 	// AsyncSubmitted/AsyncCompleted count switchless async ocalls posted
 	// to the submission ring and serviced by the untrusted workers
 	// (zero when Config.AsyncWorkers == 0). Async calls are included in
 	// OCalls too; the gap between the two async counters is the in-flight
 	// depth.
-	AsyncSubmitted uint64
-	AsyncCompleted uint64
+	AsyncSubmitted uint64 `json:"async_submitted"`
+	AsyncCompleted uint64 `json:"async_completed"`
 }
 
 // Stats returns current accounting.

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"xsearch/internal/enclave"
+	"xsearch/internal/metrics"
+	"xsearch/internal/obs"
+	"xsearch/internal/proxy"
+)
+
+// ObsConfig sizes the observability-overhead ablation. The measured
+// claim: the privacy-safe observability layer — trusted-side per-stage
+// histograms on every request, the structured event ring, the Prometheus
+// rendering — costs under 5% throughput, because the hot path pays only
+// a handful of clock reads and fixed-bucket histogram increments per
+// request (no allocation, no formatting, no per-request events). The
+// ablation drives the identical async workload with observability off
+// and on and reports the throughput/latency delta plus what the enabled
+// run actually recorded (stage coverage, ring occupancy).
+type ObsConfig struct {
+	// Workers concurrent clients issue Requests distinct queries per run.
+	Workers  int
+	Requests int
+	// Repeats re-runs each variant, keeping the best throughput —
+	// scheduler noise on a loaded host easily exceeds the effect size.
+	Repeats int
+	// EngineService is the loopback engine's per-request latency.
+	EngineService time.Duration
+	// TCSCount bounds concurrent ecalls; PipelineDepth the async staging.
+	TCSCount      int
+	PipelineDepth int
+	// DocsPerTopic sizes the engine corpus; Seed fixes randomness.
+	DocsPerTopic int
+	Seed         uint64
+}
+
+// DefaultObsConfig is the full-size ablation.
+func DefaultObsConfig() ObsConfig {
+	return ObsConfig{
+		Workers:       32,
+		Requests:      800,
+		Repeats:       3,
+		EngineService: time.Millisecond,
+		TCSCount:      4,
+		PipelineDepth: 64,
+		DocsPerTopic:  20,
+		Seed:          1,
+	}
+}
+
+// ObsResult carries the ablation's measurements.
+type ObsResult struct {
+	// BaselineRPS/ObsRPS are the best-of-Repeats throughputs with the
+	// layer off and on; Overhead is 1 - ObsRPS/BaselineRPS (negative
+	// means the difference drowned in noise).
+	BaselineRPS float64
+	ObsRPS      float64
+	Overhead    float64
+	// Request latency medians/tails for both variants.
+	BaselineP50 time.Duration
+	ObsP50      time.Duration
+	BaselineP95 time.Duration
+	ObsP95      time.Duration
+	// StagesCovered lists the pipeline stages the enabled run actually
+	// accumulated samples for, in pipeline order.
+	StagesCovered []string
+	// EventsLogged is the enabled run's final event-ring occupancy.
+	EventsLogged int
+	// InvariantOK reports heap == history + cache + index after both runs.
+	InvariantOK bool
+}
+
+// RunObs measures the observability layer's throughput cost on the async
+// hot path.
+func RunObs(cfg ObsConfig) (*ObsResult, error) {
+	if cfg.Workers <= 0 || cfg.Requests <= 0 {
+		return nil, fmt.Errorf("obs: need workers and requests")
+	}
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 1
+	}
+	srv, err := pipelineEngine(PipelineConfig{
+		DocsPerTopic: cfg.DocsPerTopic,
+		Seed:         cfg.Seed,
+	}, cfg.EngineService)
+	if err != nil {
+		return nil, err
+	}
+	defer shutdownServer(srv)
+
+	res := &ObsResult{InvariantOK: true}
+	runOne := func(obsOn bool, rep int) (rps float64, p50, p95 time.Duration, st proxy.Stats, err error) {
+		p, err := proxy.New(proxy.Config{
+			K:             2,
+			Engines:       []proxy.EngineSpec{{Host: srv.Addr()}},
+			Seed:          cfg.Seed,
+			AsyncOcalls:   true,
+			PipelineDepth: cfg.PipelineDepth,
+			Observability: obsOn,
+			EnclaveConfig: enclave.Config{TCSCount: cfg.TCSCount},
+		})
+		if err != nil {
+			return 0, 0, 0, proxy.Stats{}, err
+		}
+		defer shutdownProxy(p)
+		for i := 0; i < 4; i++ {
+			if _, err := p.ServeQuery(context.Background(), fmt.Sprintf("obs warm %d", i)); err != nil {
+				return 0, 0, 0, proxy.Stats{}, err
+			}
+		}
+		hist := metrics.NewHistogram()
+		label := fmt.Sprintf("obs%t-%d", obsOn, rep)
+		elapsed, err := drivePipeline(p, cfg.Workers, cfg.Requests, label, hist)
+		if err != nil {
+			return 0, 0, 0, proxy.Stats{}, err
+		}
+		snap := hist.Snapshot()
+		res.InvariantOK = res.InvariantOK && proxyInvariantOK(p)
+		return float64(cfg.Requests) / elapsed.Seconds(), snap.P50, snap.P95, p.Stats(), nil
+	}
+
+	// Interleave the variants across repeats so slow drift in the host's
+	// load hits both sides equally.
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		rps, p50, p95, _, err := runOne(false, rep)
+		if err != nil {
+			return nil, fmt.Errorf("obs baseline: %w", err)
+		}
+		if rps > res.BaselineRPS {
+			res.BaselineRPS, res.BaselineP50, res.BaselineP95 = rps, p50, p95
+		}
+		rps, p50, p95, st, err := runOne(true, rep)
+		if err != nil {
+			return nil, fmt.Errorf("obs enabled: %w", err)
+		}
+		if rps > res.ObsRPS {
+			res.ObsRPS, res.ObsP50, res.ObsP95 = rps, p50, p95
+			res.EventsLogged = st.EventsLogged
+			// obs.StageNames is already in pipeline order.
+			res.StagesCovered = res.StagesCovered[:0]
+			for _, name := range obs.StageNames {
+				if snap, ok := st.Stages[name]; ok && snap.Count > 0 {
+					res.StagesCovered = append(res.StagesCovered, name)
+				}
+			}
+		}
+	}
+	if res.BaselineRPS > 0 {
+		res.Overhead = 1 - res.ObsRPS/res.BaselineRPS
+	}
+	return res, nil
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"xsearch/internal/obs"
 )
 
 // This file is the fleet's elasticity layer. The gateway already knows how
@@ -345,8 +347,10 @@ func (g *Gateway) ScaleUp(_ context.Context) (int, error) {
 	}
 	g.shardMu.Lock()
 	g.shards = append(g.shards, sh)
+	ring := len(g.shards)
 	g.shardMu.Unlock()
 	g.scaleUps.Add(1)
+	g.events.Append(obs.Event{Type: obs.EvScaleUp, Shard: idx, Shards: ring})
 	return idx, nil
 }
 
@@ -398,6 +402,8 @@ func (g *Gateway) retireShard(ctx context.Context, idx int) (*DrainReport, error
 	}
 	g.removeShard(sh)
 	g.scaleDowns.Add(1)
+	g.events.Append(obs.Event{Type: obs.EvScaleDown, Shard: idx, Shards: g.ShardCount(),
+		Reason: fmt.Sprintf("drained to shard %d", rep.Successor)})
 	return rep, nil
 }
 
@@ -429,6 +435,10 @@ type Autoscaler struct {
 
 	mu         sync.Mutex
 	lastAction time.Time
+	// lastLogged is the most recent decision reason written to the event
+	// log; repeating "cooldown"/"steady" ticks are suppressed so the ring
+	// keeps decision TRANSITIONS, not a 4 Hz heartbeat.
+	lastLogged string
 }
 
 func newAutoscaler(g *Gateway, min, max int, policy AutoscalePolicy) *Autoscaler {
@@ -470,6 +480,7 @@ func (a *Autoscaler) tick(now time.Time) {
 	a.mu.Unlock()
 	d := DecideScale(a.policy, since, loads, a.min, a.max)
 	a.g.noteDecision(d.Reason)
+	a.logDecision(d, since, loads)
 	switch d.Action {
 	case ScaleUp:
 		ctx, cancel := context.WithTimeout(context.Background(), scaleOpTimeout)
@@ -493,6 +504,44 @@ func (a *Autoscaler) tick(now time.Time) {
 			a.g.noteDecision("scale-down refused: " + err.Error())
 		}
 	}
+}
+
+// logDecision writes one EvScaleDecision event carrying the exact
+// DecideScale inputs — ring size and clamps, elapsed cooldown, and the
+// load maxima the decision saw — so an operator replaying /events can
+// re-derive WHY the fleet moved (or refused to). Unchanged no-op reasons
+// are deduplicated; every actionable decision is always logged.
+func (a *Autoscaler) logDecision(d ScaleDecision, since time.Duration, loads []ShardLoad) {
+	a.mu.Lock()
+	repeat := d.Action == ScaleNone && d.Reason == a.lastLogged
+	if !repeat {
+		a.lastLogged = d.Reason
+	}
+	a.mu.Unlock()
+	if repeat {
+		return
+	}
+	ev := obs.Event{
+		Type:        obs.EvScaleDecision,
+		Shard:       -1, // fleet-scoped; Target (ScaleDown) is in Reason
+		Reason:      d.Reason,
+		Shards:      len(loads),
+		ShardsMin:   a.min,
+		ShardsMax:   a.max,
+		SinceLastMs: since.Milliseconds(),
+	}
+	for _, l := range loads {
+		if l.Occupancy > ev.MaxOccupancy {
+			ev.MaxOccupancy = l.Occupancy
+		}
+		if l.EPCFraction > ev.MaxEPCFraction {
+			ev.MaxEPCFraction = l.EPCFraction
+		}
+		if ns := l.LatencyP95.Nanoseconds(); ns > ev.MaxLatencyP95 {
+			ev.MaxLatencyP95 = ns
+		}
+	}
+	a.g.events.Append(ev)
 }
 
 func (a *Autoscaler) noteAction(now time.Time) {

@@ -35,12 +35,14 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xsearch/internal/attestation"
 	"xsearch/internal/enclave"
+	"xsearch/internal/obs"
 	"xsearch/internal/proxy"
 )
 
@@ -102,6 +104,17 @@ type Config struct {
 	// eviction, like the per-shard session tables). Zero means
 	// Shards * 4096.
 	MaxSessions int
+	// EventLogSize caps the fleet-shared structured event ring (scale
+	// decisions, drains, kills, failovers, breaker transitions, hedges —
+	// see internal/obs). Zero means obs.DefaultLogCapacity when the log
+	// exists at all: the fleet creates one shared log when
+	// ShardConfig.Observability is set, EventLogSize is positive, or
+	// EventStream is non-nil, and injects it into every shard so the
+	// /events endpoint shows one fleet-wide, causally-ordered stream.
+	EventLogSize int
+	// EventStream, when non-nil, mirrors every fleet event to it as one
+	// JSON object per line (the -log-json stderr stream).
+	EventStream io.Writer
 }
 
 // shard is one proxy-enclave node plus the gateway's view of it.
@@ -152,6 +165,12 @@ type Gateway struct {
 	closed  bool
 
 	auto *Autoscaler
+
+	// events is the fleet-shared structured event log (nil when
+	// observability is off — every Append on it is then a no-op). One ring
+	// for the whole fleet: shard events carry their shard index, so the
+	// merged stream preserves cross-shard causal order.
+	events *obs.Log
 
 	mu       sync.Mutex
 	sessions map[string]*shard // session id -> pinned shard
@@ -251,6 +270,24 @@ func New(cfg Config) (*Gateway, error) {
 		stopHealth: make(chan struct{}),
 		healthDone: make(chan struct{}),
 	}
+	// Event-log settings can arrive on the fleet Config directly or ride
+	// the shard template (WithEventLog applied through WithShardConfig);
+	// either way the fleet owns ONE shared ring injected into every shard.
+	logSize := cfg.EventLogSize
+	if logSize == 0 {
+		logSize = cfg.ShardConfig.EventLogSize
+	}
+	stream := cfg.EventStream
+	if stream == nil {
+		stream = cfg.ShardConfig.EventStream
+	}
+	if cfg.ShardConfig.Observability || logSize > 0 || stream != nil {
+		var opts []obs.LogOption
+		if stream != nil {
+			opts = append(opts, obs.WithStream(stream))
+		}
+		g.events = obs.NewLog(logSize, opts...)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh, err := g.buildShard(i)
 		if err != nil {
@@ -294,6 +331,13 @@ func (g *Gateway) buildShard(idx int) (*shard, error) {
 	if sc.StatePath != "" {
 		sc.StatePath = fmt.Sprintf("%s-shard%d", g.cfg.ShardConfig.StatePath, idx)
 	}
+	// Every shard writes into the fleet-shared event ring under its stable
+	// index, so breaker/hedge events interleave with the gateway's scale
+	// and failover events in one causally-ordered stream. The proxy only
+	// builds a private log when it is handed none.
+	sc.EventLog = g.events
+	sc.EventShard = idx
+	sc.EventStream = nil // the shared log already carries the stream
 	p, err := proxy.New(sc)
 	if err != nil {
 		return nil, err
@@ -363,7 +407,9 @@ func (g *Gateway) healthLoop() {
 // so brokers re-attest instead of timing out against a dead enclave.
 func (g *Gateway) noteDead(sh *shard) {
 	if sh.alive.CompareAndSwap(true, false) {
-		g.dropShardSessions(sh)
+		lost := g.dropShardSessions(sh)
+		g.events.Append(obs.Event{Type: obs.EvShardDead, Shard: sh.index,
+			Reason: fmt.Sprintf("%d sessions dropped", lost)})
 	}
 }
 
@@ -391,6 +437,11 @@ func (g *Gateway) Measurement() enclave.Measurement { return g.meas }
 // AttestationService returns the fleet-shared verification service.
 func (g *Gateway) AttestationService() *attestation.Service { return g.service }
 
+// Events returns the fleet-shared structured event log (nil when
+// observability is off; a nil *obs.Log is a valid no-op for both Append
+// and Snapshot).
+func (g *Gateway) Events() *obs.Log { return g.events }
+
 // Kill simulates a shard crash: the shard's enclave is destroyed with no
 // drain, no handoff, and no sealed-state persistence, exactly as a host
 // failure would. The gateway is NOT pre-warned — it discovers the death
@@ -405,6 +456,7 @@ func (g *Gateway) Kill(_ context.Context, i int) error {
 		return fmt.Errorf("fleet: shard %d already dead", i)
 	}
 	sh.proxy.Crash()
+	g.events.Append(obs.Event{Type: obs.EvKill, Shard: i})
 	return nil
 }
 
@@ -482,6 +534,9 @@ func (g *Gateway) Drain(ctx context.Context, i int) (*DrainReport, error) {
 	g.drains.Add(1)
 	g.migratedQ.Add(uint64(added))
 	g.migratedB.Add(bytes)
+	g.events.Append(obs.Event{Type: obs.EvDrain, Shard: i,
+		Reason: fmt.Sprintf("sealed handoff to shard %d: %d queries, %d index docs, %d sessions lost",
+			succ.index, added, idxAdded, lost)})
 	return &DrainReport{
 		Shard:              i,
 		Successor:          succ.index,

@@ -9,10 +9,12 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"xsearch/internal/core"
+	"xsearch/internal/obs"
 	"xsearch/internal/proxy"
 )
 
@@ -127,17 +129,19 @@ func (g *Gateway) ServeQuery(ctx context.Context, query string) ([]core.Result, 
 	var lastErr error
 	deviated := false
 	// deviate counts this request as failed-over exactly once: the moment
-	// it first routes past (or retries off) an unavailable shard.
-	deviate := func() {
+	// it first routes past (or retries off) an unavailable shard. The
+	// event carries only the avoided shard's index — never the query.
+	deviate := func(sh *shard) {
 		if !deviated {
 			deviated = true
 			g.failovers.Add(1)
+			g.events.Append(obs.Event{Type: obs.EvFailover, Shard: sh.index})
 		}
 	}
 	for _, sh := range g.rank("q:" + query) {
 		if !sh.available() {
 			if !sh.draining.Load() {
-				deviate()
+				deviate(sh)
 			}
 			continue
 		}
@@ -153,7 +157,7 @@ func (g *Gateway) ServeQuery(ctx context.Context, query string) ([]core.Result, 
 			return nil, err
 		}
 		g.noteDead(sh)
-		deviate()
+		deviate(sh)
 	}
 	if lastErr == nil {
 		lastErr = ErrNoLiveShard
@@ -170,16 +174,17 @@ func (g *Gateway) Handshake(ctx context.Context, offer json.RawMessage, nonce []
 	key := sessionKey(offer)
 	var lastErr error
 	deviated := false
-	deviate := func() {
+	deviate := func(sh *shard) {
 		if !deviated {
 			deviated = true
 			g.failovers.Add(1)
+			g.events.Append(obs.Event{Type: obs.EvFailover, Shard: sh.index})
 		}
 	}
 	for _, sh := range g.rank(key) {
 		if !sh.available() {
 			if !sh.draining.Load() {
-				deviate()
+				deviate(sh)
 			}
 			continue
 		}
@@ -194,7 +199,7 @@ func (g *Gateway) Handshake(ctx context.Context, offer json.RawMessage, nonce []
 			return nil, err
 		}
 		g.noteDead(sh)
-		deviate()
+		deviate(sh)
 	}
 	if lastErr == nil {
 		lastErr = ErrNoLiveShard
@@ -255,6 +260,8 @@ func (g *Gateway) initHTTP() {
 	mux.HandleFunc("/handshake", g.handleHandshake)
 	mux.HandleFunc("/secure", g.handleSecure)
 	mux.HandleFunc("/stats", g.handleStats)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/events", g.handleEvents)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	g.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 }
@@ -340,9 +347,40 @@ func (g *Gateway) handleSecure(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(proxy.SecureEnvelope{Session: body.Session, Record: record})
 }
 
-func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+// handleStats serves the fleet snapshot, or — with ?shard=N — one
+// shard's own node snapshot (the same JSON its /stats would serve).
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	if sh, selected, err := g.shardParam(r); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	} else if selected {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(sh.proxy.Stats())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(g.Stats())
+}
+
+// shardParam resolves an optional ?shard=N selector to its live ring
+// entry. selected reports whether the parameter was present.
+func (g *Gateway) shardParam(r *http.Request) (sh *shard, selected bool, err error) {
+	v := r.URL.Query().Get("shard")
+	if v == "" {
+		return nil, false, nil
+	}
+	idx, perr := strconv.Atoi(v)
+	if perr != nil {
+		return nil, true, fmt.Errorf("fleet: bad shard selector %q", v)
+	}
+	sh = g.shardByIndex(idx)
+	if sh == nil {
+		return nil, true, fmt.Errorf("fleet: unknown shard %d", idx)
+	}
+	if !sh.live() {
+		return nil, true, fmt.Errorf("fleet: shard %d is dead", idx)
+	}
+	return sh, true, nil
 }
 
 // handleHealthz reports fleet liveness: OK while at least one shard can

@@ -1,0 +1,262 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"xsearch/internal/obs"
+	"xsearch/internal/proxy"
+)
+
+// Tests for the fleet half of the observability layer: stage-histogram
+// merging, the fleet-merged /metrics endpoint with its ?shard=N selector,
+// and the shared event ring capturing fleet lifecycle transitions.
+
+// obsFleet is echoFleet with the observability layer on in every shard.
+func obsFleet(t *testing.T, shards int) *Gateway {
+	t.Helper()
+	g, err := New(Config{
+		Shards: shards,
+		ShardConfig: proxy.Config{
+			K: 2, EchoMode: true, Seed: 5, Observability: true,
+		},
+		HealthInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = g.Shutdown(ctx)
+	})
+	return g
+}
+
+func TestFleetStageMergeSumsCountsTakesWorstTails(t *testing.T) {
+	g := obsFleet(t, 3)
+	ctx := context.Background()
+	for i := 0; i < 60; i++ {
+		if _, err := g.ServeQuery(ctx, fmt.Sprintf("merge query %d", i)); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	fs := g.Stats()
+	if fs.Stages == nil {
+		t.Fatal("fleet stats carry no merged stages")
+	}
+	for _, stage := range []string{obs.StageObfuscate, obs.StageReply} {
+		var sum uint64
+		var maxP95, maxMax time.Duration
+		for _, ss := range fs.Shards {
+			snap := ss.Proxy.Stages[stage]
+			sum += snap.Count
+			if snap.P95 > maxP95 {
+				maxP95 = snap.P95
+			}
+			if snap.Max > maxMax {
+				maxMax = snap.Max
+			}
+		}
+		merged := fs.Stages[stage]
+		if merged.Count != sum {
+			t.Errorf("stage %q merged count = %d, want sum %d", stage, merged.Count, sum)
+		}
+		if merged.P95 != maxP95 {
+			t.Errorf("stage %q merged p95 = %v, want worst-shard %v", stage, merged.P95, maxP95)
+		}
+		if merged.Max != maxMax {
+			t.Errorf("stage %q merged max = %v, want worst-shard %v", stage, merged.Max, maxMax)
+		}
+	}
+	if fs.Stages[obs.StageReply].Count != 60 {
+		t.Errorf("reply count = %d, want 60", fs.Stages[obs.StageReply].Count)
+	}
+}
+
+func TestGatewayMetricsEndpointMergedAndPerShard(t *testing.T) {
+	g := obsFleet(t, 2)
+	if err := g.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := g.ServeQuery(ctx, fmt.Sprintf("gateway metrics %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(g.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+	}
+
+	code, ct, text := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct != obs.PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	for _, want := range []string{
+		"xsearch_fleet_shards 2",
+		"xsearch_fleet_shards_alive 2",
+		"xsearch_fleet_plain_routed_total 20",
+		"# TYPE xsearch_fleet_stage_latency_seconds summary",
+		`xsearch_requests_total{shard="0"}`,
+		`xsearch_requests_total{shard="1"}`,
+		`xsearch_stage_latency_seconds_count{shard="0",stage="reply"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet /metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	// ?shard=N narrows to one shard, still shard-labelled.
+	code, _, text = get("/metrics?shard=1")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?shard=1 status %d", code)
+	}
+	if !strings.Contains(text, `xsearch_requests_total{shard="1"}`) {
+		t.Errorf("?shard=1 missing shard 1 series:\n%s", text)
+	}
+	if strings.Contains(text, `shard="0"`) {
+		t.Errorf("?shard=1 leaked shard 0 series:\n%s", text)
+	}
+	if code, _, _ = get("/metrics?shard=9"); code != http.StatusNotFound {
+		t.Errorf("/metrics?shard=9 status %d, want 404", code)
+	}
+	if code, _, _ = get("/metrics?shard=bogus"); code != http.StatusNotFound {
+		t.Errorf("/metrics?shard=bogus status %d, want 404", code)
+	}
+
+	// /stats grows the same selector.
+	code, ct, text = get("/stats?shard=0")
+	if code != http.StatusOK {
+		t.Fatalf("/stats?shard=0 status %d", code)
+	}
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/stats?shard=0 Content-Type = %q", ct)
+	}
+	var ps proxy.Stats
+	if err := json.Unmarshal([]byte(text), &ps); err != nil {
+		t.Fatalf("/stats?shard=0 not a proxy snapshot: %v", err)
+	}
+	if ps.Requests == 0 {
+		t.Errorf("shard 0 snapshot empty: %+v", ps)
+	}
+	if code, _, _ = get("/stats?shard=7"); code != http.StatusNotFound {
+		t.Errorf("/stats?shard=7 status %d, want 404", code)
+	}
+}
+
+func TestFleetEventsCaptureLifecycle(t *testing.T) {
+	// A fast health probe so the gateway formally notes the killed
+	// shard's death (EvShardDead) — the plain request path only routes
+	// around it.
+	g, err := New(Config{
+		Shards: 3,
+		ShardConfig: proxy.Config{
+			K: 2, EchoMode: true, Seed: 5, Observability: true,
+		},
+		HealthInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = g.Shutdown(ctx)
+	})
+	if err := g.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		if _, err := g.ServeQuery(ctx, fmt.Sprintf("lifecycle %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Kill(ctx, 1); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	// Queries that ranked the dead shard discover the death and fail over.
+	for i := 0; i < 30; i++ {
+		if _, err := g.ServeQuery(ctx, fmt.Sprintf("lifecycle %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the health probe to note the death.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		seen := false
+		for _, ev := range g.Events().Snapshot() {
+			if ev.Type == obs.EvShardDead {
+				seen = true
+			}
+		}
+		if seen || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := g.ScaleUp(ctx); err != nil {
+		t.Fatalf("ScaleUp: %v", err)
+	}
+	if _, err := g.ScaleDown(ctx); err != nil {
+		t.Fatalf("ScaleDown: %v", err)
+	}
+
+	types := map[string]int{}
+	var lastSeq uint64
+	for _, ev := range g.Events().Snapshot() {
+		if ev.Seq <= lastSeq {
+			t.Errorf("event seq not increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		types[ev.Type]++
+	}
+	for _, want := range []string{
+		obs.EvKill, obs.EvShardDead, obs.EvFailover,
+		obs.EvScaleUp, obs.EvScaleDown, obs.EvDrain,
+	} {
+		if types[want] == 0 {
+			t.Errorf("event log missing %q; saw %v", want, types)
+		}
+	}
+	fs := g.Stats()
+	if fs.EventsLogged == 0 {
+		t.Error("fleet stats report zero events")
+	}
+
+	// The /events endpoint serves the same ring as JSON.
+	resp, err := http.Get(g.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/events Content-Type = %q", ct)
+	}
+	var evs []obs.Event
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		t.Fatalf("/events decode: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Error("/events empty after kill/failover/scale events")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"time"
 
+	"xsearch/internal/metrics"
+	"xsearch/internal/obs"
 	"xsearch/internal/proxy"
 )
 
@@ -93,6 +95,12 @@ type Stats struct {
 	// do not merge across histograms, so the fleet reports the most
 	// conservative tail (per-shard percentiles live in Shards[i].Proxy).
 	LatencyP99Max time.Duration `json:"latency_p99_max_ns,omitempty"`
+	// Stages is the fleet-merged per-stage latency view (observability
+	// on): counts summed over live shards, percentile/mean/max fields from
+	// the worst shard — the same conservative-tail rule as LatencyP99Max.
+	Stages map[string]metrics.LatencySnapshot `json:"stages,omitempty"`
+	// EventsLogged is the shared event ring's occupancy.
+	EventsLogged int `json:"events_logged,omitempty"`
 	// Upstreams merges the per-shard upstream breakdowns by host (sorted),
 	// showing each engine's fleet-wide traffic share — the view that makes
 	// per-upstream rate limits auditable.
@@ -170,6 +178,7 @@ func (g *Gateway) Stats() Stats {
 			if ss.Proxy.LatencyP99 > s.LatencyP99Max {
 				s.LatencyP99Max = ss.Proxy.LatencyP99
 			}
+			s.Stages = obs.MergeStages(s.Stages, ss.Proxy.Stages)
 			for _, u := range ss.Proxy.Upstreams {
 				m := merged[u.Host]
 				m.Host, m.Weight = u.Host, u.Weight
@@ -201,5 +210,6 @@ func (g *Gateway) Stats() Stats {
 	if localTotal > 0 {
 		s.LocalHitRatio = float64(localHits) / float64(localTotal)
 	}
+	s.EventsLogged = g.events.Len()
 	return s
 }

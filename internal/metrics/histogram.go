@@ -143,16 +143,18 @@ func (h *Histogram) Snapshot() LatencySnapshot {
 	}
 }
 
-// LatencySnapshot is a point-in-time summary of a Histogram.
+// LatencySnapshot is a point-in-time summary of a Histogram. The JSON
+// tags serve the /stats and /metrics observability surface: aggregate
+// percentiles only, never per-request samples.
 type LatencySnapshot struct {
-	Count uint64
-	P50   time.Duration
-	P90   time.Duration
-	P95   time.Duration
-	P99   time.Duration
-	P999  time.Duration
-	Mean  time.Duration
-	Max   time.Duration
+	Count uint64        `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	Max   time.Duration `json:"max_ns"`
 }
 
 // String renders the snapshot on one line.

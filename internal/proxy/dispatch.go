@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"xsearch/internal/obs"
 )
 
 // pipelineRuntime is the untrusted half of the async request pipeline: it
@@ -311,7 +313,8 @@ func (pl *pipelineRuntime) await(ctx context.Context, reply envelopeReply) (enve
 
 	if reply.CanHedge {
 		delay := pl.p.hedgeDelayFor(reply.Upstream)
-		timer := time.AfterFunc(delay, func() { pl.fireHedge(id) })
+		armed := time.Now()
+		timer := time.AfterFunc(delay, func() { pl.fireHedge(id, armed) })
 		defer timer.Stop()
 	}
 
@@ -431,7 +434,7 @@ func (pl *pipelineRuntime) claim(ctx context.Context, id uint64) (envelopeReply,
 // primary's history sits at the autoHedgeFloor, or effectively never when
 // its p95 towers over the fresh upstream's. A timer firing after the
 // request finalized gets {Hedged: false} and the chain stops.
-func (pl *pipelineRuntime) fireHedge(id uint64) {
+func (pl *pipelineRuntime) fireHedge(id uint64, armed time.Time) {
 	select {
 	case <-pl.stop:
 		return
@@ -449,9 +452,16 @@ func (pl *pipelineRuntime) fireHedge(id uint64) {
 	if err := json.Unmarshal(out, &hr); err != nil {
 		return
 	}
+	if hr.Hedged {
+		// The hedge stage measures how long the request waited on its
+		// primary before a hedge actually went out (timer arm → fire, for
+		// fires the enclave accepted).
+		pl.p.trusted.stages.Since(obs.StageHedge, armed)
+	}
 	if hr.Hedged && hr.CanHedge {
 		next := pl.p.hedgeDelayFor(hr.Upstream)
-		time.AfterFunc(next, func() { pl.fireHedge(id) })
+		rearmed := time.Now()
+		time.AfterFunc(next, func() { pl.fireHedge(id, rearmed) })
 	}
 }
 
@@ -460,10 +470,13 @@ func (pl *pipelineRuntime) fireHedge(id uint64) {
 func (p *Proxy) run(ctx context.Context, req envelope) (envelopeReply, error) {
 	p.inflight.Add(1)
 	defer p.inflight.Add(-1)
+	replyStart := time.Now()
+	defer func() { p.trusted.stages.Since(obs.StageReply, replyStart) }()
 	pl := p.pipeline
 	if pl == nil {
 		return p.ecall(ctx, req)
 	}
+	admitStart := time.Now()
 	select {
 	case pl.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -471,6 +484,7 @@ func (p *Proxy) run(ctx context.Context, req envelope) (envelopeReply, error) {
 	case <-pl.stop:
 		return envelopeReply{}, fmt.Errorf("proxy: pipeline stopped")
 	}
+	p.trusted.stages.Since(obs.StageAdmit, admitStart)
 	defer func() { <-pl.sem }()
 
 	var reply envelopeReply
@@ -541,6 +555,7 @@ func (pl *pipelineRuntime) runBatched(ctx context.Context, req envelope) (envelo
 		return envelopeReply{}, err
 	}
 	item := &batchItem{arg: arg, done: make(chan batchItemOutcome, 1)}
+	submitStart := time.Now()
 	select {
 	case pl.submitQ <- item:
 	case <-ctx.Done():
@@ -550,6 +565,9 @@ func (pl *pipelineRuntime) runBatched(ctx context.Context, req envelope) (envelo
 	}
 	select {
 	case out := <-item.done:
+		// The submit stage measures the batcher hold: queue wait plus
+		// group-commit window plus the shared stage-1 crossing.
+		pl.p.trusted.stages.Since(obs.StageSubmit, submitStart)
 		return out.reply, out.err
 	case <-ctx.Done():
 		pl.forsake(item)

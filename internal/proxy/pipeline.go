@@ -10,6 +10,7 @@ import (
 
 	"xsearch/internal/core"
 	"xsearch/internal/enclave"
+	"xsearch/internal/obs"
 	"xsearch/internal/searchengine"
 )
 
@@ -196,6 +197,7 @@ func (ts *trustedState) submitFetch(env enclave.Env, p *pendingReq, att *pending
 // circuits (echo, cache hit, no upstream available) and a Pending reply
 // otherwise.
 func (ts *trustedState) beginAsync(env enclave.Env, kind, session, query string, count int) ([]byte, error) {
+	obfStart := time.Now()
 	oq, delta := ts.obfuscator.Obfuscate(query)
 	if delta > 0 {
 		if err := env.Alloc(delta); err != nil {
@@ -204,13 +206,16 @@ func (ts *trustedState) beginAsync(env enclave.Env, kind, session, query string,
 	} else if delta < 0 {
 		env.Free(-delta)
 	}
+	ts.stages.Since(obs.StageObfuscate, obfStart)
 	if ts.echoMode {
 		return ts.finishReply(kind, session, []core.Result{}, "")
 	}
 	key := cacheKey(query, count)
+	probeStart := time.Now()
 	if ts.cache != nil {
 		if cached, ok := ts.cache.Get(key, time.Now(), env.Free); ok {
 			ts.cacheHits.Hit()
+			ts.stages.Since(obs.StageProbe, probeStart)
 			return ts.finishReply(kind, session, cached, "")
 		}
 		ts.cacheHits.Miss()
@@ -218,10 +223,12 @@ func (ts *trustedState) beginAsync(env enclave.Env, kind, session, query string,
 	if ts.index != nil {
 		if hits, ok := ts.index.Query(query, count, time.Now(), env.Free); ok {
 			ts.indexHits.Hit()
+			ts.stages.Since(obs.StageProbe, probeStart)
 			return ts.finishReply(kind, session, hits, "")
 		}
 		ts.indexHits.Miss()
 	}
+	ts.stages.Since(obs.StageProbe, probeStart)
 
 	pt := ts.pending
 	pt.mu.Lock()
@@ -386,6 +393,7 @@ func (ts *trustedState) handleResume(env enclave.Env, arg []byte) ([]byte, error
 		ts.hedgeWins.Add(1)
 	}
 
+	resumeStart := time.Now()
 	var results []core.Result
 	var errstr string
 	switch {
@@ -403,10 +411,12 @@ func (ts *trustedState) handleResume(env enclave.Env, arg []byte) ([]byte, error
 		for i, r := range engineResults {
 			raw[i] = core.Result{URL: r.URL, Title: r.Title, Snippet: r.Snippet}
 		}
+		filterStart := time.Now()
 		results = core.FilterResults(p.oq.Original(), p.oq.Fakes(), raw)
 		for i := range results {
 			results[i].URL = core.StripRedirects(results[i].URL)
 		}
+		ts.stages.Since(obs.StageFilter, filterStart)
 		if ts.cache != nil {
 			// Charged to the EPC exactly once, by the flight leader —
 			// followers only copy.
@@ -423,6 +433,7 @@ func (ts *trustedState) handleResume(env enclave.Env, arg []byte) ([]byte, error
 	pt.mu.Lock()
 	raw := ts.finalizeLocked(pt, p, results, errstr, cancelToks)
 	pt.mu.Unlock()
+	ts.stages.Since(obs.StageResume, resumeStart)
 	return raw, nil
 }
 
@@ -572,6 +583,7 @@ func (ts *trustedState) handleHedge(env enclave.Env, arg []byte) ([]byte, error)
 		pt.mu.Unlock()
 		return json.Marshal(hedgeReply{})
 	}
+	ts.events.Append(obs.Event{Type: obs.EvHedge, Shard: ts.shard, Upstream: u.host})
 	return json.Marshal(hedgeReply{Hedged: true, Upstream: u.host, CanHedge: more})
 }
 
@@ -779,6 +791,7 @@ func (ts *trustedState) handleRequestBatch(env enclave.Env, arg []byte) ([]byte,
 			queries = append(queries, e.query)
 		}
 	}
+	obfStart := time.Now()
 	if len(queries) > 0 {
 		oqs, delta := ts.obfuscator.ObfuscateBatch(queries)
 		if delta > 0 {
@@ -799,9 +812,14 @@ func (ts *trustedState) handleRequestBatch(env enclave.Env, arg []byte) ([]byte,
 				j++
 			}
 		}
+		// One observation per batch crossing: the amortized cost IS the
+		// quantity of interest, and per-entry splits of a shared pass
+		// would be arbitrary.
+		ts.stages.Since(obs.StageObfuscate, obfStart)
 	}
 
 	// Phase 3: echo short-circuit and per-entry cache → local-index probe.
+	probeStart := time.Now()
 	for _, e := range entries {
 		if e.settled {
 			continue
@@ -828,6 +846,7 @@ func (ts *trustedState) handleRequestBatch(env enclave.Env, arg []byte) ([]byte,
 			ts.indexHits.Miss()
 		}
 	}
+	ts.stages.Since(obs.StageProbe, probeStart)
 
 	// Phase 4: one pending-table critical section builds every entry's
 	// flight — follower attach, or leader create + candidate + attempt

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"strings"
@@ -20,6 +22,7 @@ import (
 	"xsearch/internal/enclave"
 	"xsearch/internal/metrics"
 	"xsearch/internal/netsim"
+	"xsearch/internal/obs"
 	"xsearch/internal/seal"
 )
 
@@ -159,6 +162,31 @@ type Config struct {
 	// first. Zero means DefaultBatchWindow; only consulted when BatchMax
 	// is set.
 	BatchWindow time.Duration
+	// Observability enables the privacy-safe observability layer: trusted-
+	// side per-stage latency histograms (admit → obfuscate → probe → submit
+	// → fetch/hedge → resume → filter → reply) exported only as aggregates
+	// on /stats and the Prometheus /metrics endpoint, a ring-buffered
+	// structured event log on /events, and pprof handlers on the admin mux.
+	// Telemetry is content-free by construction — no query or result text,
+	// label values from closed sets only — so the host-visible surface
+	// stays constant-shape regardless of traffic.
+	Observability bool
+	// EventLogSize bounds the in-memory event ring (drop-oldest). Zero
+	// means obs.DefaultLogCapacity; a positive value enables event
+	// logging even without Observability. Ignored when EventLog is set.
+	EventLogSize int
+	// EventLog, when set, is a shared event log this proxy appends to
+	// instead of creating its own — the fleet gateway injects one log per
+	// fleet so shard events interleave in one stream. Implies event
+	// logging even without Observability (the fleet decides).
+	EventLog *obs.Log
+	// EventShard is the shard index stamped on this proxy's events (fleet
+	// wiring; standalone proxies leave it 0).
+	EventShard int
+	// EventStream, when set, receives every appended event as one JSON
+	// line (the -log-json stderr stream). Only consulted when this proxy
+	// creates its own log (EventLog nil).
+	EventStream io.Writer
 	// EngineLink injects WAN latency on the proxy <-> engine path
 	// (experiments); nil means none.
 	EngineLink *netsim.Link
@@ -358,12 +386,33 @@ func New(cfg Config) (*Proxy, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.EventLogSize < 0 {
+		return nil, fmt.Errorf("proxy: negative EventLogSize")
+	}
 	trusted := &trustedState{
 		obfuscator: obfuscator,
 		perList:    cfg.ResultsPerList,
 		echoMode:   cfg.EchoMode,
 		sessions:   make(map[string]*sessionState),
 		maxSess:    cfg.MaxSessions,
+		shard:      cfg.EventShard,
+	}
+	if cfg.Observability {
+		trusted.stages = obs.NewStages()
+	}
+	switch {
+	case cfg.EventLog != nil:
+		trusted.events = cfg.EventLog
+	case cfg.Observability || cfg.EventLogSize > 0 || cfg.EventStream != nil:
+		size := cfg.EventLogSize
+		if size == 0 {
+			size = obs.DefaultLogCapacity
+		}
+		var lopts []obs.LogOption
+		if cfg.EventStream != nil {
+			lopts = append(lopts, obs.WithStream(cfg.EventStream))
+		}
+		trusted.events = obs.NewLog(size, lopts...)
 	}
 	if !cfg.EchoMode {
 		registry, err := buildRegistry(engines, &cfg)
@@ -373,6 +422,22 @@ func New(cfg Config) (*Proxy, error) {
 		trusted.registry = registry
 		if !cfg.DisableCoalescing {
 			trusted.flights = core.NewFlightGroup()
+		}
+		if ev := trusted.events; ev != nil {
+			// Breaker transitions become fleet events. The hook fires
+			// outside the upstream mutex on open/close edges only; the
+			// host label comes from the configured engine set (closed).
+			shard := cfg.EventShard
+			for _, u := range registry.ups {
+				host := u.host
+				u.notify = func(open bool) {
+					t := obs.EvBreakerClose
+					if open {
+						t = obs.EvBreakerOpen
+					}
+					ev.Append(obs.Event{Type: t, Shard: shard, Upstream: host})
+				}
+			}
 		}
 	}
 	if cfg.AsyncOcalls {
@@ -404,14 +469,14 @@ func New(cfg Config) (*Proxy, error) {
 	for i, e := range engines {
 		engineIdent[i] = fmt.Sprintf("%s*%d", e.Host, e.Weight)
 	}
-	ident := fmt.Sprintf("xsearch-proxy v1.7 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s index=%d/%s/%g coalesce=%t breaker=%d/%s rate=%g/%d async=%t/%d hedge=%s/%d batch=%d/%s",
+	ident := fmt.Sprintf("xsearch-proxy v1.8 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s index=%d/%s/%g coalesce=%t breaker=%d/%s rate=%g/%d async=%t/%d hedge=%s/%d batch=%d/%s obs=%t",
 		cfg.K, cfg.HistoryCapacity, strings.Join(engineIdent, " "), cfg.EchoMode,
 		cfg.PoolSize, cfg.CacheBytes, cfg.CacheTTL,
 		cfg.IndexBytes, cfg.IndexTTL, cfg.IndexMinScore,
 		!cfg.DisableCoalescing, cfg.UpstreamFailThreshold, cfg.UpstreamCooldown,
 		cfg.UpstreamRateLimit, cfg.UpstreamRateBurst,
 		cfg.AsyncOcalls, cfg.PipelineDepth, cfg.HedgeDelay, cfg.HedgeMax,
-		cfg.BatchMax, cfg.BatchWindow)
+		cfg.BatchMax, cfg.BatchWindow, cfg.Observability)
 	if err := builder.AddData([]byte(ident)); err != nil {
 		return nil, err
 	}
@@ -498,7 +563,7 @@ func New(cfg Config) (*Proxy, error) {
 
 	conns := newConnTable(cfg.EngineLink)
 	if cfg.AsyncOcalls {
-		conns.enableFetcher(cfg.PoolSize, cfg.PoolIdleTimeout, cfg.FetchTimeout)
+		conns.enableFetcher(cfg.PoolSize, cfg.PoolIdleTimeout, cfg.FetchTimeout, trusted.stages)
 	}
 	for name, h := range conns.handlers() {
 		if err := encl.RegisterOCall(name, h); err != nil {
@@ -544,6 +609,17 @@ func New(cfg Config) (*Proxy, error) {
 	mux.HandleFunc("/handshake", p.handleHandshake)
 	mux.HandleFunc("/secure", p.handleSecure)
 	mux.HandleFunc("/stats", p.handleStats)
+	mux.HandleFunc("/metrics", p.handleMetrics)
+	mux.HandleFunc("/events", p.handleEvents)
+	if cfg.Observability {
+		// pprof rides the same admin mux. Profiles describe the untrusted
+		// runtime (goroutines, heap) — never enclave-resident query state.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
@@ -986,6 +1062,14 @@ type Stats struct {
 	LatencyP50   time.Duration `json:"latency_p50_ns,omitempty"`
 	LatencyP95   time.Duration `json:"latency_p95_ns,omitempty"`
 	LatencyP99   time.Duration `json:"latency_p99_ns,omitempty"`
+	// Stages holds the trusted-side per-stage latency summaries when
+	// Observability is on: one aggregate snapshot per pipeline stage
+	// (closed obs.StageNames set), never per-request events. Zero-count
+	// stages are omitted.
+	Stages map[string]metrics.LatencySnapshot `json:"stages,omitempty"`
+	// EventsLogged is the structured event ring's current occupancy
+	// (bounded by EventLogSize, drop-oldest).
+	EventsLogged int `json:"events_logged,omitempty"`
 	// Upstreams is the per-engine-upstream breakdown: traffic share,
 	// failures, breaker state, and each upstream's pool gauges. Sorted by
 	// host so snapshots diff cleanly regardless of configuration order.
@@ -1083,7 +1167,19 @@ func (p *Proxy) Stats() Stats {
 	if localTotal > 0 {
 		s.LocalHitRatio = float64(localHits) / float64(localTotal)
 	}
+	s.Stages = p.trusted.stages.Snapshot()
+	s.EventsLogged = p.trusted.events.Len()
 	return s
+}
+
+// Events returns the proxy's structured event log (nil when neither
+// Observability nor an injected fleet log enabled it).
+func (p *Proxy) Events() *obs.Log { return p.trusted.events }
+
+// StageSnapshots returns the per-stage latency summaries (nil when
+// Observability is off or nothing has been recorded yet).
+func (p *Proxy) StageSnapshots() map[string]metrics.LatencySnapshot {
+	return p.trusted.stages.Snapshot()
 }
 
 // ServeQuery runs one plain query through the full enclave pipeline
@@ -1195,6 +1291,14 @@ func (p *Proxy) handleSecure(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats serves GET /stats (operational, non-sensitive aggregates).
+//
+// Consistency: the snapshot is assembled field by field from independent
+// atomics and per-subsystem locks, NOT under one global lock — each field
+// is internally consistent, but cross-field identities (e.g. requests ==
+// errors + successes) may be off by the handful of requests that completed
+// mid-snapshot. Derived ratios are computed from the snapshotted counts,
+// so every reported ratio satisfies its own identity. See the
+// "Observability" section in the package docs.
 func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(p.Stats())

@@ -14,6 +14,7 @@ import (
 
 	"xsearch/internal/metrics"
 	"xsearch/internal/netsim"
+	"xsearch/internal/obs"
 )
 
 // sha256Sum is the hash primitive available to trusted code.
@@ -48,9 +49,11 @@ func newConnTable(link *netsim.Link) *connTable {
 // enableFetcher attaches the async-fetch worker state (untrusted keep-alive
 // pools, cancellation registry, per-upstream latency histograms) used by
 // the "fetch" ocall the pipeline submits to. timeout, when positive, bounds
-// each exchange's read phase (Config.FetchTimeout).
-func (ct *connTable) enableFetcher(maxIdle int, idleTTL, timeout time.Duration) {
+// each exchange's read phase (Config.FetchTimeout). stages, when non-nil,
+// receives the fetch-stage wall time of each successful exchange.
+func (ct *connTable) enableFetcher(maxIdle int, idleTTL, timeout time.Duration, stages *obs.Stages) {
 	ct.fetch = newFetcher(ct, maxIdle, idleTTL, timeout)
+	ct.fetch.stages = stages
 }
 
 // delayedConn injects link latency around a request/response exchange.
@@ -280,6 +283,10 @@ type fetcher struct {
 	// transport failure.
 	timeout time.Duration
 
+	// stages, when non-nil, receives each successful exchange's wall time
+	// under the fetch stage (observability layer; nil-safe no-op off).
+	stages *obs.Stages
+
 	mu       sync.Mutex
 	idle     map[string][]idleFetchConn // per host, oldest first
 	inflight map[uint64]*fetchOp
@@ -423,6 +430,7 @@ func (f *fetcher) do(fa *fetchArg) fetchReply {
 			return fetchReply{Cancelled: true}
 		}
 		f.record(fa.Host, time.Since(start))
+		f.stages.Since(obs.StageFetch, start)
 		return fetchReply{Status: status, Body: body}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"xsearch/internal/core"
 	"xsearch/internal/enclave"
 	"xsearch/internal/metrics"
+	"xsearch/internal/obs"
 	"xsearch/internal/seal"
 	"xsearch/internal/searchengine"
 	"xsearch/internal/securechannel"
@@ -57,6 +58,16 @@ type trustedState struct {
 	// already-measured winner/resume ecalls.
 	index     *answer.Index
 	indexHits metrics.RatioCounter
+	// stages is the per-stage latency recorder (nil when observability is
+	// off — every Record on a nil recorder is a no-op). It accumulates
+	// trusted-side: individual stage timings never leave the enclave, only
+	// the aggregate histograms do, so the host learns nothing it couldn't
+	// already time at the ecall seam. events is the shared structured
+	// event ring (nil when disabled); only closed-set, content-free events
+	// (breaker transitions, hedge fires) are ever appended from here.
+	stages *obs.Stages
+	events *obs.Log
+	shard  int
 
 	// Async pipeline state (nil/zero when Config.AsyncOcalls is off):
 	// the parked-request table, the hedge budget per request, and whether
@@ -346,6 +357,7 @@ func (ts *trustedState) handleSecure(env enclave.Env, session string, record []b
 // share its filtered result (and the cache, when enabled, is charged to
 // the EPC exactly once, by the leader).
 func (ts *trustedState) searchAndFilter(env enclave.Env, query string, count int) ([]core.Result, error) {
+	obfStart := time.Now()
 	oq, delta := ts.obfuscator.Obfuscate(query)
 	if delta > 0 {
 		if err := env.Alloc(delta); err != nil {
@@ -354,6 +366,7 @@ func (ts *trustedState) searchAndFilter(env enclave.Env, query string, count int
 	} else if delta < 0 {
 		env.Free(-delta)
 	}
+	ts.stages.Since(obs.StageObfuscate, obfStart)
 	if ts.echoMode {
 		// Capacity-measurement mode (§6.3): reply immediately without
 		// contacting the engine, so the proxy's own saturation point is
@@ -361,9 +374,11 @@ func (ts *trustedState) searchAndFilter(env enclave.Env, query string, count int
 		return []core.Result{}, nil
 	}
 	key := cacheKey(query, count)
+	probeStart := time.Now()
 	if ts.cache != nil {
 		if cached, ok := ts.cache.Get(key, time.Now(), env.Free); ok {
 			ts.cacheHits.Hit()
+			ts.stages.Since(obs.StageProbe, probeStart)
 			return cached, nil
 		}
 		ts.cacheHits.Miss()
@@ -375,10 +390,12 @@ func (ts *trustedState) searchAndFilter(env enclave.Env, query string, count int
 	if ts.index != nil {
 		if hits, ok := ts.index.Query(query, count, time.Now(), env.Free); ok {
 			ts.indexHits.Hit()
+			ts.stages.Since(obs.StageProbe, probeStart)
 			return hits, nil
 		}
 		ts.indexHits.Miss()
 	}
+	ts.stages.Since(obs.StageProbe, probeStart)
 	if ts.flights == nil {
 		return ts.fetchFilterStore(env, oq, key, count)
 	}
@@ -407,14 +424,18 @@ func (ts *trustedState) searchAndFilter(env enclave.Env, query string, count int
 // sharing across waiters is sound), redirect stripping, and the cache
 // store.
 func (ts *trustedState) fetchFilterStore(env enclave.Env, oq core.ObfuscatedQuery, key string, count int) ([]core.Result, error) {
+	fetchStart := time.Now()
 	raw, err := ts.fetchResults(env, oq.Query(), count)
 	if err != nil {
 		return nil, err
 	}
+	ts.stages.Since(obs.StageFetch, fetchStart)
+	filterStart := time.Now()
 	filtered := core.FilterResults(oq.Original(), oq.Fakes(), raw)
 	for i := range filtered {
 		filtered[i].URL = core.StripRedirects(filtered[i].URL)
 	}
+	ts.stages.Since(obs.StageFilter, filterStart)
 	if ts.cache != nil {
 		// The cache mirrors its bytes onto the EPC under its own lock;
 		// when the charge fails (EPC exhausted) the entry is simply not

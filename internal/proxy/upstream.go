@@ -51,6 +51,12 @@ type upstream struct {
 	failures    uint64 // total, for Stats
 	openUntil   time.Time
 	probing     bool
+	// tripped tracks the breaker's open/closed edge for the event log;
+	// notify (nil when events are off) is called on each transition with
+	// the new state. The host already knows which engines it dials, so the
+	// event carries nothing it cannot see.
+	tripped bool
+	notify  func(open bool)
 }
 
 // acquire reports whether the upstream may serve a request at time now.
@@ -74,7 +80,13 @@ func (u *upstream) reportSuccess() {
 	u.mu.Lock()
 	u.consecFails = 0
 	u.probing = false
+	closed := u.tripped
+	u.tripped = false
+	notify := u.notify
 	u.mu.Unlock()
+	if closed && notify != nil {
+		notify(false)
+	}
 }
 
 // reportCancelled releases an acquire whose exchange never finished on its
@@ -95,10 +107,17 @@ func (u *upstream) reportFailure(now time.Time, threshold int, cooldown time.Dur
 	u.consecFails++
 	u.failures++
 	u.probing = false
+	opened := false
 	if u.consecFails >= threshold {
 		u.openUntil = now.Add(cooldown)
+		opened = !u.tripped
+		u.tripped = true
 	}
+	notify := u.notify
 	u.mu.Unlock()
+	if opened && notify != nil {
+		notify(true)
+	}
 }
 
 // coolingDown reports whether the breaker currently excludes the upstream

@@ -3,6 +3,7 @@ package xsearch
 import (
 	"context"
 	"crypto/ed25519"
+	"io"
 	"net/http"
 	"time"
 
@@ -243,6 +244,65 @@ func WithLocalIndex(maxBytes int64, ttl time.Duration, minScore float64) ProxyOp
 		c.IndexTTL = ttl
 		c.IndexMinScore = minScore
 	})
+}
+
+// ObsOption configures the privacy-safe observability layer. It is both
+// a ProxyOption and a FleetOption: on a Proxy it configures that node,
+// on a Fleet it configures every shard plus the gateway's fleet-shared
+// event log and merged /metrics.
+type ObsOption interface {
+	ProxyOption
+	FleetOption
+}
+
+type obsOption struct {
+	proxy func(*proxy.Config)
+	fleet func(*fleet.Config)
+}
+
+func (o obsOption) applyProxy(c *proxy.Config) { o.proxy(c) }
+func (o obsOption) applyFleet(c *fleet.Config) { o.fleet(c) }
+
+// WithObservability enables the full observability layer: trusted-side
+// per-stage latency histograms (admit → obfuscate → probe → submit →
+// fetch/hedge → resume → filter → reply) exported only as aggregates on
+// /stats and the Prometheus text-format /metrics endpoint, a
+// ring-buffered structured event log on /events, and pprof handlers on
+// the admin mux. All telemetry is content-free and constant-shape by
+// construction — no query or result text ever reaches a metric or event,
+// and every label value comes from a closed set — so the host-visible
+// surface gains no re-identification signal (the SimAttack adversary
+// learns nothing new). On a Fleet, the gateway additionally serves a
+// fleet-merged /metrics (per-shard series labelled by shard index,
+// ?shard=N to narrow) and one shared /events stream.
+func WithObservability() ObsOption {
+	return obsOption{
+		proxy: func(c *proxy.Config) { c.Observability = true },
+		fleet: func(c *fleet.Config) { c.ShardConfig.Observability = true },
+	}
+}
+
+// WithEventLog sizes the structured event ring (size <= 0 keeps the
+// default, 1024) and, when stream is non-nil, mirrors every event to it
+// as one JSON object per line (the -log-json stderr stream). Enables
+// event logging by itself; combine with WithObservability for stage
+// tracing and pprof too. On a Fleet the ring and stream are shared by
+// the gateway and every shard.
+func WithEventLog(size int, stream io.Writer) ObsOption {
+	return obsOption{
+		proxy: func(c *proxy.Config) {
+			if size > 0 {
+				c.EventLogSize = size
+			}
+			c.EventStream = stream
+		},
+		fleet: func(c *fleet.Config) {
+			if size > 0 {
+				c.EventLogSize = size
+			}
+			c.EventStream = stream
+		},
+	}
 }
 
 // NewProxy builds the enclave-hosted proxy.
@@ -573,6 +633,7 @@ type LoggedQuery struct {
 // Verify interface compliance of option implementations.
 var (
 	_ ProxyOption  = proxyOptionFunc(nil)
+	_ ObsOption    = obsOption{}
 	_ ClientOption = clientOptionFunc(nil)
 	_ EngineOption = engineOptionFunc(nil)
 	_ FleetOption  = fleetOptionFunc(nil)
