@@ -24,7 +24,7 @@ func main() {
 
 func run() error {
 	var (
-		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline,autoscale,batch,answer,obs", "comma-separated figures to run")
+		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline,autoscale,batch,answer,obs,tls", "comma-separated figures to run")
 		quick    = flag.Bool("quick", false, "scaled-down sizes (CI-friendly)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		useHTTP  = flag.Bool("http", false, "Figure 5 over real loopback HTTP (bare-metal runs)")
@@ -102,7 +102,7 @@ func run() error {
 		if raw, err := os.ReadFile(*baseline); err == nil {
 			_ = json.Unmarshal(raw, base)
 		}
-		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline,autoscale,batch,answer,obs -baseline"
+		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline,autoscale,batch,answer,obs,tls -baseline"
 	}
 	if want["scaling"] {
 		if err := runScaling(*quick, *seed, base); err != nil {
@@ -141,6 +141,11 @@ func run() error {
 	}
 	if want["obs"] {
 		if err := runObsFig(*quick, *seed, base); err != nil {
+			return err
+		}
+	}
+	if want["tls"] {
+		if err := runTLSFig(*quick, *seed, base); err != nil {
 			return err
 		}
 	}
@@ -406,6 +411,18 @@ type scalingBaseline struct {
 	ObsStages      []string `json:"obs_stages_covered"`
 	ObsEvents      int      `json:"obs_events_logged"`
 	ObsInvariantOK bool     `json:"obs_epc_invariant_ok"`
+	// TLS transport ablation: pinned-root HTTPS on the blocking path vs
+	// the async tls_step pipeline at the same TCS count, the trusted
+	// session pool's hit rate, and hedging with both upstreams HTTPS.
+	TLSSyncRPS           float64 `json:"tls_sync_rps"`
+	TLSAsyncRPS          float64 `json:"tls_async_rps"`
+	TLSSpeedup           float64 `json:"tls_speedup"`
+	TLSSessionReuseRatio float64 `json:"tls_session_reuse_ratio"`
+	TLSNoHedgeP99Ns      int64   `json:"tls_nohedge_p99_ns"`
+	TLSHedgeP99Ns        int64   `json:"tls_hedge_p99_ns"`
+	TLSHedgeP99Cut       float64 `json:"tls_hedge_p99_cut"`
+	TLSHedgeWins         uint64  `json:"tls_hedge_wins"`
+	TLSInvariantOK       bool    `json:"tls_epc_invariant_ok"`
 }
 
 // batchCurvePoint is one committed point of the batch-size/latency curve.
@@ -607,6 +624,49 @@ func runPipelineFig(quick bool, seed uint64, base *scalingBaseline) error {
 		base.HedgeP99Cut = res.P99Cut
 		base.HedgeWins = res.HedgeWins
 		base.PipelineInvariantOK = res.InvariantOK
+	}
+	return nil
+}
+
+func runTLSFig(quick bool, seed uint64, base *scalingBaseline) error {
+	cfg := experiments.DefaultTLSConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Requests, cfg.HedgeRequests = 200, 120
+	}
+	res, err := experiments.RunTLS(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# TLS ablation A: in-enclave TLS, blocking vs async tls_step transport, TCS-bound\n")
+	fmt.Printf("# (%d enclave threads, %v engine service, %d workers x %d requests, pinned-root HTTPS)\n",
+		cfg.TCSCount, cfg.EngineService, cfg.Workers, cfg.Requests)
+	fmt.Printf("%-14s  %-10s\n", "variant", "req/s")
+	fmt.Printf("%-14s  %-10.0f\n", "sync (block)", res.SyncRPS)
+	fmt.Printf("%-14s  %-10.0f\n", "async (rings)", res.AsyncRPS)
+	fmt.Printf("# parking TLS flights between ciphertext steps buys %.1fx throughput; session reuse %.2f\n\n",
+		res.Speedup, res.SessionReuseRatio)
+
+	fmt.Printf("# TLS ablation B: hedged HTTPS requests, upstreams %v (fast) and %v (slow),\n",
+		cfg.FastService, cfg.SlowService)
+	fmt.Printf("# hedge after %v, %d sequential requests\n", cfg.HedgeDelay, cfg.HedgeRequests)
+	fmt.Printf("%-10s  %-12s  %-12s\n", "variant", "p50", "p99")
+	fmt.Printf("%-10s  %-12v  %-12v\n", "no hedge",
+		res.NoHedgeP50.Round(time.Microsecond), res.NoHedgeP99.Round(time.Microsecond))
+	fmt.Printf("%-10s  %-12v  %-12v\n", "hedge",
+		res.HedgeP50.Round(time.Microsecond), res.HedgeP99.Round(time.Microsecond))
+	fmt.Printf("# hedging cut p99 %.1fx (%d hedges issued, %d won); EPC invariant ok: %t\n\n",
+		res.P99Cut, res.HedgeAttempts, res.HedgeWins, res.InvariantOK)
+	if base != nil {
+		base.TLSSyncRPS = res.SyncRPS
+		base.TLSAsyncRPS = res.AsyncRPS
+		base.TLSSpeedup = res.Speedup
+		base.TLSSessionReuseRatio = res.SessionReuseRatio
+		base.TLSNoHedgeP99Ns = res.NoHedgeP99.Nanoseconds()
+		base.TLSHedgeP99Ns = res.HedgeP99.Nanoseconds()
+		base.TLSHedgeP99Cut = res.P99Cut
+		base.TLSHedgeWins = res.HedgeWins
+		base.TLSInvariantOK = res.InvariantOK
 	}
 	return nil
 }

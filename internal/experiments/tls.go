@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"xsearch/internal/enclave"
+	"xsearch/internal/metrics"
+	"xsearch/internal/proxy"
+	"xsearch/internal/searchengine"
+)
+
+// TLSConfig sizes the in-enclave-TLS transport ablation. Half A measures
+// the tentpole claim of the async-TLS work: against a pinned-root HTTPS
+// engine, the blocking path pins a TCS for the whole exchange —
+// handshake included — while the async flight parks between ciphertext
+// steps, so at a small TCS count throughput should multiply exactly as
+// it did for plain TCP. Half B repeats the hedging ablation with BOTH
+// upstreams HTTPS: a slow TLS primary is raced after HedgeDelay and the
+// losing flight is cancelled mid-record without poisoning its session
+// pool. The EPC invariant is asserted after every phase.
+type TLSConfig struct {
+	// Workers concurrent clients issue Requests distinct queries per
+	// throughput run.
+	Workers  int
+	Requests int
+	// EngineService is the HTTPS engine's per-request latency for half A.
+	EngineService time.Duration
+	// TCSCount bounds each proxy enclave's concurrent ecalls.
+	TCSCount int
+	// PipelineDepth is the async proxy's staged-request bound.
+	PipelineDepth int
+	// Half B: FastService/SlowService are the two HTTPS upstreams'
+	// latencies, HedgeDelay the configured hedge trigger, HedgeRequests
+	// the sequential requests measured per variant.
+	FastService   time.Duration
+	SlowService   time.Duration
+	HedgeDelay    time.Duration
+	HedgeRequests int
+	// DocsPerTopic sizes the engine corpus; Seed fixes randomness.
+	DocsPerTopic int
+	Seed         uint64
+}
+
+// DefaultTLSConfig is the full-size ablation.
+func DefaultTLSConfig() TLSConfig {
+	return TLSConfig{
+		Workers:       16,
+		Requests:      600,
+		EngineService: 3 * time.Millisecond,
+		TCSCount:      2,
+		PipelineDepth: 64,
+		FastService:   2 * time.Millisecond,
+		SlowService:   25 * time.Millisecond,
+		HedgeDelay:    5 * time.Millisecond,
+		HedgeRequests: 300,
+		DocsPerTopic:  20,
+		Seed:          1,
+	}
+}
+
+// TLSResult carries the ablation's measurements.
+type TLSResult struct {
+	// Half A: throughput of the blocking vs async TLS transport under TCS
+	// pressure, and the speedup.
+	SyncRPS  float64
+	AsyncRPS float64
+	Speedup  float64
+	// SessionReuseRatio is the async run's TLS pool hit rate (reuses over
+	// reuses+dials): the trusted session pool and resumption at work.
+	SessionReuseRatio float64
+	// Half B: hedged vs unhedged latency percentiles with both upstreams
+	// HTTPS, and the p99 improvement factor.
+	NoHedgeP50 time.Duration
+	NoHedgeP99 time.Duration
+	HedgeP50   time.Duration
+	HedgeP99   time.Duration
+	P99Cut     float64
+	// Hedge accounting from the hedged run.
+	HedgeAttempts uint64
+	HedgeWins     uint64
+	// InvariantOK reports heap == history + cache + index after every phase.
+	InvariantOK bool
+}
+
+// RunTLS measures in-enclave TLS on both transports end to end.
+func RunTLS(cfg TLSConfig) (*TLSResult, error) {
+	if cfg.Workers <= 0 || cfg.Requests <= 0 || cfg.HedgeRequests <= 0 {
+		return nil, fmt.Errorf("tls: need workers and requests")
+	}
+	res := &TLSResult{InvariantOK: true}
+	if err := runTLSThroughput(cfg, res); err != nil {
+		return nil, fmt.Errorf("tls throughput: %w", err)
+	}
+	if err := runTLSHedge(cfg, res); err != nil {
+		return nil, fmt.Errorf("tls hedge: %w", err)
+	}
+	return res, nil
+}
+
+// tlsEngine starts a loopback HTTPS engine with a fixed concurrent
+// per-request service latency, returning the server and the root PEM the
+// enclave pins.
+func tlsEngine(cfg TLSConfig, service time.Duration) (*searchengine.Server, []byte, error) {
+	engine := searchengine.NewEngine(searchengine.WithCorpus(
+		searchengine.GenerateCorpus(searchengine.CorpusConfig{
+			DocsPerTopic: cfg.DocsPerTopic,
+			Seed:         cfg.Seed,
+		})))
+	srv := searchengine.NewServer(engine)
+	if service > 0 {
+		srv.DelayFn = func() time.Duration { return service }
+	}
+	cert, pem, err := searchengine.GenerateSelfSignedCert("127.0.0.1")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := srv.StartTLS("127.0.0.1:0", cert); err != nil {
+		return nil, nil, err
+	}
+	return srv, pem, nil
+}
+
+// runTLSThroughput is half A: identical HTTPS workload, blocking vs
+// async TLS transport, both TCS-bound.
+func runTLSThroughput(cfg TLSConfig, res *TLSResult) error {
+	srv, pem, err := tlsEngine(cfg, cfg.EngineService)
+	if err != nil {
+		return err
+	}
+	defer shutdownServer(srv)
+
+	for _, async := range []bool{false, true} {
+		pc := proxy.Config{
+			K:             2,
+			Engines:       []proxy.EngineSpec{{Host: srv.Addr(), RootsPEM: pem}},
+			Seed:          cfg.Seed,
+			EnclaveConfig: enclave.Config{TCSCount: cfg.TCSCount},
+		}
+		if async {
+			pc.AsyncOcalls = true
+			pc.PipelineDepth = cfg.PipelineDepth
+		}
+		p, err := proxy.New(pc)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := p.ServeQuery(context.Background(), fmt.Sprintf("tls warm %d", i)); err != nil {
+				shutdownProxy(p)
+				return err
+			}
+		}
+		label := "sync-tls"
+		if async {
+			label = "async-tls"
+		}
+		elapsed, err := drivePipeline(p, cfg.Workers, cfg.Requests, label, nil)
+		if err != nil {
+			shutdownProxy(p)
+			return err
+		}
+		rps := float64(cfg.Requests) / elapsed.Seconds()
+		st := p.Stats()
+		res.InvariantOK = res.InvariantOK && proxyInvariantOK(p)
+		shutdownProxy(p)
+		if async {
+			res.AsyncRPS = rps
+			for _, u := range st.Upstreams {
+				res.SessionReuseRatio = u.PoolReuseRatio
+			}
+		} else {
+			res.SyncRPS = rps
+		}
+	}
+	if res.SyncRPS > 0 {
+		res.Speedup = res.AsyncRPS / res.SyncRPS
+	}
+	return nil
+}
+
+// runTLSHedge is half B: a fast and a slow HTTPS upstream in one
+// rotation, unhedged vs hedged. Losing flights abort mid-exchange, so
+// this half also soaks the cancel/tombstone/close-step machinery under
+// real traffic.
+func runTLSHedge(cfg TLSConfig, res *TLSResult) error {
+	fast, fastPEM, err := tlsEngine(cfg, cfg.FastService)
+	if err != nil {
+		return err
+	}
+	defer shutdownServer(fast)
+	slow, slowPEM, err := tlsEngine(cfg, cfg.SlowService)
+	if err != nil {
+		return err
+	}
+	defer shutdownServer(slow)
+
+	for _, hedge := range []bool{false, true} {
+		pc := proxy.Config{
+			K: 2,
+			Engines: []proxy.EngineSpec{
+				{Host: slow.Addr(), RootsPEM: slowPEM},
+				{Host: fast.Addr(), RootsPEM: fastPEM},
+			},
+			Seed:        cfg.Seed,
+			AsyncOcalls: true,
+		}
+		if hedge {
+			pc.HedgeDelay = cfg.HedgeDelay
+			pc.HedgeMax = 1
+		}
+		p, err := proxy.New(pc)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := p.ServeQuery(context.Background(), fmt.Sprintf("tls hedge warm %d", i)); err != nil {
+				shutdownProxy(p)
+				return err
+			}
+		}
+		hist := metrics.NewHistogram()
+		label := "nohedge-tls"
+		if hedge {
+			label = "hedge-tls"
+		}
+		// Sequential: the tail must come from the slow upstream, not from
+		// queueing.
+		if _, err := drivePipeline(p, 1, cfg.HedgeRequests, label, hist); err != nil {
+			shutdownProxy(p)
+			return err
+		}
+		snap := hist.Snapshot()
+		st := p.Stats()
+		res.InvariantOK = res.InvariantOK && proxyInvariantOK(p)
+		shutdownProxy(p)
+		if hedge {
+			res.HedgeP50, res.HedgeP99 = snap.P50, snap.P99
+			res.HedgeAttempts, res.HedgeWins = st.HedgeAttempts, st.HedgeWins
+		} else {
+			res.NoHedgeP50, res.NoHedgeP99 = snap.P50, snap.P99
+		}
+	}
+	if res.HedgeP99 > 0 {
+		res.P99Cut = float64(res.NoHedgeP99) / float64(res.HedgeP99)
+	}
+	return nil
+}

@@ -43,6 +43,11 @@ const (
 	// StageSubmit is the fetch submission: ring submission on the async
 	// path, including any batcher hold on the batched path.
 	StageSubmit = "submit"
+	// StageTLSHandshake is the in-enclave TLS handshake with an engine
+	// upstream (trusted), whether it ran on the blocking dial or as an
+	// async flight. Resumed sessions record here too, so the histogram's
+	// low buckets show the resumption hit rate.
+	StageTLSHandshake = "handshake"
 	// StageFetch is the engine round trip as the untrusted fetcher sees
 	// it (dial/reuse through last response byte), hedges included.
 	StageFetch = "fetch"
@@ -62,8 +67,8 @@ const (
 // StageNames lists every valid stage in pipeline order. Exported so the
 // Prometheus encoder and the fleet merge iterate a stable closed set.
 var StageNames = []string{
-	StageAdmit, StageObfuscate, StageProbe, StageSubmit, StageFetch,
-	StageHedge, StageResume, StageFilter, StageReply,
+	StageAdmit, StageObfuscate, StageProbe, StageSubmit, StageTLSHandshake,
+	StageFetch, StageHedge, StageResume, StageFilter, StageReply,
 }
 
 // Stages accumulates per-stage latencies into one fixed-bucket histogram

@@ -159,6 +159,11 @@ func (pl *pipelineRuntime) resumeLoop() {
 				// route, so there is nothing to resume.
 				continue
 			}
+			if len(c.Result) == 0 {
+				// A pure tls_step close batch: fire-and-forget, no token
+				// to resume (fetch and flight steps always carry JSON).
+				continue
+			}
 			pl.handleCompletion(c.Result)
 		}
 	}
@@ -186,14 +191,16 @@ func (pl *pipelineRuntime) resumeLoopBatched() {
 			return
 		case c := <-comp:
 			batch := make([][]byte, 0, pl.batchMax)
-			if c.Err == nil {
+			if c.Err == nil && len(c.Result) > 0 {
 				batch = append(batch, c.Result)
 			}
 		drain:
 			for len(batch) < pl.batchMax {
 				select {
 				case c2 := <-comp:
-					if c2.Err == nil {
+					// Empty results are pure tls_step close batches:
+					// nothing to resume.
+					if c2.Err == nil && len(c2.Result) > 0 {
 						batch = append(batch, c2.Result)
 					}
 				default:
@@ -233,6 +240,15 @@ func (pl *pipelineRuntime) routeResume(out []byte) {
 	var rr resumeReply
 	if err := json.Unmarshal(out, &rr); err != nil {
 		return
+	}
+	// A terminal TLS flight names its token on EVERY terminal shape —
+	// done, orphan, late loser — so the fetcher's per-token TLS state
+	// (tombstone, conn binding) is dropped exactly once. Must run before
+	// the State gate: orphans terminate flights too.
+	if rr.DoneToken != 0 {
+		if f := pl.p.conns.fetch; f != nil {
+			f.endTLS(rr.DoneToken)
+		}
 	}
 	if rr.State != "done" {
 		return

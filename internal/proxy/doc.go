@@ -1,0 +1,49 @@
+// Package proxy implements the X-Search node (§4): an enclave-hosted
+// request handler that decrypts client queries, obfuscates them with k real
+// past queries (core.Obfuscator), queries the search engine through the
+// paper's ocall interface (sock_connect/send/recv/close), filters the
+// merged results back down to the original query's results, and returns
+// them over the attested secure channel. An additional plain HTTP front
+// accepts unencrypted queries from third-party clients (curl/wget), as the
+// paper notes.
+//
+// # TLS transport
+//
+// An upstream with pinned roots (EngineSpec.RootsPEM) is spoken to over
+// TLS terminated INSIDE the enclave: the handshake, certificate
+// validation against the measured roots, and all record encrypt/decrypt
+// run in trusted code (crypto/tls over an adapter), so the untrusted
+// host observes exactly two things about an HTTPS fetch — ciphertext
+// and timing. The obfuscated query, the engine's results, and the TLS
+// session secrets never cross the boundary in the clear.
+//
+// Two transports carry that ciphertext:
+//
+//   - Blocking path: the trusted adapter (ocallConn) drives the paper's
+//     sock_connect/send/recv/close ocalls, one blocking ocall per socket
+//     operation, holding a TCS for the whole exchange.
+//   - Async pipeline (Config.AsyncOcalls): each TLS fetch attempt runs
+//     as a trusted coroutine whose socket I/O is batched into async
+//     "tls_step" ocalls on the switchless rings. The request parks in
+//     the pending table between steps — no TCS is held across network
+//     waits — so HTTPS upstreams get the full pipeline treatment:
+//     hedged fetches, batched submission, failover, and keep-alive
+//     pooling with TLS session resumption (the session cache and the
+//     pooled TLS state both live in trusted memory). A fresh TLS 1.3
+//     exchange costs two ring round trips; a pooled one costs one,
+//     matching the plain-TCP fetch.
+//
+// Config.FetchTimeout is an absolute deadline over the WHOLE fetch on
+// both paths — TCP connect, TLS handshake, request, and response — so a
+// hung or slow-loris engine can neither pin a TCS (blocking path) nor
+// park a flight forever (async path). Handshake latency is recorded
+// under the dedicated "handshake" stage of the closed tracing stage
+// set; like every stage it leaves the enclave only as an aggregate
+// fixed-bucket histogram.
+//
+// One observability note: per-upstream fetch-latency histograms (the
+// p95 source for adaptive hedge delays) are recorded by the untrusted
+// fetcher, which cannot see TLS exchange boundaries; hedge timers for
+// HTTPS upstreams therefore use the configured/default hedge delay
+// until those histograms are warmed by plain traffic or tests.
+package proxy

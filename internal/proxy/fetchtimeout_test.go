@@ -147,10 +147,49 @@ func TestFetchTimeoutConfigValidation(t *testing.T) {
 	}); err == nil {
 		t.Fatal("negative FetchTimeout accepted")
 	}
-	if _, err := New(Config{
+	// FetchTimeout now covers the blocking path too (the ocallConn grew
+	// real read deadlines), so a sync config with a timeout is valid.
+	p, err := New(Config{
 		K: 1, Engines: []EngineSpec{{Host: srv.Addr()}},
 		FetchTimeout: time.Second,
-	}); err == nil {
-		t.Fatal("FetchTimeout without AsyncOcalls accepted")
+	})
+	if err != nil {
+		t.Fatalf("FetchTimeout on the blocking path rejected: %v", err)
 	}
+	p.Crash()
+}
+
+// TestFetchTimeoutFailsHungUpstreamBlockingPath is the sync-path mirror of
+// TestFetchTimeoutFailsHungUpstream: without AsyncOcalls the same deadline
+// must unpin the TCS (the blocking path used to hang forever here).
+func TestFetchTimeoutFailsHungUpstreamBlockingPath(t *testing.T) {
+	addr, accepted := startBlackholeUpstream(t)
+	p, err := New(Config{
+		K:            1,
+		Seed:         1,
+		Engines:      []EngineSpec{{Host: addr}},
+		FetchTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Crash()
+
+	start := time.Now()
+	_, err = p.ServeQuery(context.Background(), "query into the void")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("query against a never-responding upstream succeeded")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("failed after %v, want ~150ms deadline", elapsed)
+	}
+	if accepted.Load() == 0 {
+		t.Fatal("upstream never accepted: the test exercised the dial path, not the read deadline")
+	}
+	s := p.Stats()
+	if len(s.Upstreams) != 1 || s.Upstreams[0].Failures == 0 {
+		t.Fatalf("timeout not counted against the upstream breaker: %+v", s.Upstreams)
+	}
+	assertEPCInvariant(t, p)
 }

@@ -3,6 +3,8 @@ package proxy
 import (
 	"bufio"
 	"bytes"
+	"crypto/tls"
+	"crypto/x509"
 	"strings"
 	"testing"
 )
@@ -87,6 +89,72 @@ func FuzzDecodeBatch(f *testing.F) {
 		}
 		if !bytes.Equal(encodeBatch(entries), data) {
 			t.Fatal("accepted frame does not round-trip through encodeBatch")
+		}
+	})
+}
+
+// FuzzTLSRecordAdapter fuzzes the trusted TLS flight over hostile
+// ciphertext streams: the fuzzer plays the untrusted runtime, feeding the
+// coroutine's step asks arbitrary bytes fragmented or coalesced by the
+// chunk parameter, then EOF. The flight (stepConn adapter + crypto/tls +
+// response parser) must never panic and must always reach a terminal
+// outcome — the ping-pong protocol may not wedge on any stream shape.
+func FuzzTLSRecordAdapter(f *testing.F) {
+	// A TLS alert record (handshake_failure), cleanly framed.
+	f.Add([]byte{0x15, 0x03, 0x03, 0x00, 0x02, 0x02, 0x28}, byte(1))
+	// A handshake record promising more than it delivers.
+	f.Add([]byte{0x16, 0x03, 0x03, 0x00, 0x40, 0x02, 0x00, 0x00, 0x3c}, byte(3))
+	// An oversized record bomb header.
+	f.Add([]byte{0x16, 0x03, 0x03, 0xff, 0xff, 0xde, 0xad, 0xbe, 0xef}, byte(64))
+	// Plaintext where ciphertext should be.
+	f.Add([]byte("HTTP/1.1 200 OK\r\n\r\nnot tls at all"), byte(7))
+	f.Add([]byte{}, byte(1))
+
+	f.Fuzz(func(t *testing.T, stream []byte, chunk byte) {
+		ts := &trustedState{flightStop: make(chan struct{})}
+		defer close(ts.flightStop)
+		u := &upstream{
+			host: "127.0.0.1:443",
+			cas:  x509.NewCertPool(),
+			tlsConf: &tls.Config{
+				RootCAs:    x509.NewCertPool(),
+				ServerName: "127.0.0.1",
+			},
+		}
+		fl := ts.newTLSFlight(1)
+		go ts.runTLSFlight(fl, u, "/search?q=fuzz")
+
+		size := int(chunk)%256 + 1
+		rest := stream
+		out, ok := fl.recv()
+		for i := 0; ok && !out.done; i++ {
+			if i > 4096 {
+				t.Fatal("flight never reached a terminal outcome")
+			}
+			if out.ask == nil {
+				t.Fatal("non-terminal park without a step ask")
+			}
+			var in tlsStepIn
+			if out.ask.Read && len(rest) > 0 {
+				n := size
+				if n > len(rest) {
+					n = len(rest)
+				}
+				in = tlsStepIn{data: rest[:n]}
+				rest = rest[n:]
+			} else if out.ask.Read {
+				in = tlsStepIn{eof: true}
+			}
+			out, ok = fl.step(in)
+		}
+		if !ok {
+			t.Fatal("flight cancelled without an abort")
+		}
+		if out.reply.Err == "" && !out.reply.Cancelled {
+			t.Fatal("hostile ciphertext produced a successful fetch reply")
+		}
+		if out.pooled != nil {
+			t.Fatal("failed exchange offered its session to the pool")
 		}
 	})
 }

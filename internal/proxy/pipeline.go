@@ -48,6 +48,11 @@ type pendingAttempt struct {
 	token uint64
 	hedge bool // issued by the hedge ecall (vs primary or failover)
 	done  bool
+	// flight, set (under the table lock) for a TLS upstream, is the
+	// trusted coroutine driving this attempt's in-enclave TLS exchange;
+	// its completions are ciphertext steps, not fetch replies. Immutable
+	// once set.
+	flight *tlsFlight
 }
 
 // pendingReq is one parked request: a leader (owns the fetch attempts) or
@@ -176,6 +181,12 @@ func (pt *pendingTable) unreserve(att *pendingAttempt) {
 // Never called with the pending-table lock held: a full submission ring
 // blocks, and the resume path needs the lock to drain it.
 func (ts *trustedState) submitFetch(env enclave.Env, p *pendingReq, att *pendingAttempt) error {
+	if att.u.cas != nil {
+		// Pinned-root upstream: the exchange is an in-enclave TLS flight
+		// over tls_step ocalls — every submit site (primary, failover,
+		// hedge, batch burst) gets it through this one seam.
+		return ts.submitTLSFetch(env, p, att)
+	}
 	arg, err := json.Marshal(fetchArg{
 		Token:     att.token,
 		Host:      att.u.host,
@@ -325,12 +336,32 @@ func (ts *trustedState) handleResume(env enclave.Env, arg []byte) ([]byte, error
 	pt := ts.pending
 	pt.mu.Lock()
 	att, ok := pt.byToken[fr.Token]
-	delete(pt.byToken, fr.Token)
 	if !ok {
 		pt.mu.Unlock()
-		return orphanReply()
+		// Unknown token: a late or already-cancelled completion. Echo it
+		// as DoneToken so a TLS flight's untrusted per-token state is
+		// dropped; for a plain token that cleanup is a no-op.
+		return tlsOrphanReply(fr.Token)
 	}
+	if att.flight != nil {
+		// TLS attempt: this completion is a ciphertext step, not a fetch
+		// reply. The flight driver advances the trusted TLS state machine
+		// and re-enters completeFetchLocked only on a terminal outcome.
+		pt.mu.Unlock()
+		return ts.resumeTLSFlight(env, att, arg)
+	}
+	delete(pt.byToken, fr.Token)
 	att.done = true
+	return ts.completeFetchLocked(env, att, &fr)
+}
+
+// completeFetchLocked is the completion tail shared by plain fetches and
+// terminal TLS flight outcomes: breaker accounting, hedge arbitration,
+// failover, and the winner's parse → filter → cache → seal stage-2.
+// Entered with the table lock HELD, att.done already set and its token
+// removed; the lock is released before returning.
+func (ts *trustedState) completeFetchLocked(env enclave.Env, att *pendingAttempt, fr *fetchReply) ([]byte, error) {
+	pt := ts.pending
 	p := att.p
 	if fr.Cancelled {
 		if !p.done && outstanding(p) == 0 {
@@ -363,11 +394,11 @@ func (ts *trustedState) handleResume(env enclave.Env, arg []byte) ([]byte, error
 		// reached it: account the outcome (it is a genuine exchange
 		// result), nothing else to do.
 		pt.mu.Unlock()
-		ts.accountOutcome(att.u, &fr)
+		ts.accountOutcome(att.u, fr)
 		return orphanReply()
 	}
 
-	if failMsg := fetchFailure(&fr); failMsg != "" {
+	if failMsg := fetchFailure(fr); failMsg != "" {
 		p.lastErr = fmt.Sprintf("proxy: engine %s: %s", att.u.host, failMsg)
 		if outstanding(p) > 0 {
 			// A hedge (or the primary) is still in flight; let it race on.
@@ -499,12 +530,18 @@ func outstanding(p *pendingReq) int {
 }
 
 // cancelTokens collects the tokens of still-outstanding attempts so the
-// runtime can abort the losers. Caller holds the table lock.
+// runtime can abort the losers, aborting any TLS flights among them
+// first — trusted-side, before the CancelTokens ever reach the runtime —
+// so a loser's coroutine is already unwinding when its socket dies.
+// Caller holds the table lock.
 func cancelTokens(p *pendingReq) []uint64 {
 	var toks []uint64
 	for _, a := range p.attempts {
 		if !a.done {
 			toks = append(toks, a.token)
+			if a.flight != nil {
+				a.flight.abort()
+			}
 		}
 	}
 	return toks
@@ -645,6 +682,9 @@ func (ts *trustedState) handleAbandon(_ enclave.Env, arg []byte) ([]byte, error)
 			delete(pt.byToken, a.token)
 			toks = append(toks, a.token)
 			cancelled = append(cancelled, a.u)
+			if a.flight != nil {
+				a.flight.abort()
+			}
 		}
 	}
 	if pt.byKey[p.key] == p {

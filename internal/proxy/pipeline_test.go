@@ -258,8 +258,8 @@ func TestCoalescedFollowersDoNotHedge(t *testing.T) {
 	assertEPCInvariant(t, p)
 }
 
-// Config validation: hedging requires the async pipeline; the async
-// pipeline refuses in-enclave TLS upstreams.
+// Config validation: hedging requires the async pipeline; malformed root
+// pins are rejected.
 func TestPipelineConfigValidation(t *testing.T) {
 	if _, err := New(Config{
 		K:        1,
@@ -268,12 +268,14 @@ func TestPipelineConfigValidation(t *testing.T) {
 	}); err == nil || !strings.Contains(err.Error(), "AsyncOcalls") {
 		t.Errorf("hedging without async: err = %v", err)
 	}
+	// In-enclave TLS upstreams now ride the async pipeline; garbage pins
+	// are still rejected, at registry build.
 	if _, err := New(Config{
 		K:           1,
 		Engines:     []EngineSpec{{Host: "127.0.0.1:1", RootsPEM: []byte("not a cert")}},
 		AsyncOcalls: true,
-	}); err == nil || !strings.Contains(err.Error(), "TLS") {
-		t.Errorf("async with TLS upstream: err = %v", err)
+	}); err == nil || !strings.Contains(err.Error(), "RootsPEM") {
+		t.Errorf("async with garbage RootsPEM: err = %v", err)
 	}
 	if _, err := New(Config{
 		K:           1,

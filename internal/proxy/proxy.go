@@ -117,8 +117,10 @@ type Config struct {
 	// untrusted worker goroutines, the enclave thread (TCS) is released
 	// while the round trip is in flight, and the request is resumed by a
 	// later ecall carrying the completion. Obfuscation/filtering of
-	// request N+1 overlaps the network wait of request N. Requires plain
-	// TCP upstreams (in-enclave TLS termination needs the blocking path).
+	// request N+1 overlaps the network wait of request N. Upstreams with
+	// pinned roots (RootsPEM) ride the same pipeline: the TLS record
+	// layer stays in trusted code and its socket I/O is carried by async
+	// "tls_step" ocalls (see doc.go, "TLS transport").
 	AsyncOcalls bool
 	// PipelineDepth bounds concurrently staged requests (and sizes the
 	// async worker pool and rings). Zero means DefaultPipelineDepth; only
@@ -134,15 +136,16 @@ type Config struct {
 	// HedgeMax is the maximum hedge fetches per request (0 disables
 	// hedging). Hedging requires AsyncOcalls.
 	HedgeMax int
-	// FetchTimeout bounds each async fetch's read phase: an upstream that
-	// accepts the connection but never responds fails the fetch after this
-	// long (enforced as a socket read deadline in the untrusted fetcher)
-	// instead of pinning an async worker until a hedge winner, caller
-	// abandonment, or shutdown cancels it. The timeout is counted as an
-	// upstream failure for the circuit breaker, exactly like a refused
-	// response. Zero (the default) preserves the previous behaviour: no
-	// per-fetch deadline. Requires AsyncOcalls (the blocking path's socket
-	// ocalls are paced by the caller's context).
+	// FetchTimeout is an absolute deadline over each engine fetch attempt
+	// — connect, TLS handshake (when the upstream pins roots), request,
+	// and response — on both the blocking path and the async pipeline. An
+	// upstream that accepts the connection but never responds (or
+	// dribbles a handshake forever) fails the fetch after this long
+	// instead of pinning a TCS or an async worker until a hedge winner,
+	// caller abandonment, or shutdown cancels it. The timeout is counted
+	// as an upstream failure for the circuit breaker, exactly like a
+	// refused response. Zero (the default) preserves the previous
+	// behaviour: no per-fetch deadline.
 	FetchTimeout time.Duration
 	// BatchMax enables the adaptive ecall batcher when >= 2: admitted
 	// requests are coalesced into vectorized "request-batch" ecalls of up
@@ -300,9 +303,6 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.FetchTimeout < 0 {
 		return nil, fmt.Errorf("proxy: negative FetchTimeout")
 	}
-	if cfg.FetchTimeout > 0 && !cfg.AsyncOcalls {
-		return nil, fmt.Errorf("proxy: FetchTimeout applies to the async fetcher; it requires AsyncOcalls")
-	}
 	if cfg.BatchMax < 0 {
 		return nil, fmt.Errorf("proxy: negative BatchMax")
 	}
@@ -329,9 +329,10 @@ func New(cfg Config) (*Proxy, error) {
 		if cfg.BatchMax > 0 && cfg.BatchWindow == 0 {
 			cfg.BatchWindow = DefaultBatchWindow
 		}
+		tlsUpstreams := false
 		for _, e := range engines {
 			if len(e.RootsPEM) > 0 {
-				return nil, fmt.Errorf("proxy: async ocall pipeline does not support in-enclave TLS to %s (drop AsyncOcalls or the engine's RootsPEM)", e.Host)
+				tlsUpstreams = true
 			}
 		}
 		// One worker per possible concurrent fetch (each staged request
@@ -353,7 +354,16 @@ func New(cfg Config) (*Proxy, error) {
 		// TCS held — the same four-way-deadlock shape the base
 		// requirement exists to exclude, now reachable by one ecall.
 		workersNeed += cfg.BatchMax
-		needNote := hedgeFactorNote(cfg.HedgeMax) + batchBurstNote(cfg.BatchMax)
+		if tlsUpstreams {
+			// A TLS flight keeps at most one "tls_step" in the ring at a
+			// time (strict ping-pong), but terminal steps also carry
+			// fire-and-forget close batches (pool evictions, loser
+			// teardown) submitted while a TCS is held. Give every
+			// possible attempt one slot of close headroom so a burst of
+			// terminals cannot block an ecall on a full ring.
+			workersNeed += cfg.PipelineDepth * (1 + cfg.HedgeMax)
+		}
+		needNote := hedgeFactorNote(cfg.HedgeMax) + batchBurstNote(cfg.BatchMax) + tlsHeadroomNote(tlsUpstreams)
 		if cfg.EnclaveConfig.AsyncWorkers == 0 {
 			cfg.EnclaveConfig.AsyncWorkers = workersNeed
 		} else if cfg.EnclaveConfig.AsyncWorkers < workersNeed {
@@ -440,10 +450,15 @@ func New(cfg Config) (*Proxy, error) {
 			}
 		}
 	}
+	// The fetch deadline applies on both paths (blocking dials honour it
+	// through the ocallConn read deadline), so set it outside the async
+	// block.
+	trusted.fetchTimeout = cfg.FetchTimeout
 	if cfg.AsyncOcalls {
 		trusted.pending = newPendingTable()
 		trusted.hedgeMax = cfg.HedgeMax
 		trusted.asyncKeepAlive = cfg.PoolSize > 0
+		trusted.flightStop = make(chan struct{})
 	}
 	if cfg.CacheBytes > 0 {
 		cache, err := core.NewResultCache(cfg.CacheBytes, cfg.CacheTTL)
@@ -469,7 +484,7 @@ func New(cfg Config) (*Proxy, error) {
 	for i, e := range engines {
 		engineIdent[i] = fmt.Sprintf("%s*%d", e.Host, e.Weight)
 	}
-	ident := fmt.Sprintf("xsearch-proxy v1.8 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s index=%d/%s/%g coalesce=%t breaker=%d/%s rate=%g/%d async=%t/%d hedge=%s/%d batch=%d/%s obs=%t",
+	ident := fmt.Sprintf("xsearch-proxy v1.9 k=%d history=%d engines=[%s] echo=%t pool=%d cache=%d/%s index=%d/%s/%g coalesce=%t breaker=%d/%s rate=%g/%d async=%t/%d hedge=%s/%d batch=%d/%s obs=%t",
 		cfg.K, cfg.HistoryCapacity, strings.Join(engineIdent, " "), cfg.EchoMode,
 		cfg.PoolSize, cfg.CacheBytes, cfg.CacheTTL,
 		cfg.IndexBytes, cfg.IndexTTL, cfg.IndexMinScore,
@@ -723,6 +738,15 @@ func batchBurstNote(batchMax int) string {
 	return ""
 }
 
+// tlsHeadroomNote annotates the async-sizing errors with the TLS
+// close-step headroom term (one extra slot per possible attempt).
+func tlsHeadroomNote(tlsUpstreams bool) string {
+	if tlsUpstreams {
+		return " ×2 TLS close-step headroom"
+	}
+	return ""
+}
+
 // Measurement returns the enclave's MRENCLAVE, which clients pin.
 func (p *Proxy) Measurement() enclave.Measurement { return p.encl.Measurement() }
 
@@ -778,6 +802,10 @@ func (p *Proxy) Shutdown(ctx context.Context) error {
 		grace, cancel := context.WithTimeout(context.Background(), stragglerGrace)
 		_ = p.pipeline.drain(grace)
 		cancel()
+		// Unpark any TLS flight coroutine still waiting on a step before
+		// the resume workers stop: a parked flight holds no TCS, but its
+		// goroutine would leak past Destroy.
+		p.trusted.stopFlights()
 		p.pipeline.stopDispatch()
 	}
 	if p.cfg.StatePath != "" {
@@ -805,6 +833,7 @@ func (p *Proxy) Shutdown(ctx context.Context) error {
 // snapshot, no sealed-state persistence, no graceful HTTP drain. Fleet
 // availability experiments use it; operators should use Shutdown.
 func (p *Proxy) Crash() {
+	p.trusted.stopFlights()
 	if p.pipeline != nil {
 		p.pipeline.stopDispatch()
 	}

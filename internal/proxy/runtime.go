@@ -99,6 +99,8 @@ func (ct *connTable) handlers() map[string]func([]byte) ([]byte, error) {
 		// The pipeline's composite exchange, serviced by the switchless
 		// worker goroutines instead of a blocking per-socket ocall chain.
 		h["fetch"] = ct.fetch.ocallFetch
+		// One ciphertext I/O round of an in-enclave TLS flight.
+		h["tls_step"] = ct.fetch.ocallTLSStep
 	}
 	return h
 }
@@ -166,6 +168,17 @@ func (ct *connTable) ocallRecv(arg []byte) ([]byte, error) {
 	conn, err := ct.lookup(fd)
 	if err != nil {
 		return nil, err
+	}
+	// Bytes 16:24, when present, carry the remaining milliseconds of the
+	// enclave's absolute fetch deadline; zero clears any previous one
+	// (pooled sockets are reused across exchanges with different
+	// deadlines). Shorter args are the pre-deadline wire shape.
+	if len(arg) >= 24 {
+		if ms := int64(binary.LittleEndian.Uint64(arg[16:])); ms > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(time.Duration(ms) * time.Millisecond))
+		} else {
+			_ = conn.SetReadDeadline(time.Time{})
+		}
 	}
 	buf := make([]byte, max+1)
 	n, err := conn.Read(buf[1:])
@@ -292,6 +305,17 @@ type fetcher struct {
 	inflight map[uint64]*fetchOp
 	hist     map[string]*metrics.Histogram
 	closed   bool
+
+	// In-enclave TLS flight state. tlsConns maps the enclave-minted conn
+	// handles to their ciphertext sockets (a conn outlives one flight
+	// when its TLS session is pooled trusted-side); tlsByToken binds each
+	// live flight token to its current conn so cancelFetch can reach the
+	// socket mid-step; tlsCancelled tombstones cancelled tokens so a step
+	// already in the ring aborts on arrival. Token entries are dropped on
+	// the terminal resume's DoneToken (endTLS).
+	tlsConns     map[uint64]net.Conn
+	tlsByToken   map[uint64]uint64
+	tlsCancelled map[uint64]bool
 }
 
 type idleFetchConn struct {
@@ -308,13 +332,16 @@ type fetchOp struct {
 
 func newFetcher(ct *connTable, maxIdle int, idleTTL, timeout time.Duration) *fetcher {
 	return &fetcher{
-		ct:       ct,
-		maxIdle:  maxIdle,
-		idleTTL:  idleTTL,
-		timeout:  timeout,
-		idle:     make(map[string][]idleFetchConn),
-		inflight: make(map[uint64]*fetchOp),
-		hist:     make(map[string]*metrics.Histogram),
+		ct:           ct,
+		maxIdle:      maxIdle,
+		idleTTL:      idleTTL,
+		timeout:      timeout,
+		idle:         make(map[string][]idleFetchConn),
+		inflight:     make(map[uint64]*fetchOp),
+		hist:         make(map[string]*metrics.Histogram),
+		tlsConns:     make(map[uint64]net.Conn),
+		tlsByToken:   make(map[uint64]uint64),
+		tlsCancelled: make(map[uint64]bool),
 	}
 }
 
@@ -466,10 +493,42 @@ func (f *fetcher) cancelFetch(token uint64) {
 		op.cancelled = true
 		conn = op.conn
 	}
+	// TLS flights: tombstone the token — a step already sitting in the
+	// ring cancels on arrival — and close its current ciphertext conn to
+	// unblock a handler mid-read. The tombstone set is size-bounded
+	// best-effort (terminal resumes clear their own entries via endTLS;
+	// closeAll is the correctness net for the rest).
+	var tlsConn net.Conn
+	if id, live := f.tlsByToken[token]; live {
+		tlsConn = f.tlsConns[id]
+		delete(f.tlsConns, id)
+		delete(f.tlsByToken, token)
+	}
+	if len(f.tlsCancelled) > 1024 {
+		clear(f.tlsCancelled)
+	}
+	f.tlsCancelled[token] = true
 	f.mu.Unlock()
 	if conn != nil {
 		_ = conn.Close()
 	}
+	if tlsConn != nil {
+		_ = tlsConn.Close()
+	}
+}
+
+// endTLS drops a TLS flight token's untrusted state once its trusted
+// state machine reached a terminal outcome (resumeReply.DoneToken). The
+// conn itself may live on — a pooled TLS session keeps its ciphertext
+// socket registered under its conn handle.
+func (f *fetcher) endTLS(token uint64) {
+	if token == 0 {
+		return
+	}
+	f.mu.Lock()
+	delete(f.tlsByToken, token)
+	delete(f.tlsCancelled, token)
+	f.mu.Unlock()
 }
 
 // checkout pops the freshest healthy pooled connection for host, evicting
@@ -561,8 +620,166 @@ func (f *fetcher) closeAll() {
 			conns = append(conns, op.conn)
 		}
 	}
+	for id, c := range f.tlsConns {
+		conns = append(conns, c)
+		delete(f.tlsConns, id)
+	}
+	clear(f.tlsByToken)
+	clear(f.tlsCancelled)
 	f.mu.Unlock()
 	for _, c := range conns {
 		_ = c.Close()
 	}
+}
+
+// --- in-enclave TLS ciphertext steps (the "tls_step" ocall) ---
+
+// ocallTLSStep services one ciphertext round of a trusted TLS flight.
+// Like ocallFetch it never fails at the ocall layer for a live flight:
+// transport errors travel inside the reply so the token always reaches
+// the enclave. A step with Token 0 is a pure close batch and returns no
+// payload at all — the resume loops skip empty completions.
+func (f *fetcher) ocallTLSStep(arg []byte) ([]byte, error) {
+	var sa tlsStepArg
+	if err := json.Unmarshal(arg, &sa); err != nil {
+		return nil, fmt.Errorf("proxy: tls step arg: %w", err)
+	}
+	if sa.Token == 0 {
+		f.closeTLSConns(sa.Close)
+		return nil, nil
+	}
+	reply := f.tlsStep(&sa)
+	reply.Token = sa.Token
+	return json.Marshal(reply)
+}
+
+func (f *fetcher) tlsStep(sa *tlsStepArg) tlsStepReply {
+	f.closeTLSConns(sa.Close)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return tlsStepReply{Cancelled: true}
+	}
+	if f.tlsCancelled[sa.Token] {
+		// Tombstoned before the step ran: close whatever conn it names
+		// and report the cancellation instead of doing I/O for a flight
+		// the enclave already wrote off.
+		f.mu.Unlock()
+		if !sa.Dial && sa.ConnID != 0 {
+			f.closeTLSConns([]uint64{sa.ConnID})
+		}
+		return tlsStepReply{Cancelled: true}
+	}
+	f.mu.Unlock()
+
+	var conn net.Conn
+	if sa.Dial {
+		if f.ct.link != nil {
+			f.ct.link.Wait()
+		}
+		c, err := net.DialTimeout("tcp", sa.Host, f.ct.dialTimeout)
+		if err != nil {
+			return tlsStepReply{Err: fmt.Sprintf("dial %s: %v", sa.Host, err)}
+		}
+		if f.ct.link != nil {
+			c = &delayedConn{Conn: c, link: f.ct.link}
+		}
+		conn = c
+		f.mu.Lock()
+		if f.closed || f.tlsCancelled[sa.Token] {
+			f.mu.Unlock()
+			_ = conn.Close()
+			return tlsStepReply{Cancelled: true}
+		}
+		f.tlsConns[sa.ConnID] = conn
+		f.tlsByToken[sa.Token] = sa.ConnID
+		f.mu.Unlock()
+	} else {
+		f.mu.Lock()
+		conn = f.tlsConns[sa.ConnID]
+		if conn != nil {
+			f.tlsByToken[sa.Token] = sa.ConnID
+		}
+		f.mu.Unlock()
+		if conn == nil {
+			return tlsStepReply{Err: fmt.Sprintf("unknown tls conn %d", sa.ConnID)}
+		}
+	}
+
+	if len(sa.Send) > 0 {
+		if _, err := conn.Write(sa.Send); err != nil {
+			f.dropTLSConn(sa.Token, sa.ConnID)
+			return f.tlsOutcome(sa.Token, fmt.Sprintf("send: %v", err))
+		}
+	}
+	if !sa.Read {
+		return tlsStepReply{}
+	}
+	// The deadline is the remaining slice of the flight's absolute fetch
+	// budget, re-armed (or cleared) every step — pooled sockets carry no
+	// stale deadline into the next exchange.
+	if sa.TimeoutMS > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(time.Duration(sa.TimeoutMS) * time.Millisecond))
+	} else {
+		_ = conn.SetReadDeadline(time.Time{})
+	}
+	buf := make([]byte, tlsStepReadMax)
+	n, err := conn.Read(buf)
+	switch {
+	case err == io.EOF:
+		f.dropTLSConn(sa.Token, sa.ConnID)
+		return tlsStepReply{Data: buf[:n], EOF: true}
+	case err != nil:
+		f.dropTLSConn(sa.Token, sa.ConnID)
+		return f.tlsOutcome(sa.Token, fmt.Sprintf("read: %v", err))
+	default:
+		return tlsStepReply{Data: buf[:n]}
+	}
+}
+
+// closeTLSConns closes and deregisters a batch of ciphertext conns.
+func (f *fetcher) closeTLSConns(ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	var conns []net.Conn
+	f.mu.Lock()
+	for _, id := range ids {
+		if c, ok := f.tlsConns[id]; ok {
+			conns = append(conns, c)
+			delete(f.tlsConns, id)
+		}
+	}
+	f.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// dropTLSConn closes a conn that just failed under its flight and drops
+// the token binding (the enclave-side flight marks it dead too).
+func (f *fetcher) dropTLSConn(token, connID uint64) {
+	var conn net.Conn
+	f.mu.Lock()
+	if c, ok := f.tlsConns[connID]; ok {
+		conn = c
+		delete(f.tlsConns, connID)
+	}
+	delete(f.tlsByToken, token)
+	f.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// tlsOutcome folds a step failure into a reply, reporting cancellation
+// when the failure was self-inflicted by cancelFetch closing the socket.
+func (f *fetcher) tlsOutcome(token uint64, errstr string) tlsStepReply {
+	f.mu.Lock()
+	cancelled := f.tlsCancelled[token]
+	f.mu.Unlock()
+	if cancelled {
+		return tlsStepReply{Cancelled: true}
+	}
+	return tlsStepReply{Err: errstr}
 }

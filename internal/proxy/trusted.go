@@ -7,9 +7,11 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -75,6 +77,16 @@ type trustedState struct {
 	pending        *pendingTable
 	hedgeMax       int
 	asyncKeepAlive bool
+	// fetchTimeout is the absolute budget for one whole engine fetch —
+	// connect, TLS handshake, request, response — on both the blocking
+	// and async paths (Config.FetchTimeout; zero = unbounded).
+	fetchTimeout time.Duration
+	// flightStop, closed at shutdown (after drain) or crash, unblocks
+	// every parked TLS flight coroutine and its driver. Nil when async
+	// is off (a nil channel never fires in a select, which is correct:
+	// sync-path code never parks on it).
+	flightStop     chan struct{}
+	flightStopOnce sync.Once
 	// Hedge gauges: attempts issued, hedges that won their race, and
 	// losers the runtime cancelled.
 	hedgeAttempts  atomic.Uint64
@@ -86,6 +98,15 @@ type trustedState struct {
 	maxSess  int
 	// order tracks session insertion for FIFO eviction.
 	order []string
+}
+
+// stopFlights releases every parked TLS flight (coroutines and drivers)
+// for teardown. Idempotent; a no-op when async TLS was never armed.
+func (ts *trustedState) stopFlights() {
+	if ts.flightStop == nil {
+		return
+	}
+	ts.flightStopOnce.Do(func() { close(ts.flightStop) })
 }
 
 // historyAAD versions the sealed-history format.
@@ -520,21 +541,34 @@ func (ts *trustedState) fetchResults(env enclave.Env, query string, count int) (
 // it afterwards; a connection that went stale between health check and use
 // is retried once on a fresh dial.
 func (ts *trustedState) fetchFromUpstream(env enclave.Env, u *upstream, path string) (body []byte, status int, err error) {
+	// One absolute deadline spans the whole fetch — dial, TLS handshake,
+	// exchange, and the single stale-conn retry — so a hung or slow-loris
+	// engine cannot pin this TCS past FetchTimeout.
+	var deadline time.Time
+	if ts.fetchTimeout > 0 {
+		deadline = time.Now().Add(ts.fetchTimeout)
+	}
 	for attempt := 0; ; attempt++ {
-		ec, err := ts.acquireUpstreamConn(env, u, attempt > 0)
+		ec, err := ts.acquireUpstreamConn(env, u, attempt > 0, deadline)
 		if err != nil {
 			return nil, 0, err
 		}
+		_ = ec.raw.SetReadDeadline(deadline) // zero clears
 		body, status, keepAlive, err := ts.roundTrip(ec, u, path)
 		if err != nil {
 			ec.close(env)
-			if ec.reused && attempt == 0 {
+			if ec.reused && attempt == 0 && !errors.Is(err, os.ErrDeadlineExceeded) {
 				// The engine closed the pooled connection between the
 				// health check and our write/read: retry on a fresh dial.
+				// A deadline expiry is the engine being slow, not the
+				// stream being stale — no retry.
 				continue
 			}
 			return nil, 0, err
 		}
+		// Pooled sockets must not carry this exchange's deadline into the
+		// next one.
+		_ = ec.raw.SetReadDeadline(time.Time{})
 		// Pool the connection only if the stream is exactly at a response
 		// boundary: leftover bytes buffered enclave-side (a hostile host
 		// pipelining a forged response behind a well-framed one) would be
@@ -552,13 +586,13 @@ func (ts *trustedState) fetchFromUpstream(env enclave.Env, u *upstream, path str
 // acquireUpstreamConn returns a connection to upstream u: a health-checked
 // pooled one when available, otherwise a fresh dial (forced when a pooled
 // connection just failed mid-exchange).
-func (ts *trustedState) acquireUpstreamConn(env enclave.Env, u *upstream, forceDial bool) (*engineConn, error) {
+func (ts *trustedState) acquireUpstreamConn(env enclave.Env, u *upstream, forceDial bool, deadline time.Time) (*engineConn, error) {
 	if u.pool != nil && !forceDial {
 		if ec := u.pool.checkout(env); ec != nil {
 			return ec, nil
 		}
 	}
-	ec, err := ts.dialUpstream(env, u)
+	ec, err := ts.dialUpstream(env, u, deadline)
 	if err == nil && u.pool != nil {
 		u.pool.dialled()
 	}
@@ -566,8 +600,10 @@ func (ts *trustedState) acquireUpstreamConn(env enclave.Env, u *upstream, forceD
 }
 
 // dialUpstream opens a new connection to u through the sock_connect ocall,
-// layering TLS inside the enclave when u pins an engine CA.
-func (ts *trustedState) dialUpstream(env enclave.Env, u *upstream) (*engineConn, error) {
+// layering TLS inside the enclave when u pins an engine CA. The deadline,
+// when set, bounds the TLS handshake too (a hung engine mid-handshake
+// used to pin this TCS forever).
+func (ts *trustedState) dialUpstream(env enclave.Env, u *upstream, deadline time.Time) (*engineConn, error) {
 	host, port, err := splitHostPort(u.host)
 	if err != nil {
 		return nil, err
@@ -577,16 +613,19 @@ func (ts *trustedState) dialUpstream(env enclave.Env, u *upstream) (*engineConn,
 		return nil, err
 	}
 	raw := newOCallConn(env, fd)
+	_ = raw.SetReadDeadline(deadline)
 	var rw io.ReadWriter = raw
 	if u.cas != nil {
-		tlsConn := tls.Client(raw, &tls.Config{
-			RootCAs:    u.cas,
-			ServerName: host,
-		})
+		// u.tlsConf pins the measured roots and shares one trusted
+		// ClientSessionCache with the async flight path, so the blocking
+		// path resumes sessions across redials too.
+		tlsConn := tls.Client(raw, u.tlsConf)
+		hsStart := time.Now()
 		if err := tlsConn.Handshake(); err != nil {
 			ocallClose(env, fd)
 			return nil, fmt.Errorf("proxy: engine TLS: %w", err)
 		}
+		ts.stages.Since(obs.StageTLSHandshake, hsStart)
 		rw = tlsConn
 	}
 	return &engineConn{fd: fd, raw: raw, rw: rw, br: bufio.NewReader(rw)}, nil
@@ -597,14 +636,8 @@ func (ts *trustedState) dialUpstream(env enclave.Env, u *upstream) (*engineConn,
 // statuses and body parsing are the caller's concern (the connection is
 // still in a known-good framing state for those).
 func (ts *trustedState) roundTrip(ec *engineConn, u *upstream, path string) (body []byte, status int, keepAlive bool, err error) {
-	connHeader := "keep-alive"
-	if u.pool == nil {
-		connHeader = "close"
-	}
-	reqText := "GET " + path + " HTTP/1.1\r\nHost: " + u.host +
-		"\r\nConnection: " + connHeader + "\r\n\r\n"
-	if _, err := ec.rw.Write([]byte(reqText)); err != nil {
-		return nil, 0, false, fmt.Errorf("proxy: send request: %w", err)
+	if err := writeEngineRequest(ec.rw, u.host, path, u.pool != nil); err != nil {
+		return nil, 0, false, err
 	}
 	return readHTTPResponse(ec.br)
 }
@@ -807,10 +840,13 @@ func ocallSend(env enclave.Env, fd int64, data []byte) error {
 	return nil
 }
 
-func ocallRecv(env enclave.Env, fd int64, max int) (data []byte, eof bool, err error) {
-	arg := make([]byte, 16)
+func ocallRecv(env enclave.Env, fd int64, max int, timeoutMS int64) (data []byte, eof bool, err error) {
+	// Bytes 16:24 carry the remaining read budget in milliseconds (0 = no
+	// deadline). Older 16-byte frames are still accepted by the handler.
+	arg := make([]byte, 24)
 	binary.LittleEndian.PutUint64(arg, uint64(fd))
 	binary.LittleEndian.PutUint64(arg[8:], uint64(max))
+	binary.LittleEndian.PutUint64(arg[16:], uint64(timeoutMS))
 	res, err := env.OCall("recv", arg)
 	if err != nil {
 		return nil, false, fmt.Errorf("proxy: recv: %w", err)
@@ -829,16 +865,20 @@ func ocallClose(env enclave.Env, fd int64) {
 }
 
 // ocallConn adapts the four socket ocalls into a net.Conn so the enclave
-// can layer crypto/tls over them. Deadlines are not supported (the
-// underlying ocall interface has none); crypto/tls only uses them when the
-// caller sets them, which we never do.
+// can layer crypto/tls over them. Read deadlines ARE supported: the
+// remaining budget rides the recv ocall (bytes 16:24) so the untrusted
+// handler arms a real socket deadline, and expiry is also checked on the
+// trusted side so a hostile host cannot stretch a fetch past
+// Config.FetchTimeout by ignoring the hint. Write deadlines are not
+// (send is fire-and-forget into the host's socket buffer).
 type ocallConn struct {
 	env enclave.Env
 	fd  int64
 
-	mu      sync.Mutex
-	pending []byte
-	sawEOF  bool
+	mu       sync.Mutex
+	pending  []byte
+	sawEOF   bool
+	deadline time.Time
 }
 
 func newOCallConn(env enclave.Env, fd int64) *ocallConn {
@@ -852,7 +892,15 @@ func (c *ocallConn) Read(p []byte) (int, error) {
 		if c.sawEOF {
 			return 0, io.EOF
 		}
-		data, eof, err := ocallRecv(c.env, c.fd, 16*1024)
+		var timeoutMS int64
+		if !c.deadline.IsZero() {
+			remain := time.Until(c.deadline)
+			if remain <= 0 {
+				return 0, os.ErrDeadlineExceeded
+			}
+			timeoutMS = int64(remain/time.Millisecond) + 1
+		}
+		data, eof, err := ocallRecv(c.env, c.fd, 16*1024, timeoutMS)
 		if err != nil {
 			return 0, err
 		}
@@ -886,11 +934,19 @@ func (c *ocallConn) Close() error {
 	return nil
 }
 
-// Address and deadline stubs: the ocall interface exposes neither.
-func (c *ocallConn) LocalAddr() net.Addr              { return ocallAddr{} }
-func (c *ocallConn) RemoteAddr() net.Addr             { return ocallAddr{} }
-func (c *ocallConn) SetDeadline(time.Time) error      { return nil }
-func (c *ocallConn) SetReadDeadline(time.Time) error  { return nil }
+// Address stubs: the ocall interface exposes no peer addresses.
+func (c *ocallConn) LocalAddr() net.Addr  { return ocallAddr{} }
+func (c *ocallConn) RemoteAddr() net.Addr { return ocallAddr{} }
+
+func (c *ocallConn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+func (c *ocallConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return nil
+}
+
 func (c *ocallConn) SetWriteDeadline(time.Time) error { return nil }
 
 type ocallAddr struct{}

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"crypto/tls"
 	"crypto/x509"
 	"fmt"
 	"sync"
@@ -36,6 +37,23 @@ type upstream struct {
 	weight  int
 	pool    *enginePool  // nil when pooling is disabled
 	limiter *tokenBucket // nil when rate limiting is disabled
+
+	// TLS client state, set iff cas != nil. tlsConf pins cas, fixes the
+	// ServerName, and carries one trusted ClientSessionCache shared by the
+	// blocking path and every async flight, so sessions resume across
+	// redials wherever the exchange ran. tlsIdle is the async pipeline's
+	// keep-alive pool: established in-enclave TLS conns over live host
+	// sockets, checked out by token-holding flights (the blocking path has
+	// its own enginePool). Guarded by tlsMu, NOT u.mu — pool churn must
+	// not contend with breaker accounting.
+	tlsConf    *tls.Config
+	tlsMu      sync.Mutex
+	tlsIdle    []*tlsPooledConn
+	tlsMaxIdle int
+	tlsTTL     time.Duration
+	tlsReuses  atomic.Uint64
+	tlsDials   atomic.Uint64
+	tlsEvicted atomic.Uint64
 
 	// served counts requests this upstream answered (any HTTP status);
 	// rateLimited counts attempts the token bucket turned away.
@@ -256,9 +274,19 @@ func (u *upstream) stats(now time.Time, threshold int) UpstreamStats {
 	if u.pool != nil {
 		s.PoolIdle = u.pool.size()
 		s.PoolReuses, s.PoolDials, s.PoolEvicted = u.pool.stats()
-		if total := s.PoolReuses + s.PoolDials; total > 0 {
-			s.PoolReuseRatio = float64(s.PoolReuses) / float64(total)
-		}
+	}
+	if u.tlsConf != nil {
+		// Fold the async TLS pool into the same gauges: operators care
+		// about reuse per upstream, not which transport held the socket.
+		u.tlsMu.Lock()
+		s.PoolIdle += len(u.tlsIdle)
+		u.tlsMu.Unlock()
+		s.PoolReuses += u.tlsReuses.Load()
+		s.PoolDials += u.tlsDials.Load()
+		s.PoolEvicted += u.tlsEvicted.Load()
+	}
+	if total := s.PoolReuses + s.PoolDials; total > 0 {
+		s.PoolReuseRatio = float64(s.PoolReuses) / float64(total)
 	}
 	return s
 }
@@ -330,6 +358,19 @@ func buildRegistry(engines []EngineSpec, cfg *Config) (*upstreamRegistry, error)
 				return nil, fmt.Errorf("proxy: engine %s RootsPEM contains no certificates", e.Host)
 			}
 			u.cas = pool
+			host, _, err := splitHostPort(e.Host)
+			if err != nil {
+				return nil, err
+			}
+			u.tlsConf = &tls.Config{
+				RootCAs:    pool,
+				ServerName: host,
+				// Session tickets live in trusted memory only; resuming
+				// skips a full handshake's worth of ring round trips.
+				ClientSessionCache: tls.NewLRUClientSessionCache(0),
+			}
+			u.tlsMaxIdle = e.MaxConns
+			u.tlsTTL = cfg.PoolIdleTimeout
 		}
 		if e.MaxConns > 0 {
 			u.pool = newEnginePool(e.MaxConns, cfg.PoolIdleTimeout)

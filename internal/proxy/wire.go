@@ -1,11 +1,3 @@
-// Package proxy implements the X-Search node (§4): an enclave-hosted
-// request handler that decrypts client queries, obfuscates them with k real
-// past queries (core.Obfuscator), queries the search engine through the
-// paper's ocall interface (sock_connect/send/recv/close), filters the
-// merged results back down to the original query's results, and returns
-// them over the attested secure channel. An additional plain HTTP front
-// accepts unencrypted queries from third-party clients (curl/wget), as the
-// paper notes.
 package proxy
 
 import (
@@ -115,6 +107,50 @@ type resumeReply struct {
 	// should abort.
 	Waiters      []uint64 `json:"waiters,omitempty"`
 	CancelTokens []uint64 `json:"cancel_tokens,omitempty"`
+	// DoneToken, when nonzero, names a TLS flight token whose trusted
+	// state machine just reached a terminal outcome (done, orphan, or
+	// cancelled): the untrusted fetcher drops its per-token TLS state
+	// (tombstone, conn binding) on seeing it. Plain fetches never set it.
+	DoneToken uint64 `json:"done_token,omitempty"`
+}
+
+// tlsStepArg is the argument of the async "tls_step" ocall: one
+// ciphertext I/O round for an in-enclave TLS flight. The handler only
+// ever moves opaque bytes — dial the engine, write the enclave's
+// ciphertext, read at most tlsStepReadMax ciphertext bytes back, close
+// retired conns — so the host's view of an HTTPS fetch stays exactly
+// what it is on the blocking path: ciphertext and timing. A step with
+// Token 0 is a pure close batch and produces no completion payload.
+type tlsStepArg struct {
+	Token  uint64 `json:"token"`
+	ConnID uint64 `json:"conn_id,omitempty"`
+	// Dial opens a fresh TCP conn to Host and registers it under ConnID
+	// before any Send/Read of this same step (TLS 1.3 lets the first
+	// step carry dial + ClientHello + read in one ring round trip).
+	Dial bool   `json:"dial,omitempty"`
+	Host string `json:"host,omitempty"`
+	Send []byte `json:"send,omitempty"`
+	Read bool   `json:"read,omitempty"`
+	// Close lists retired conn handles to close (pool TTL evictions,
+	// stale-retry victims) — piggybacked so eviction costs no extra ring
+	// traffic.
+	Close []uint64 `json:"close,omitempty"`
+	// TimeoutMS, when positive, arms a read deadline of that many
+	// milliseconds on the step (the remaining slice of the flight's
+	// absolute FetchTimeout); zero clears any previous deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// tlsStepReply is one tls_step completion. Everything in it is untrusted
+// input: the enclave caps Data and treats Err as an opaque transport
+// failure. On Err or EOF the handler has already closed and deregistered
+// the conn.
+type tlsStepReply struct {
+	Token     uint64 `json:"token"`
+	Data      []byte `json:"data,omitempty"`
+	EOF       bool   `json:"eof,omitempty"`
+	Err       string `json:"err,omitempty"`
+	Cancelled bool   `json:"cancelled,omitempty"`
 }
 
 // hedgeArg asks the enclave to issue a hedge fetch for a parked request.

@@ -67,6 +67,22 @@ if [ -n "$out" ]; then
     note "stage recorded under a non-constant name"
 fi
 
+# 5. Every Stage* constant is a member of StageNames — a stage defined
+#    but left out of the closed list would record into a histogram the
+#    Prometheus encoder and the fleet merge never export, silently
+#    dropping its telemetry (the "handshake" stage is the cautionary
+#    tale: it landed with the TLS transport, after the list was written).
+consts=$(sed -n 's/^\t\(Stage[A-Za-z]*\) = .*/\1/p' internal/obs/obs.go)
+names=$(sed -n '/^var StageNames/,/^}/p' internal/obs/obs.go)
+for c in $consts; do
+    case "$names" in
+    *"$c"*) ;;
+    *)
+        note "internal/obs/obs.go defines $c but StageNames omits it"
+        ;;
+    esac
+done
+
 if [ "$status" -ne 0 ]; then
     echo "telemetry-lint: FAILED" >&2
     exit 1
