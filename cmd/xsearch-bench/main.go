@@ -24,7 +24,7 @@ func main() {
 
 func run() error {
 	var (
-		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline,autoscale,batch,answer,obs,tls", "comma-separated figures to run")
+		figs     = flag.String("figs", "1,3,4,5,6,7,ablations,anon,scaling,fanout,fleet,pipeline,autoscale,batch,answer,obs,tls,mux", "comma-separated figures to run")
 		quick    = flag.Bool("quick", false, "scaled-down sizes (CI-friendly)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		useHTTP  = flag.Bool("http", false, "Figure 5 over real loopback HTTP (bare-metal runs)")
@@ -102,7 +102,7 @@ func run() error {
 		if raw, err := os.ReadFile(*baseline); err == nil {
 			_ = json.Unmarshal(raw, base)
 		}
-		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline,autoscale,batch,answer,obs,tls -baseline"
+		base.GeneratedBy = "cmd/xsearch-bench -figs scaling,fanout,fleet,pipeline,autoscale,batch,answer,obs,tls,mux -baseline"
 	}
 	if want["scaling"] {
 		if err := runScaling(*quick, *seed, base); err != nil {
@@ -146,6 +146,11 @@ func run() error {
 	}
 	if want["tls"] {
 		if err := runTLSFig(*quick, *seed, base); err != nil {
+			return err
+		}
+	}
+	if want["mux"] {
+		if err := runMuxFig(*quick, *seed, base); err != nil {
 			return err
 		}
 	}
@@ -423,6 +428,20 @@ type scalingBaseline struct {
 	TLSHedgeP99Cut       float64 `json:"tls_hedge_p99_cut"`
 	TLSHedgeWins         uint64  `json:"tls_hedge_wins"`
 	TLSInvariantOK       bool    `json:"tls_epc_invariant_ok"`
+	// Mux client-edge ablation: marginal bytes per attested session on a
+	// dedicated conn vs the shared mux conn, mux secure-query p95 against
+	// plain HTTP's, and the kill-mid-session resume accounting (lost and
+	// re-attestations must be zero).
+	MuxDedicatedBytesPerSession int64   `json:"mux_dedicated_bytes_per_session"`
+	MuxSharedBytesPerSession    int64   `json:"mux_shared_bytes_per_session"`
+	MuxSessionsAtEqualMem       float64 `json:"mux_sessions_at_equal_memory"`
+	MuxHTTPP95Ns                int64   `json:"mux_http_p95_ns"`
+	MuxP95Ns                    int64   `json:"mux_p95_ns"`
+	MuxP95Ratio                 float64 `json:"mux_p95_ratio"`
+	MuxKillLost                 int     `json:"mux_kill_lost"`
+	MuxReconnects               uint64  `json:"mux_reconnects"`
+	MuxResumes                  uint64  `json:"mux_resumes"`
+	MuxReattestations           uint64  `json:"mux_reattestations"`
 }
 
 // batchCurvePoint is one committed point of the batch-size/latency curve.
@@ -667,6 +686,56 @@ func runTLSFig(quick bool, seed uint64, base *scalingBaseline) error {
 		base.TLSHedgeP99Cut = res.P99Cut
 		base.TLSHedgeWins = res.HedgeWins
 		base.TLSInvariantOK = res.InvariantOK
+	}
+	return nil
+}
+
+func runMuxFig(quick bool, seed uint64, base *scalingBaseline) error {
+	cfg := experiments.DefaultMuxConfig()
+	cfg.Seed = seed
+	if quick {
+		cfg.Sessions = 48
+		cfg.Brokers, cfg.Queries, cfg.KillQueries = 4, 120, 60
+	}
+	res, err := experiments.RunMux(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Mux ablation A: gateway memory per attested session, dedicated conn vs\n")
+	fmt.Printf("# shared mux conn (%d sessions per variant)\n", cfg.Sessions)
+	fmt.Printf("%-16s  %-14s  %-10s\n", "edge", "bytes/session", "conns held")
+	fmt.Printf("%-16s  %-14d  %-10d\n", "conn-per-session", res.DedicatedBytesPerSession, cfg.Sessions)
+	fmt.Printf("%-16s  %-14d  %-10d\n", "mux (shared)", res.SharedBytesPerSession, res.ConnsHeld)
+	fmt.Printf("# at equal memory the mux edge holds %.0fx the sessions\n\n", res.SessionsAtEqualMem)
+
+	fmt.Printf("# Mux ablation B: secure-query latency, plain HTTP vs mux streams\n")
+	fmt.Printf("# (%d attested brokers x %d queries, %v engine service)\n",
+		cfg.Brokers, cfg.Queries, cfg.EngineService)
+	fmt.Printf("%-10s  %-10s  %-12s  %-12s\n", "transport", "req/s", "p50", "p95")
+	fmt.Printf("%-10s  %-10.0f  %-12v  %-12v\n", "http",
+		res.HTTPRPS, res.HTTPP50.Round(time.Microsecond), res.HTTPP95.Round(time.Microsecond))
+	fmt.Printf("%-10s  %-10.0f  %-12v  %-12v\n", "mux",
+		res.MuxRPS, res.MuxP50.Round(time.Microsecond), res.MuxP95.Round(time.Microsecond))
+	fmt.Printf("# mux p95 is %.2fx HTTP's (claim: within 1.20x)\n\n", res.P95Ratio)
+
+	fmt.Printf("# Mux ablation C: transport conn killed under every live session at\n")
+	fmt.Printf("# query %d of %d\n", cfg.KillQueries/3, cfg.KillQueries)
+	fmt.Printf("%-12s  %-8s  %-12s  %-10s  %-14s\n", "queries", "lost", "reconnects", "resumes", "re-attestations")
+	fmt.Printf("%-12d  %-8d  %-12d  %-10d  %-14d\n",
+		res.KillQueries, res.Lost, res.Reconnects, res.Resumes, res.Reattestations)
+	fmt.Printf("# every query completed on a re-dialed conn; the attested channels never\n")
+	fmt.Printf("# re-keyed (their secrets live in the broker and the enclave, not the carrier)\n\n")
+	if base != nil {
+		base.MuxDedicatedBytesPerSession = res.DedicatedBytesPerSession
+		base.MuxSharedBytesPerSession = res.SharedBytesPerSession
+		base.MuxSessionsAtEqualMem = res.SessionsAtEqualMem
+		base.MuxHTTPP95Ns = res.HTTPP95.Nanoseconds()
+		base.MuxP95Ns = res.MuxP95.Nanoseconds()
+		base.MuxP95Ratio = res.P95Ratio
+		base.MuxKillLost = res.Lost
+		base.MuxReconnects = res.Reconnects
+		base.MuxResumes = res.Resumes
+		base.MuxReattestations = res.Reattestations
 	}
 	return nil
 }

@@ -12,7 +12,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -21,6 +20,7 @@ import (
 	"time"
 
 	"xsearch"
+	"xsearch/internal/serve"
 )
 
 func main() {
@@ -37,6 +37,8 @@ func run() error {
 		measurement = flag.String("measurement", "", "trusted enclave measurement (hex, from xsearch-proxy)")
 		attKey      = flag.String("attkey", "", "attestation service key (hex, from xsearch-proxy)")
 		count       = flag.Int("count", 20, "results per query")
+		transport   = flag.String("transport", "http", "proxy transport: http (one request per call), mux (one multiplexed TCP conn to -mux-addr), or ws (the same frames over the gateway's /mux WebSocket)")
+		muxAddr     = flag.String("mux-addr", "", "gateway raw-TCP mux address (host:port; required with -transport mux)")
 	)
 	flag.Parse()
 	if *measurement == "" || *attKey == "" {
@@ -53,21 +55,41 @@ func run() error {
 		return fmt.Errorf("bad -attkey: want %d hex bytes", ed25519.PublicKeySize)
 	}
 
-	client, err := xsearch.NewClient(*proxyURL,
+	opts := []xsearch.ClientOption{
 		xsearch.WithTrustedMeasurement(m),
 		xsearch.WithAttestationKey(ed25519.PublicKey(keyRaw)),
 		xsearch.WithResultCount(*count),
-	)
+	}
+	switch *transport {
+	case "http":
+		if *muxAddr != "" {
+			return fmt.Errorf("-mux-addr has no effect with -transport http")
+		}
+	case "mux":
+		if *muxAddr == "" {
+			return fmt.Errorf("-transport mux requires -mux-addr (the gateway's -mux-listen address)")
+		}
+		opts = append(opts, xsearch.WithMuxTransport(*muxAddr))
+	case "ws":
+		if *muxAddr != "" {
+			return fmt.Errorf("-mux-addr has no effect with -transport ws (the WebSocket rides -proxy's /mux)")
+		}
+		opts = append(opts, xsearch.WithWebSocketTransport())
+	default:
+		return fmt.Errorf("unknown -transport %q (want http, mux, or ws)", *transport)
+	}
+	client, err := xsearch.NewClient(*proxyURL, opts...)
 	if err != nil {
 		return err
 	}
+	defer func() { _ = client.Close() }()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	err = client.Connect(ctx)
 	cancel()
 	if err != nil {
 		return fmt.Errorf("attestation/handshake failed: %w", err)
 	}
-	fmt.Println("proxy enclave attested, channel established")
+	fmt.Printf("proxy enclave attested, channel established (%s transport)\n", *transport)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
@@ -84,20 +106,25 @@ func run() error {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(results)
 	})
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
+	front := serve.Wrap(&http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second})
+	if err := front.Start(*listen); err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
-	fmt.Printf("broker listening on %s\n", ln.Addr())
-	fmt.Printf("try: curl 'http://%s/search?q=chicken+recipe'\n", ln.Addr())
+	fmt.Printf("broker listening on %s\n", front.Addr())
+	fmt.Printf("try: curl 'http://%s/search?q=chicken+recipe'\n", front.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	select {
+	case <-sig:
+	case err := <-front.Err():
+		// The accept loop died out from under the daemon — previously
+		// this was silently discarded and the broker served nothing while
+		// appearing healthy.
+		fmt.Printf("fatal: local front failed: %v\n", err)
+	}
 	fmt.Println("shutting down")
 	sctx, scancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer scancel()
-	return srv.Shutdown(sctx)
+	return front.Shutdown(sctx)
 }

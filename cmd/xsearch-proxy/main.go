@@ -85,6 +85,7 @@ func run() error {
 		batchMax    = flag.Int("batch-max", 0, "coalesce up to this many admitted requests into one vectorized ecall (0=off, min 2; needs -async)")
 		batchWindow = flag.Duration("batch-window", 0, "how long a partially filled batch waits for more requests (0=default 200µs; needs -batch-max)")
 		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: drain in-flight requests this long before destroying enclaves")
+		muxListen   = flag.String("mux-listen", "", "multiplexed client edge: raw-TCP framed-transport listen address (WebSocket clients use the HTTP front's /mux; needs -shards or -shards-max)")
 		obsOn       = flag.Bool("obs", false, "observability: per-stage latency histograms, Prometheus /metrics, /events ring, pprof (content-free telemetry)")
 		eventsCap   = flag.Int("events", 0, "structured event ring capacity (0=default 1024; implies event logging)")
 		logJSON     = flag.Bool("log-json", false, "mirror every structured event to stderr as one JSON object per line")
@@ -173,6 +174,9 @@ func run() error {
 	if (*shardsMin != 0 || *scaleEvery != 0) && *shardsMax == 0 {
 		return fmt.Errorf("-shards-min/-scale-interval have no effect without -shards-max")
 	}
+	if *muxListen != "" && *shards <= 1 && *shardsMax == 0 {
+		return fmt.Errorf("-mux-listen has no effect without -shards or -shards-max (the mux edge fronts the fleet gateway)")
+	}
 	if *shardsMax > 0 {
 		min := *shardsMin
 		if min < 1 {
@@ -187,10 +191,11 @@ func run() error {
 			max:       *shardsMax,
 			interval:  *scaleEvery,
 			autoscale: true,
+			muxAddr:   *muxListen,
 		}, *addr, *k, *history, *drainWait, opts)
 	}
 	if *shards > 1 {
-		return runFleet(fleetSpec{shards: *shards}, *addr, *k, *history, *drainWait, opts)
+		return runFleet(fleetSpec{shards: *shards, muxAddr: *muxListen}, *addr, *k, *history, *drainWait, opts)
 	}
 	proxy, err := xsearch.NewProxy(opts...)
 	if err != nil {
@@ -211,7 +216,13 @@ func run() error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	select {
+	case <-sig:
+	case err := <-proxy.ServeErr():
+		// The HTTP front's accept loop died — previously this was silently
+		// discarded and the daemon served nothing while appearing healthy.
+		fmt.Printf("fatal: proxy front failed: %v\n", err)
+	}
 	// Graceful teardown: stop accepting, drain in-flight (pipelined)
 	// requests under a deadline, persist sealed state, then destroy the
 	// enclave — an abrupt exit would drop secured sessions mid-response.
@@ -258,6 +269,7 @@ type fleetSpec struct {
 	min, max  int
 	interval  time.Duration
 	autoscale bool
+	muxAddr   string
 }
 
 // runFleet serves a sharded fleet behind the session-routing gateway: the
@@ -279,6 +291,11 @@ func runFleet(spec fleetSpec, addr string, k, history int, drainWait time.Durati
 	if err := f.Start(addr); err != nil {
 		return err
 	}
+	if spec.muxAddr != "" {
+		if err := f.StartMux(spec.muxAddr); err != nil {
+			return err
+		}
+	}
 	m := f.Measurement()
 	if spec.autoscale {
 		fmt.Printf("x-search fleet gateway listening on %s (%d shards, autoscaling %d..%d, k=%d, history=%d per shard)\n",
@@ -290,10 +307,20 @@ func runFleet(spec fleetSpec, addr string, k, history int, drainWait time.Durati
 	fmt.Printf("enclave measurement : %s (all shards)\n", hex.EncodeToString(m[:]))
 	fmt.Printf("attestation key     : %s\n", hex.EncodeToString(f.AttestationKey()))
 	fmt.Printf("plain front         : curl '%s/search?q=chicken+recipe'\n", f.URL())
+	if spec.muxAddr != "" {
+		fmt.Printf("mux edge            : tcp %s (WebSocket at %s/mux)\n", f.MuxAddr(), f.URL())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	select {
+	case <-sig:
+	case err := <-f.ServeErr():
+		// The HTTP front's accept loop died out from under the fleet —
+		// previously this was silently discarded and the daemon served
+		// nothing while appearing healthy.
+		fmt.Printf("fatal: gateway front failed: %v\n", err)
+	}
 	// Graceful teardown across the fleet: every shard stops accepting,
 	// drains its pipeline under the shared deadline, then its enclave is
 	// destroyed.
@@ -306,6 +333,10 @@ func runFleet(spec fleetSpec, addr string, k, history int, drainWait time.Durati
 	st := f.Stats()
 	fmt.Printf("gateway: %d plain, %d secure, %d handshakes, %d failovers, %d sessions lost, %d drains\n",
 		st.PlainRouted, st.SecureRouted, st.Handshakes, st.Failovers, st.SessionsLost, st.Drains)
+	if st.MuxConnsTotal > 0 {
+		fmt.Printf("mux edge: %d conns total, %d streams, %d sessions resumed without re-attestation\n",
+			st.MuxConnsTotal, st.MuxStreams, st.MuxResumes)
+	}
 	if st.ScaleUps+st.ScaleDowns > 0 || spec.autoscale {
 		fmt.Printf("autoscale: %d shards now, %d scale-ups, %d scale-downs; last decision: %s\n",
 			st.CurrentShards, st.ScaleUps, st.ScaleDowns, st.LastScaleDecision)

@@ -105,6 +105,39 @@
 // holding every request across every spawn/drain/retire event while peak
 // throughput tracks a statically provisioned 4-shard fleet.
 //
+// # Client edge
+//
+// Between the broker and the gateway, the default transport is one HTTP
+// request per call — simple, but at millions of users the edge drowns
+// in connections before the enclaves are warm: every attested session
+// holds a dedicated conn, and each conn costs the gateway a goroutine
+// plus read/write buffers. WithMuxTransport replaces that edge with one
+// long-lived multiplexed connection per client host: every call —
+// attestation handshakes, sealed secure records, plain queries — is a
+// logical stream framed onto the shared conn (internal/mux), with
+// per-stream flow-control credits so one large response never stalls
+// the rest, keepalive heartbeats with dead-peer detection, and hostile-
+// input caps on every frame mirroring the enclave wire parser. Two
+// carriers feed the same gateway demux: a raw-TCP listener
+// (Fleet.StartMux, -mux-listen) for broker hosts, and a hand-rolled
+// RFC 6455 WebSocket upgrade at /mux on the existing HTTP front
+// (WithWebSocketTransport) so browser-extension clients connect
+// directly. Past the edge both speak exactly the HTTP handlers' JSON
+// bodies, so a mux client and an HTTP client are indistinguishable to
+// the enclaves.
+//
+// The transport conn is expendable by design: the secure channel's keys
+// live in the broker and the enclave, never in the carrier, so when an
+// edge LB drops the conn mid-session the broker re-dials, announces its
+// live sessions (a resume the gateway counts, not a handshake), re-seals
+// the in-flight query as a fresh record, and continues — zero lost
+// replies, zero re-attestations. Remote refusals stay distinct from
+// transport loss so session eviction still takes the full re-attestation
+// path. Fleet.Stats reports conns held, total accepted, streams served,
+// and sessions resumed; the mux ablation (-figs mux) measures an order
+// of magnitude more attested sessions at equal gateway memory with
+// secure-query p95 within a few percent of the per-request HTTP edge.
+//
 // # Pipeline layer
 //
 // The blocking hot path holds one enclave thread (TCS) for the full

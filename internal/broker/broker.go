@@ -14,16 +14,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"time"
 
 	"xsearch/internal/attestation"
 	"xsearch/internal/core"
+	"xsearch/internal/mux"
 	"xsearch/internal/proxy"
 	"xsearch/internal/securechannel"
+	"xsearch/internal/serve"
 )
 
 // Errors returned by the broker.
@@ -45,12 +49,27 @@ type Config struct {
 	HTTPClient *http.Client
 	// Count is the default result count per query (default 20).
 	Count int
+	// Transport selects the carrier for proxy RPCs: "http" (default, one
+	// HTTP request per call), "mux" (one long-lived multiplexed TCP conn
+	// to MuxAddr carrying every call as a logical stream), or "ws" (the
+	// same mux frames over a WebSocket upgrade at ProxyURL's /mux
+	// endpoint — the browser-extension path). On the mux transports a
+	// dropped conn is re-dialed and the attested channel resumed without
+	// re-attestation: the channel keys live here and in the enclave, so
+	// only the carrier needs replacing.
+	Transport string
+	// MuxAddr is the gateway's raw-TCP mux address (host:port); required
+	// when Transport is "mux".
+	MuxAddr string
+	// MuxConfig tunes the mux session (zero value takes every default).
+	MuxConfig mux.Config
 }
 
 // Broker is an attested client of one X-Search node.
 type Broker struct {
 	cfg    Config
 	client *http.Client
+	rd     *mux.Redialer // non-nil on the "mux" and "ws" transports
 
 	mu      sync.Mutex
 	channel *securechannel.Channel
@@ -75,7 +94,68 @@ func New(cfg Config) (*Broker, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Broker{cfg: cfg, client: client}, nil
+	b := &Broker{cfg: cfg, client: client}
+	var dial mux.DialFunc
+	switch cfg.Transport {
+	case "", "http":
+	case "mux":
+		if cfg.MuxAddr == "" {
+			return nil, fmt.Errorf("broker: Transport \"mux\" requires MuxAddr")
+		}
+		dial = func(ctx context.Context) (io.ReadWriteCloser, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", cfg.MuxAddr)
+		}
+	case "ws":
+		u, err := url.Parse(cfg.ProxyURL)
+		if err != nil || u.Host == "" {
+			return nil, fmt.Errorf("broker: Transport \"ws\" needs a valid ProxyURL, got %q", cfg.ProxyURL)
+		}
+		wsURL := "ws://" + u.Host + "/mux"
+		dial = func(context.Context) (io.ReadWriteCloser, error) {
+			return mux.DialWS(wsURL, 10*time.Second)
+		}
+	default:
+		return nil, fmt.Errorf("broker: unknown transport %q (want http, mux, or ws)", cfg.Transport)
+	}
+	if dial != nil {
+		// The redialer announces on reconnect how many live attested
+		// sessions ride the new conn — resumed without re-attestation.
+		b.rd = mux.NewRedialer(dial, cfg.MuxConfig, func() int {
+			if b.Connected() {
+				return 1
+			}
+			return 0
+		})
+	}
+	return b, nil
+}
+
+// Close releases the transport conn on the mux transports (no-op on
+// HTTP).
+func (b *Broker) Close() error {
+	if b.rd != nil {
+		return b.rd.Close()
+	}
+	return nil
+}
+
+// Reconnects counts transparent transport re-dials (mux transports
+// only): conns replaced under live sessions without re-attestation.
+func (b *Broker) Reconnects() uint64 {
+	if b.rd == nil {
+		return 0
+	}
+	return b.rd.Reconnects()
+}
+
+// KillConn force-drops the current transport conn (mux transports
+// only) — the chaos/ablation hook simulating an edge LB closing the
+// conn mid-session. The next call re-dials and resumes.
+func (b *Broker) KillConn() {
+	if b.rd != nil {
+		b.rd.KillConn()
+	}
 }
 
 // Connect performs the attested handshake: it verifies the proxy enclave's
@@ -103,7 +183,14 @@ func (b *Broker) Connect(ctx context.Context) error {
 		return err
 	}
 	var resp proxy.HandshakeResponse
-	if err := b.post(ctx, "/handshake", reqBody, &resp); err != nil {
+	err = b.rpc(ctx, "/handshake", reqBody, &resp)
+	if errors.Is(err, mux.ErrConnLost) {
+		// The conn died under the handshake. Re-posting the same offer is
+		// safe — at worst the server minted a session the broker never
+		// uses, which ages out of its FIFO table.
+		err = b.rpc(ctx, "/handshake", reqBody, &resp)
+	}
+	if err != nil {
 		return err
 	}
 
@@ -148,6 +235,14 @@ func (b *Broker) Connected() bool {
 // Byzantine, so session loss is an expected event, not an error.
 func (b *Broker) Search(ctx context.Context, query string) ([]core.Result, error) {
 	results, err := b.searchOnce(ctx, query)
+	if errors.Is(err, mux.ErrConnLost) {
+		// The transport conn died mid-call, but the attested channel
+		// survived — its keys live here and in the enclave, not in the
+		// carrier. Re-seal the query (a fresh record with a fresh sequence
+		// number, so it is safe whether or not the lost call was
+		// processed) and retry over the re-dialed conn. No re-attestation.
+		results, err = b.searchOnce(ctx, query)
+	}
 	if err == nil || !errors.Is(err, ErrProxyStatus) {
 		return results, err
 	}
@@ -178,7 +273,7 @@ func (b *Broker) searchOnce(ctx context.Context, query string) ([]core.Result, e
 		return nil, err
 	}
 	var resp proxy.SecureEnvelope
-	if err := b.post(ctx, "/secure", reqBody, &resp); err != nil {
+	if err := b.rpc(ctx, "/secure", reqBody, &resp); err != nil {
 		return nil, err
 	}
 	respPT, err := channel.Open(resp.Record)
@@ -196,6 +291,37 @@ func (b *Broker) searchOnce(ctx context.Context, query string) ([]core.Result, e
 		return nil, fmt.Errorf("broker: proxy error: %s", sresp.Err)
 	}
 	return sresp.Results, nil
+}
+
+// rpc issues one proxy call over the configured transport: an HTTP POST,
+// or a logical stream on the multiplexed conn. Error classes are kept
+// distinct because the recovery differs: a remote refusal maps onto
+// ErrProxyStatus (the re-attest path — the server answered, the session
+// is likely gone), while transport loss stays mux.ErrConnLost (the
+// re-seal-and-retry path — the server may never have answered, but the
+// channel is intact).
+func (b *Broker) rpc(ctx context.Context, path string, body []byte, out any) error {
+	if b.rd == nil {
+		return b.post(ctx, path, body, out)
+	}
+	var kind byte
+	switch path {
+	case "/handshake":
+		kind = mux.KindHandshake
+	case "/secure":
+		kind = mux.KindSecure
+	default:
+		return fmt.Errorf("broker: no mux stream kind for %s", path)
+	}
+	resp, err := b.rd.Call(ctx, kind, body)
+	if err != nil {
+		var remote *mux.RemoteError
+		if errors.As(err, &remote) {
+			return fmt.Errorf("%w: %s: %s", ErrProxyStatus, path, remote.Msg)
+		}
+		return fmt.Errorf("broker: %s: %w", path, err)
+	}
+	return json.Unmarshal(resp, out)
 }
 
 // post sends a JSON POST and decodes the JSON response.
@@ -217,13 +343,17 @@ func (b *Broker) post(ctx context.Context, path string, body []byte, out any) er
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// maxBodyBytes caps request bodies on the local endpoint. The query
+// rides the URL, so any body at all is noise — but an unbounded reader
+// still lets a misbehaving local client balloon the daemon's memory.
+const maxBodyBytes = 64 << 10
+
 // Server exposes the broker to the local web client over loopback HTTP:
 // GET /search?q=... returns the filtered results as JSON. This is the
 // "local daemon process executing alongside the client's Web browser".
 type Server struct {
 	broker *Broker
-	http   *http.Server
-	ln     net.Listener
+	front  *serve.Server
 }
 
 // NewServer wraps a (connected) broker.
@@ -231,33 +361,35 @@ func NewServer(b *Broker) *Server {
 	s := &Server{broker: b}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
-	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	s.front = serve.Wrap(&http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second})
 	return s
 }
 
-// Start listens on addr.
+// Start listens on addr. A second Start returns serve.ErrAlreadyStarted;
+// fatal accept-loop errors surface on ServeErr instead of being
+// silently discarded.
 func (s *Server) Start(addr string) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
+	if err := s.front.Start(addr); err != nil {
+		if errors.Is(err, serve.ErrAlreadyStarted) {
+			return fmt.Errorf("broker: server %w", serve.ErrAlreadyStarted)
+		}
 		return fmt.Errorf("broker: listen %s: %w", addr, err)
 	}
-	s.ln = ln
-	go func() { _ = s.http.Serve(ln) }()
 	return nil
 }
 
+// ServeErr delivers at most one fatal serve error (the accept loop died
+// after a successful Start).
+func (s *Server) ServeErr() <-chan error { return s.front.Err() }
+
 // Addr returns the bound address after Start.
-func (s *Server) Addr() string {
-	if s.ln == nil {
-		return ""
-	}
-	return s.ln.Addr().String()
-}
+func (s *Server) Addr() string { return s.front.Addr() }
 
 // Shutdown stops the local endpoint.
-func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+func (s *Server) Shutdown(ctx context.Context) error { return s.front.Shutdown(ctx) }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	q := r.URL.Query().Get("q")
 	if strings.TrimSpace(q) == "" {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)

@@ -42,6 +42,7 @@ import (
 
 	"xsearch/internal/attestation"
 	"xsearch/internal/enclave"
+	"xsearch/internal/mux"
 	"xsearch/internal/obs"
 	"xsearch/internal/proxy"
 )
@@ -115,6 +116,10 @@ type Config struct {
 	// EventStream, when non-nil, mirrors every fleet event to it as one
 	// JSON object per line (the -log-json stderr stream).
 	EventStream io.Writer
+	// MuxConfig parameterizes the multiplexed client edge's sessions
+	// (flow-control window, keepalive cadence, stream caps — see
+	// mux.Config). The zero value takes every mux default.
+	MuxConfig mux.Config
 }
 
 // shard is one proxy-enclave node plus the gateway's view of it.
@@ -147,6 +152,7 @@ type Gateway struct {
 	meas    enclave.Measurement
 
 	httpFront
+	muxFront
 
 	// shardMu guards the mutable shard ring and the monotonically
 	// increasing shard index space (indices are stable identities and are
@@ -578,9 +584,10 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	g.scaleMu.Unlock()
 	g.stopOnce.Do(func() { close(g.stopHealth) })
 	<-g.healthDone
+	g.muxStop()
 	var err error
-	if g.http != nil {
-		err = g.http.Shutdown(ctx)
+	if g.front != nil {
+		err = g.front.Shutdown(ctx)
 	}
 	for _, sh := range g.list() {
 		// Only orderly-shutdown shards that are actually still serving: a

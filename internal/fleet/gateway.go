@@ -4,9 +4,9 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
-	"net"
 	"net/http"
 	"sort"
 	"strconv"
@@ -16,6 +16,7 @@ import (
 	"xsearch/internal/core"
 	"xsearch/internal/obs"
 	"xsearch/internal/proxy"
+	"xsearch/internal/serve"
 )
 
 // --- rendezvous (HRW) routing ---
@@ -245,13 +246,21 @@ func (g *Gateway) Secure(ctx context.Context, session string, record []byte) ([]
 
 // --- HTTP front ---
 
+// maxBodyBytes caps request bodies on the client-facing handlers. The
+// gateway runs in the untrusted host, but an unbounded body still lets a
+// hostile client balloon host memory (json.Decode buffers what it reads)
+// and starve the fronting process; every legitimate body — a channel
+// offer, a sealed query record — is a few KB.
+const maxBodyBytes = 1 << 20
+
 // httpFront is the gateway's HTTP server state. The endpoint surface is
 // exactly the proxy's (/search, /handshake, /secure, /stats, /healthz), so
 // brokers and curl users point at a fleet the same way they point at a
-// single node.
+// single node. The mux edge (see muxfront.go) rides the same mux at /mux
+// for WebSocket clients plus an optional raw-TCP listener.
 type httpFront struct {
-	http *http.Server
-	ln   net.Listener
+	http  *http.Server
+	front *serve.Server
 }
 
 func (g *Gateway) initHTTP() {
@@ -259,36 +268,41 @@ func (g *Gateway) initHTTP() {
 	mux.HandleFunc("/search", g.handlePlainSearch)
 	mux.HandleFunc("/handshake", g.handleHandshake)
 	mux.HandleFunc("/secure", g.handleSecure)
+	mux.HandleFunc("/mux", g.handleMuxUpgrade)
 	mux.HandleFunc("/stats", g.handleStats)
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	mux.HandleFunc("/events", g.handleEvents)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	g.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	g.front = serve.Wrap(g.http)
 }
 
-// Start serves the gateway front on addr ("127.0.0.1:0" picks a port).
+// Start serves the gateway front on addr ("127.0.0.1:0" picks a port). A
+// second Start returns serve.ErrAlreadyStarted; fatal accept-loop errors
+// surface on ServeErr.
 func (g *Gateway) Start(addr string) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("fleet: listen %s: %w", addr, err)
+	if err := g.front.Start(addr); err != nil {
+		if errors.Is(err, serve.ErrAlreadyStarted) {
+			return fmt.Errorf("fleet: gateway %w", serve.ErrAlreadyStarted)
+		}
+		return fmt.Errorf("fleet: %w", err)
 	}
-	g.ln = ln
-	go func() { _ = g.http.Serve(ln) }()
 	return nil
 }
 
+// ServeErr delivers at most one fatal HTTP-front serve error (the accept
+// loop died after a successful Start). A gateway whose front is dead
+// cannot recover; operators should treat it like a crash.
+func (g *Gateway) ServeErr() <-chan error { return g.front.Err() }
+
 // Addr returns the bound address after Start.
-func (g *Gateway) Addr() string {
-	if g.ln == nil {
-		return ""
-	}
-	return g.ln.Addr().String()
-}
+func (g *Gateway) Addr() string { return g.front.Addr() }
 
 // URL returns the gateway base URL.
 func (g *Gateway) URL() string { return "http://" + g.Addr() }
 
 func (g *Gateway) handlePlainSearch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	q := r.URL.Query().Get("q")
 	if strings.TrimSpace(q) == "" {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
@@ -311,6 +325,7 @@ func (g *Gateway) handleHandshake(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var body struct {
 		Offer json.RawMessage `json:"offer"`
 		Nonce []byte          `json:"nonce"`
@@ -333,6 +348,7 @@ func (g *Gateway) handleSecure(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var body proxy.SecureEnvelope
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		http.Error(w, "bad secure body", http.StatusBadRequest)

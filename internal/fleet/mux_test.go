@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"xsearch/internal/attestation"
+	"xsearch/internal/broker"
+	"xsearch/internal/enclave"
+	"xsearch/internal/mux"
+)
+
+// muxBroker builds a broker on the given mux transport against g.
+func muxBroker(t *testing.T, g *Gateway, transport string) *broker.Broker {
+	t.Helper()
+	b, err := broker.New(broker.Config{
+		ProxyURL:   g.URL(),
+		ServiceKey: g.AttestationService().PublicKey(),
+		Policy: attestation.Policy{
+			AcceptedMeasurements: []enclave.Measurement{g.Measurement()},
+		},
+		Transport: transport,
+		MuxAddr:   g.MuxAddr(),
+	})
+	if err != nil {
+		t.Fatalf("broker.New(%s): %v", transport, err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	return b
+}
+
+// TestMuxReconnectResumesSecureSession is the tentpole's core promise,
+// exercised over both carriers: kill the transport conn mid-secure-
+// session, and the broker must resume on a re-dialed conn with the SAME
+// attested session — zero lost replies, zero re-attestations — with the
+// enclave-side query history spanning the reconnect.
+func TestMuxReconnectResumesSecureSession(t *testing.T) {
+	for _, transport := range []string{"mux", "ws"} {
+		t.Run(transport, func(t *testing.T) {
+			g := echoFleet(t, 2, time.Hour)
+			if err := g.Start("127.0.0.1:0"); err != nil {
+				t.Fatalf("Start: %v", err)
+			}
+			if transport == "mux" {
+				if err := g.StartMux("127.0.0.1:0"); err != nil {
+					t.Fatalf("StartMux: %v", err)
+				}
+			}
+			b := muxBroker(t, g, transport)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := b.Connect(ctx); err != nil {
+				t.Fatalf("Connect: %v", err)
+			}
+			historyBefore := 0
+			for i := 0; i < 5; i++ {
+				if _, err := b.Search(ctx, fmt.Sprintf("pre-kill query %d", i)); err != nil {
+					t.Fatalf("pre-kill search %d: %v", i, err)
+				}
+			}
+			st := g.Stats()
+			if st.Handshakes != 1 {
+				t.Fatalf("handshakes before kill = %d, want 1", st.Handshakes)
+			}
+			if st.MuxConns == 0 {
+				t.Fatalf("no mux conns held, stats: %+v", st)
+			}
+			historyBefore = st.HistoryLen
+
+			b.KillConn()
+
+			// Every post-kill query must succeed over the re-dialed conn.
+			for i := 0; i < 5; i++ {
+				if _, err := b.Search(ctx, fmt.Sprintf("post-kill query %d", i)); err != nil {
+					t.Fatalf("post-kill search %d: %v", i, err)
+				}
+			}
+			if got := b.Reconnects(); got != 1 {
+				t.Fatalf("Reconnects = %d, want 1", got)
+			}
+			st = g.Stats()
+			// The resumed session never re-attested: still exactly one
+			// handshake, and the gateway saw the resume announcement.
+			if st.Handshakes != 1 {
+				t.Fatalf("handshakes after reconnect = %d, want 1 (no re-attestation)", st.Handshakes)
+			}
+			if st.MuxResumes != 1 {
+				t.Fatalf("MuxResumes = %d, want 1", st.MuxResumes)
+			}
+			// History preserved and grown across the reconnect: the
+			// enclave state never depended on the carrier.
+			if st.HistoryLen <= historyBefore {
+				t.Fatalf("history %d -> %d across reconnect; want growth", historyBefore, st.HistoryLen)
+			}
+			if st.MuxStreams < 10 {
+				t.Fatalf("MuxStreams = %d, want >= 10", st.MuxStreams)
+			}
+		})
+	}
+}
+
+// TestMuxDoubleStartAndStats covers the mux listener's double-Start
+// error and the conn gauges' rise and fall.
+func TestMuxDoubleStartAndStats(t *testing.T) {
+	g := echoFleet(t, 1, time.Hour)
+	if err := g.StartMux("127.0.0.1:0"); err != nil {
+		t.Fatalf("StartMux: %v", err)
+	}
+	if err := g.StartMux("127.0.0.1:0"); err == nil {
+		t.Fatal("second StartMux succeeded, want error")
+	}
+	conn, err := net.Dial("tcp", g.MuxAddr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	s := mux.Client(conn, mux.Config{})
+	defer func() { _ = s.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := s.Call(ctx, mux.KindPlain, []byte("direct mux query"))
+	if err != nil {
+		t.Fatalf("plain call over mux: %v", err)
+	}
+	if len(resp) == 0 {
+		t.Fatal("empty plain response")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st := g.Stats(); st.MuxConns == 1 && st.MuxConnsTotal == 1 && st.MuxStreams == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mux gauges never converged: %+v", g.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = s.Close()
+	for {
+		if st := g.Stats(); st.MuxConns == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("MuxConns never returned to 0: %+v", g.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGatewayShutdownNotStalledBySpareConns is the chaos-soak
+// shutdown-deadline regression at the fleet level: connections the HTTP
+// transport dialed but never used (server-side StateNew) must not hold
+// Shutdown for net/http's 5-second grace, and live mux conns must not
+// hold it at all.
+func TestGatewayShutdownNotStalledBySpareConns(t *testing.T) {
+	g := echoFleet(t, 1, time.Hour)
+	if err := g.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := g.StartMux("127.0.0.1:0"); err != nil {
+		t.Fatalf("StartMux: %v", err)
+	}
+	// A spare HTTP conn (dialed, zero bytes) and an idle mux session.
+	spare, err := net.Dial("tcp", g.Addr())
+	if err != nil {
+		t.Fatalf("dial spare: %v", err)
+	}
+	defer func() { _ = spare.Close() }()
+	mc, err := net.Dial("tcp", g.MuxAddr())
+	if err != nil {
+		t.Fatalf("dial mux: %v", err)
+	}
+	s := mux.Client(mc, mux.Config{})
+	defer func() { _ = s.Close() }()
+	time.Sleep(50 * time.Millisecond) // let both conns register server-side
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := g.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Shutdown took %v; spare and mux conns should not stall it", d)
+	}
+}

@@ -99,6 +99,14 @@ type Stats struct {
 	// on): counts summed over live shards, percentile/mean/max fields from
 	// the worst shard — the same conservative-tail rule as LatencyP99Max.
 	Stages map[string]metrics.LatencySnapshot `json:"stages,omitempty"`
+	// Mux-edge gauges: transport connections currently held open (each
+	// carrying many logical streams), connections accepted over the
+	// fleet's lifetime, streams opened across all conns, and secure
+	// sessions resumed over reconnected conns without re-attestation.
+	MuxConns      int64  `json:"mux_conns,omitempty"`
+	MuxConnsTotal uint64 `json:"mux_conns_total,omitempty"`
+	MuxStreams    uint64 `json:"mux_streams,omitempty"`
+	MuxResumes    uint64 `json:"mux_resumes,omitempty"`
 	// EventsLogged is the shared event ring's occupancy.
 	EventsLogged int `json:"events_logged,omitempty"`
 	// Upstreams merges the per-shard upstream breakdowns by host (sorted),
@@ -121,6 +129,10 @@ func (g *Gateway) Stats() Stats {
 		MigratedBytes:   g.migratedB.Load(),
 		ScaleUps:        g.scaleUps.Load(),
 		ScaleDowns:      g.scaleDowns.Load(),
+		MuxConns:        g.muxActive.Load(),
+		MuxConnsTotal:   g.muxAccepted.Load(),
+		MuxStreams:      g.muxStreams.Load(),
+		MuxResumes:      g.muxResumes.Load(),
 	}
 	g.decisionMu.Lock()
 	s.LastScaleDecision = g.lastDecision

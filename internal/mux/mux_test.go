@@ -1,0 +1,456 @@
+package mux
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a real TCP connection — net.Pipe is fully
+// synchronous, which deadlocks request/response protocols whose sides
+// write concurrently (data one way, window credits the other).
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer func() { _ = ln.Close() }()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, derr := net.Dial("tcp", ln.Addr().String())
+	<-done
+	if derr != nil || err != nil {
+		t.Fatalf("dial: %v / accept: %v", derr, err)
+	}
+	t.Cleanup(func() { _ = client.Close(); _ = server.Close() })
+	return client, server
+}
+
+func echoHandler(_ context.Context, kind byte, req []byte) ([]byte, error) {
+	if kind == KindPlain && string(req) == "fail" {
+		return nil, errors.New("handler refused")
+	}
+	return append([]byte{kind}, req...), nil
+}
+
+// --- frame codec ---
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameOpen, Stream: 1, Payload: []byte{KindSecure}},
+		{Type: FrameData, Stream: 3, Payload: bytes.Repeat([]byte("x"), MaxFramePayload)},
+		{Type: FrameClose, Flags: FlagError, Stream: 5, Payload: []byte("boom")},
+		{Type: FramePing, Payload: []byte("12345678")},
+		{Type: FrameWindow, Stream: 7, Payload: []byte{0, 1, 0, 0}},
+		{Type: FrameResume, Payload: []byte{0, 0, 0, 2}},
+	}
+	var buf []byte
+	for _, f := range frames {
+		buf = AppendFrame(buf, f)
+	}
+	for i, want := range frames {
+		got, n, err := DecodeFrame(buf, MaxFramePayload)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Flags != want.Flags || got.Stream != want.Stream ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+		// ReadFrame must agree with DecodeFrame.
+		rf, err := ReadFrame(bytes.NewReader(buf[:n]), MaxFramePayload)
+		if err != nil || rf.Type != want.Type || !bytes.Equal(rf.Payload, want.Payload) {
+			t.Fatalf("frame %d: ReadFrame %+v, %v", i, rf, err)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes", len(buf))
+	}
+}
+
+func TestDecodeFrameHostile(t *testing.T) {
+	mk := func(typ byte, length uint32) []byte {
+		b := make([]byte, headerLen)
+		b[0] = typ
+		binary.BigEndian.PutUint32(b[6:10], length)
+		return b
+	}
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"oversize", mk(FrameData, MaxFramePayload+1), ErrFrameTooLarge},
+		{"zero type", mk(0, 0), ErrBadFrame},
+		{"unknown type", mk(0xFF, 0), ErrBadFrame},
+		{"truncated header", []byte{FrameData, 0, 0}, ErrBadFrame},
+		{"short ping", mk(FramePing, 3), ErrBadFrame},
+		{"fat open", mk(FrameOpen, 2), ErrBadFrame},
+		{"odd window", mk(FrameWindow, 8), ErrBadFrame},
+		{"truncated payload", mk(FrameData, 64), ErrBadFrame},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrame(tc.b, MaxFramePayload); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// --- session RPC ---
+
+func TestCallRoundTrip(t *testing.T) {
+	cc, sc := tcpPair(t)
+	go func() { _ = Serve(sc, echoHandler, Config{}) }()
+	s := Client(cc, Config{})
+	defer func() { _ = s.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Concurrent calls interleave on one conn; a large payload exercises
+	// chunking and flow control (3× the per-frame cap, 2× the window).
+	big := bytes.Repeat([]byte("abc"), MaxFramePayload)
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			req := big
+			if i%2 == 0 {
+				req = []byte(fmt.Sprintf("req-%d", i))
+			}
+			resp, err := s.Call(ctx, KindPlain, req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(resp, append([]byte{KindPlain}, req...)) {
+				errs <- fmt.Errorf("call %d: bad echo (%d bytes)", i, len(resp))
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.StreamsOpened(); got != 8 {
+		t.Fatalf("StreamsOpened = %d, want 8", got)
+	}
+	if got := s.ActiveStreams(); got != 0 {
+		t.Fatalf("ActiveStreams = %d after completion, want 0", got)
+	}
+}
+
+func TestCallRemoteError(t *testing.T) {
+	cc, sc := tcpPair(t)
+	go func() { _ = Serve(sc, echoHandler, Config{}) }()
+	s := Client(cc, Config{})
+	defer func() { _ = s.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := s.Call(ctx, KindPlain, []byte("fail"))
+	var remote *RemoteError
+	if !errors.As(err, &remote) || !strings.Contains(remote.Msg, "handler refused") {
+		t.Fatalf("err = %v, want RemoteError carrying the handler text", err)
+	}
+	// The session survives a per-stream failure.
+	if resp, err := s.Call(ctx, KindPlain, []byte("ok")); err != nil || string(resp[1:]) != "ok" {
+		t.Fatalf("call after remote error: %q, %v", resp, err)
+	}
+}
+
+// TestHalfOpenDetectedByHeartbeat is the dead-peer satellite: the peer
+// holds the TCP conn open but goes silent (a half-open conn after a NAT
+// timeout or a wedged process), and the heartbeat must declare it dead.
+func TestHalfOpenDetectedByHeartbeat(t *testing.T) {
+	cc, sc := tcpPair(t)
+	_ = sc // accepted but never served: silent peer, conn stays open
+	s := Client(cc, Config{KeepAlive: 20 * time.Millisecond, DeadAfter: 60 * time.Millisecond})
+	defer func() { _ = s.Close() }()
+	select {
+	case <-s.Done():
+		if err := s.Err(); !errors.Is(err, ErrDeadPeer) {
+			t.Fatalf("close cause = %v, want ErrDeadPeer", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("half-open conn never detected")
+	}
+	// Calls on the dead session fail as closed, not hang.
+	if _, err := s.Call(context.Background(), KindPlain, []byte("q")); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Call on dead session = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestRedialerResumesAfterConnKill is the reconnect satellite at the mux
+// layer: kill the transport conn, and the next call must transparently
+// re-dial, announce the resumed sessions, and succeed.
+func TestRedialerResumesAfterConnKill(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer func() { _ = ln.Close() }()
+	var resumed atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				_ = Serve(conn, echoHandler, Config{
+					OnResume: func(n int) { resumed.Add(int64(n)) },
+				})
+			}()
+		}
+	}()
+	rd := NewRedialer(func(ctx context.Context) (io.ReadWriteCloser, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", ln.Addr().String())
+	}, Config{}, func() int { return 3 })
+	defer func() { _ = rd.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := rd.Call(ctx, KindPlain, []byte("one")); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	rd.KillConn()
+	resp, err := rd.Call(ctx, KindPlain, []byte("two"))
+	if err != nil || string(resp[1:]) != "two" {
+		t.Fatalf("call after kill: %q, %v", resp, err)
+	}
+	if got := rd.Reconnects(); got != 1 {
+		t.Fatalf("Reconnects = %d, want 1", got)
+	}
+	if got := resumed.Load(); got != 3 {
+		t.Fatalf("server observed %d resumed sessions, want 3", got)
+	}
+}
+
+// --- hostile peers ---
+
+// rawClient drives the server-side protocol by hand, for injecting
+// frames no honest client sends.
+type rawClient struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func (c *rawClient) send(f Frame) {
+	c.t.Helper()
+	if _, err := c.conn.Write(AppendFrame(nil, f)); err != nil {
+		c.t.Fatalf("raw send: %v", err)
+	}
+}
+
+func (c *rawClient) recv() Frame {
+	c.t.Helper()
+	_ = c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := ReadFrame(c.conn, MaxFramePayload)
+	if err != nil {
+		c.t.Fatalf("raw recv: %v", err)
+	}
+	return f
+}
+
+func TestServerDropsUnknownStreamFrames(t *testing.T) {
+	cc, sc := tcpPair(t)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(sc, echoHandler, Config{}) }()
+	rc := &rawClient{t: t, conn: cc}
+	// Data and Window for streams that were never opened: dropped, not
+	// fatal — they are the tail of streams the peer already forgot.
+	rc.send(Frame{Type: FrameData, Stream: 99, Payload: []byte("orphan")})
+	rc.send(Frame{Type: FrameWindow, Stream: 77, Payload: []byte{0, 0, 1, 0}})
+	rc.send(Frame{Type: FrameClose, Stream: 55})
+	// The session must still serve a well-formed exchange.
+	rc.send(Frame{Type: FrameOpen, Stream: 1, Payload: []byte{KindPlain}})
+	rc.send(Frame{Type: FrameData, Stream: 1, Payload: []byte("q")})
+	rc.send(Frame{Type: FrameClose, Stream: 1})
+	for {
+		f := rc.recv()
+		if f.Type == FrameData && f.Stream == 1 {
+			if string(f.Payload) != string(KindPlain)+"q" {
+				t.Fatalf("bad echo %q", f.Payload)
+			}
+			break
+		}
+		// Window credits and pings may arrive first.
+		if f.Type == FramePing {
+			rc.send(Frame{Type: FramePong, Payload: f.Payload})
+		}
+	}
+	select {
+	case err := <-serveDone:
+		t.Fatalf("session died on unknown-stream frames: %v", err)
+	default:
+	}
+}
+
+func TestServerKillsConnOnOversizeFrame(t *testing.T) {
+	cc, sc := tcpPair(t)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(sc, echoHandler, Config{}) }()
+	hdr := make([]byte, headerLen)
+	hdr[0] = FrameData
+	binary.BigEndian.PutUint32(hdr[2:6], 1)
+	binary.BigEndian.PutUint32(hdr[6:10], MaxFramePayload+1)
+	if _, err := cc.Write(hdr); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	select {
+	case err := <-serveDone:
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("close cause = %v, want ErrFrameTooLarge", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oversize frame did not kill the session")
+	}
+}
+
+func TestServerKillsConnOnDuplicateStreamOpen(t *testing.T) {
+	cc, sc := tcpPair(t)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(sc, echoHandler, Config{}) }()
+	rc := &rawClient{t: t, conn: cc}
+	rc.send(Frame{Type: FrameOpen, Stream: 1, Payload: []byte{KindPlain}})
+	rc.send(Frame{Type: FrameOpen, Stream: 1, Payload: []byte{KindPlain}})
+	select {
+	case err := <-serveDone:
+		if !errors.Is(err, errProtocol) {
+			t.Fatalf("close cause = %v, want protocol violation", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("duplicate open did not kill the session")
+	}
+}
+
+func TestServerKillsConnOnPingFlood(t *testing.T) {
+	cc, sc := tcpPair(t)
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- Serve(sc, echoHandler, Config{
+			PingBudget: 8,
+			KeepAlive:  time.Hour, // never reset the budget window
+		})
+	}()
+	tok := []byte("floodtok")
+	go func() {
+		for i := 0; i < 1000; i++ {
+			if _, err := cc.Write(AppendFrame(nil, Frame{Type: FramePing, Payload: tok})); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-serveDone:
+		if !errors.Is(err, ErrPingFlood) {
+			t.Fatalf("close cause = %v, want ErrPingFlood", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ping flood did not kill the session")
+	}
+}
+
+// TestTooManyStreamsRefusedPerStream: the cap rejects the excess stream
+// with a per-stream error and the session (and its other streams) live.
+func TestTooManyStreamsRefusedPerStream(t *testing.T) {
+	block := make(chan struct{})
+	handler := func(_ context.Context, _ byte, req []byte) ([]byte, error) {
+		if string(req) == "block" {
+			<-block
+		}
+		return req, nil
+	}
+	cc, sc := tcpPair(t)
+	go func() { _ = Serve(sc, handler, Config{MaxStreams: 1}) }()
+	s := Client(cc, Config{})
+	defer func() { _ = s.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := s.Call(ctx, KindPlain, []byte("block"))
+		blocked <- err
+	}()
+	// Wait for the first stream to occupy the server's only slot, then
+	// the second call must be refused remotely but cleanly.
+	var err error
+	for i := 0; i < 100; i++ {
+		time.Sleep(5 * time.Millisecond)
+		_, err = s.Call(ctx, KindPlain, []byte("x"))
+		if err != nil {
+			break
+		}
+	}
+	var remote *RemoteError
+	if !errors.As(err, &remote) || !strings.Contains(remote.Msg, "too many") {
+		t.Fatalf("excess stream error = %v, want remote too-many-streams", err)
+	}
+	close(block)
+	if err := <-blocked; err != nil {
+		t.Fatalf("first stream should have survived the refusal: %v", err)
+	}
+}
+
+// --- WebSocket adapter ---
+
+// httpUpgradeServer serves /mux WebSocket upgrades into mux sessions,
+// the same wiring the gateway's handleMuxUpgrade uses.
+type httpUpgradeServer struct {
+	handler Handler
+}
+
+func (u *httpUpgradeServer) serve(ln net.Listener) {
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := UpgradeWS(w, r)
+		if err != nil {
+			return
+		}
+		go func() { _ = Serve(conn, u.handler, Config{}) }()
+	})}
+	_ = srv.Serve(ln)
+}
+
+func TestWSAdapterCarriesSession(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer func() { _ = ln.Close() }()
+	go func() {
+		srv := &httpUpgradeServer{handler: echoHandler}
+		srv.serve(ln)
+	}()
+	conn, err := DialWS("ws://"+ln.Addr().String()+"/mux", 5*time.Second)
+	if err != nil {
+		t.Fatalf("DialWS: %v", err)
+	}
+	s := Client(conn, Config{})
+	defer func() { _ = s.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	big := bytes.Repeat([]byte("w"), 3*MaxFramePayload/2)
+	resp, err := s.Call(ctx, KindSecure, big)
+	if err != nil {
+		t.Fatalf("call over websocket: %v", err)
+	}
+	if !bytes.Equal(resp, append([]byte{KindSecure}, big...)) {
+		t.Fatalf("bad echo over websocket (%d bytes)", len(resp))
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -24,6 +23,7 @@ import (
 	"xsearch/internal/netsim"
 	"xsearch/internal/obs"
 	"xsearch/internal/seal"
+	"xsearch/internal/serve"
 )
 
 // Config parameterizes an X-Search proxy node.
@@ -230,8 +230,8 @@ type Proxy struct {
 	pipeline *pipelineRuntime
 	latency  *metrics.Histogram
 
-	http *http.Server
-	ln   net.Listener
+	http  *http.Server
+	front *serve.Server
 
 	requests   atomic.Uint64
 	handshakes atomic.Uint64
@@ -639,6 +639,7 @@ func New(cfg Config) (*Proxy, error) {
 		w.WriteHeader(http.StatusOK)
 	})
 	p.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	p.front = serve.Wrap(p.http)
 
 	// Run the init ecall, mirroring the paper's interface.
 	if _, err := encl.ECall(context.Background(), "init", nil); err != nil {
@@ -753,24 +754,25 @@ func (p *Proxy) Measurement() enclave.Measurement { return p.encl.Measurement() 
 // AttestationService returns the service verifying this proxy's quotes.
 func (p *Proxy) AttestationService() *attestation.Service { return p.service }
 
-// Start serves the HTTP front on addr ("127.0.0.1:0" picks a port).
+// Start serves the HTTP front on addr ("127.0.0.1:0" picks a port). A
+// second Start returns serve.ErrAlreadyStarted; fatal accept-loop errors
+// surface on ServeErr instead of being silently discarded.
 func (p *Proxy) Start(addr string) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
+	if err := p.front.Start(addr); err != nil {
+		if errors.Is(err, serve.ErrAlreadyStarted) {
+			return fmt.Errorf("proxy: front %w", serve.ErrAlreadyStarted)
+		}
 		return fmt.Errorf("proxy: listen %s: %w", addr, err)
 	}
-	p.ln = ln
-	go func() { _ = p.http.Serve(ln) }()
 	return nil
 }
 
+// ServeErr delivers at most one fatal HTTP-front serve error (the accept
+// loop died after a successful Start).
+func (p *Proxy) ServeErr() <-chan error { return p.front.Err() }
+
 // Addr returns the bound address after Start.
-func (p *Proxy) Addr() string {
-	if p.ln == nil {
-		return ""
-	}
-	return p.ln.Addr().String()
-}
+func (p *Proxy) Addr() string { return p.front.Addr() }
 
 // URL returns the proxy base URL.
 func (p *Proxy) URL() string { return "http://" + p.Addr() }
@@ -783,8 +785,8 @@ func (p *Proxy) URL() string { return "http://" + p.Addr() }
 // finalize.
 func (p *Proxy) Shutdown(ctx context.Context) error {
 	var err error
-	if p.http != nil {
-		err = p.http.Shutdown(ctx)
+	if p.front != nil {
+		err = p.front.Shutdown(ctx)
 	}
 	if p.pipeline != nil {
 		if derr := p.pipeline.drain(ctx); derr != nil && err == nil {
@@ -1245,8 +1247,16 @@ func (p *Proxy) ecall(ctx context.Context, req envelope) (envelopeReply, error) 
 	return reply, nil
 }
 
+// maxBodyBytes caps request bodies on the client-facing handlers. The
+// proxy runs in the untrusted host, but an unbounded body still lets a
+// hostile client balloon host memory (json.Decode buffers what it reads)
+// and starve the fronting process; every legitimate body — a channel
+// offer, a sealed query record — is a few KB.
+const maxBodyBytes = 1 << 20
+
 // handlePlainSearch serves GET /search?q= for third-party clients.
 func (p *Proxy) handlePlainSearch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	p.requests.Add(1)
 	q := r.URL.Query().Get("q")
 	if strings.TrimSpace(q) == "" {
@@ -1279,6 +1289,7 @@ func (p *Proxy) handleHandshake(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var body struct {
 		Offer json.RawMessage `json:"offer"`
 		Nonce []byte          `json:"nonce"`
@@ -1304,6 +1315,7 @@ func (p *Proxy) handleSecure(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var body SecureEnvelope
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		p.errors.Add(1)

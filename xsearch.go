@@ -323,6 +323,11 @@ func NewProxy(opts ...ProxyOption) (*Proxy, error) {
 // free port).
 func (p *Proxy) Start(addr string) error { return p.inner.Start(addr) }
 
+// ServeErr delivers at most one fatal HTTP-front serve error (the accept
+// loop died after a successful Start); a proxy whose front died cannot
+// recover, so operators should treat it like a crash.
+func (p *Proxy) ServeErr() <-chan error { return p.inner.ServeErr() }
+
 // Addr returns the bound address after Start.
 func (p *Proxy) Addr() string { return p.inner.Addr() }
 
@@ -435,6 +440,21 @@ func NewFleet(opts ...FleetOption) (*Fleet, error) {
 // Start serves the gateway front on addr ("127.0.0.1:0" picks a port).
 func (f *Fleet) Start(addr string) error { return f.inner.Start(addr) }
 
+// StartMux serves the multiplexed raw-TCP client edge on addr: one
+// long-lived framed connection per client host carries every logical
+// stream (handshakes, sealed records, plain queries) instead of one HTTP
+// connection per request. WebSocket clients reach the same edge through
+// the HTTP front's /mux upgrade, which needs no separate start.
+func (f *Fleet) StartMux(addr string) error { return f.inner.StartMux(addr) }
+
+// MuxAddr returns the raw-TCP mux edge's bound address after StartMux.
+func (f *Fleet) MuxAddr() string { return f.inner.MuxAddr() }
+
+// ServeErr delivers at most one fatal HTTP-front serve error (the accept
+// loop died after a successful Start); a gateway whose front died cannot
+// recover, so operators should treat it like a crash.
+func (f *Fleet) ServeErr() <-chan error { return f.inner.ServeErr() }
+
 // Addr returns the gateway's bound address after Start.
 func (f *Fleet) Addr() string { return f.inner.Addr() }
 
@@ -528,6 +548,25 @@ func WithHTTPClient(hc *http.Client) ClientOption {
 	return clientOptionFunc(func(c *broker.Config) { c.HTTPClient = hc })
 }
 
+// WithMuxTransport carries every proxy RPC over one long-lived
+// multiplexed TCP connection to the gateway's mux edge at muxAddr
+// (Fleet.StartMux), instead of one HTTP request per call. A dropped
+// conn is transparently re-dialed and live attested sessions resume
+// without re-attestation.
+func WithMuxTransport(muxAddr string) ClientOption {
+	return clientOptionFunc(func(c *broker.Config) {
+		c.Transport = "mux"
+		c.MuxAddr = muxAddr
+	})
+}
+
+// WithWebSocketTransport carries the same multiplexed frames over an
+// RFC 6455 upgrade at the gateway's /mux endpoint — the path a browser
+// extension, which cannot open raw TCP, would use.
+func WithWebSocketTransport() ClientOption {
+	return clientOptionFunc(func(c *broker.Config) { c.Transport = "ws" })
+}
+
 // NewClient builds a client of the proxy at proxyURL.
 func NewClient(proxyURL string, opts ...ClientOption) (*Client, error) {
 	cfg := broker.Config{ProxyURL: proxyURL}
@@ -553,6 +592,10 @@ func (c *Client) Connected() bool { return c.inner.Connected() }
 func (c *Client) Search(ctx context.Context, query string) ([]Result, error) {
 	return c.inner.Search(ctx, query)
 }
+
+// Close releases the client's transport connection (a no-op on the
+// default HTTP transport).
+func (c *Client) Close() error { return c.inner.Close() }
 
 // --- Engine ---
 
